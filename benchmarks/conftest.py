@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced ("quick") scale, times it with pytest-benchmark, asserts the
+comparative shape the paper reports, and writes the rendered table to
+``benchmarks/results/<name>.txt`` so the numbers can be inspected and
+copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    """Set REPRO_BENCH_FULL=1 to run the paper-scale configurations."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

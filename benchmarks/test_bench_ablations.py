@@ -1,0 +1,39 @@
+"""Bench: ablations on PaCo's design parameters (re-log period, scale, log circuit)."""
+
+from repro.eval.reports import format_table
+from repro.experiments import ablations
+
+from conftest import write_result
+
+
+def test_bench_relog_period_ablation(benchmark, results_dir, full_mode):
+    result = benchmark.pedantic(
+        ablations.run_relog_period_ablation,
+        kwargs={"quick": not full_mode},
+        rounds=1, iterations=1,
+    )
+    benchmarks = list(next(iter(result.rms_by_variant.values())).keys())
+    text = format_table(["variant"] + benchmarks + ["mean"], result.rows(),
+                        title="Ablation — MRT re-logarithmizing period")
+    write_result(results_dir, "ablation_relog_period", text)
+
+    # Paper claim: PaCo is not very sensitive to the re-logarithmizing period.
+    means = [result.mean_rms(variant) for variant in result.rms_by_variant]
+    assert max(means) - min(means) < 0.08
+
+
+def test_bench_log_circuit_ablation(benchmark, results_dir, full_mode):
+    result = benchmark.pedantic(
+        ablations.run_log_circuit_ablation,
+        kwargs={"quick": not full_mode},
+        rounds=1, iterations=1,
+    )
+    benchmarks = list(next(iter(result.rms_by_variant.values())).keys())
+    text = format_table(["variant"] + benchmarks + ["mean"], result.rows(),
+                        title="Ablation — Mitchell log circuit vs exact log")
+    write_result(results_dir, "ablation_log_circuit", text)
+
+    # The hardware-friendly Mitchell approximation must cost essentially no
+    # accuracy relative to an exact logarithm.
+    assert abs(result.mean_rms("mitchell-log")
+               - result.mean_rms("exact-log")) < 0.03

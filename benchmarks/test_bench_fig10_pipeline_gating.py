@@ -1,0 +1,51 @@
+"""Bench: Fig. 10 — pipeline gating, PaCo vs. threshold-and-count."""
+
+from repro.applications.pipeline_gating import GatingSweepConfig
+from repro.eval.reports import format_table
+from repro.experiments import fig10_gating
+
+from conftest import write_result
+
+#: Small sweep for the default quick benchmark run.
+_QUICK = GatingSweepConfig(
+    benchmarks=("twolf", "parser", "bzip2", "gzip"),
+    paco_probabilities=(0.10, 0.20, 0.40, 0.70),
+    jrs_thresholds=(3,),
+    gate_counts=(1, 2, 4, 8),
+    instructions=25_000,
+    warmup_instructions=12_000,
+)
+
+
+def test_bench_fig10_pipeline_gating(benchmark, results_dir, full_mode):
+    result = benchmark.pedantic(
+        fig10_gating.run,
+        kwargs={"config": None if full_mode else _QUICK,
+                "quick": not full_mode},
+        rounds=1, iterations=1,
+    )
+    text = format_table(
+        ["policy", "parameter", "perf loss %", "badpath exec red. %",
+         "badpath fetch red. %"],
+        result.rows(),
+        title="Fig. 10 — pipeline gating (averaged over benchmarks)",
+    )
+    text += "\n\nBest operating point per policy (<=1% performance loss)\n"
+    text += format_table(
+        ["policy", "parameter", "perf loss %", "badpath exec red. %"],
+        result.summary_rows(),
+    )
+    write_result(results_dir, "fig10_pipeline_gating", text)
+
+    # Paper shape: PaCo achieves a sizeable reduction in wrong-path work at a
+    # near-zero-loss operating point, and no policy curve is empty.
+    assert result.curves["paco"]
+    paco_best = result.best_points["paco"]
+    assert paco_best.badpath_reduction > 0.05
+    assert paco_best.performance_loss < 0.03
+    # Every threshold-and-count curve exists and gates something at its most
+    # aggressive point.
+    for name, points in result.curves.items():
+        if name == "paco":
+            continue
+        assert points[-1].badpath_fetch_reduction > 0.0

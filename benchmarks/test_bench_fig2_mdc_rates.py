@@ -1,0 +1,24 @@
+"""Bench: Fig. 2 — mispredict rate per MDC value, per benchmark."""
+
+from repro.eval.reports import format_table
+from repro.experiments import fig2_mdc_rates
+
+from conftest import write_result
+
+
+def test_bench_fig2_mdc_rates(benchmark, results_dir, full_mode):
+    result = benchmark.pedantic(
+        fig2_mdc_rates.run,
+        kwargs={"quick": not full_mode},
+        rounds=1, iterations=1,
+    )
+    headers = ["benchmark"] + [f"mdc{m}" for m in range(16)]
+    text = format_table(headers, result.rows(),
+                        title="Fig. 2 — mispredict rate (%) per MDC value")
+    write_result(results_dir, "fig2_mdc_rates", text)
+
+    # Paper shape: low-MDC buckets mispredict more than high-MDC buckets,
+    # and the absolute level differs across benchmarks.
+    assert result.is_monotone_decreasing_overall()
+    mdc0_rates = [by_mdc.get(0, 0.0) for by_mdc in result.rates.values()]
+    assert max(mdc0_rates) > 1.5 * max(min(mdc0_rates), 0.01)

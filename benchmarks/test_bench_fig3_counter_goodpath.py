@@ -1,0 +1,34 @@
+"""Bench: Fig. 3 — good-path probability at a fixed low-confidence count."""
+
+from repro.eval.reports import format_table
+from repro.experiments import fig3_counter_goodpath
+
+from conftest import write_result
+
+
+def test_bench_fig3_counter_goodpath(benchmark, results_dir, full_mode):
+    result = benchmark.pedantic(
+        fig3_counter_goodpath.run,
+        kwargs={"counter_value": 3 if not full_mode else 5,
+                "quick": not full_mode},
+        rounds=1, iterations=1,
+    )
+    text = format_table(
+        ["benchmark", "P(goodpath)", "instances"],
+        result.rows_benchmarks(),
+        title=f"Fig. 3(a) — good-path probability at counter = "
+              f"{result.counter_value}",
+    )
+    text += "\n\n" + format_table(
+        ["benchmark_phase", "P(goodpath)"],
+        result.rows_phases(),
+        title="Fig. 3(b) — per-phase good-path probability",
+    )
+    write_result(results_dir, "fig3_counter_goodpath", text)
+
+    # Paper shape: the same counter value maps to clearly different good-path
+    # probabilities on different benchmarks (10%..40% in the paper).
+    assert result.across_benchmarks
+    assert result.spread() > 0.03
+    # Phase-split data exists for at least one phased benchmark.
+    assert result.across_phases

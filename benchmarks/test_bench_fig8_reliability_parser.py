@@ -1,0 +1,25 @@
+"""Bench: Fig. 8 — PaCo reliability diagram on parser."""
+
+from repro.experiments import fig8_9_reliability
+
+from conftest import write_result
+
+
+def test_bench_fig8_reliability_parser(benchmark, results_dir, full_mode):
+    diagram = benchmark.pedantic(
+        fig8_9_reliability.run_parser_diagram,
+        kwargs={"quick": not full_mode},
+        rounds=1, iterations=1,
+    )
+    text = ("Fig. 8 — PaCo reliability diagram on parser\n"
+            f"(instances: {diagram.total_instances}, RMS error: "
+            f"{diagram.rms_error():.4f})\n\n" + diagram.format_table(min_instances=25))
+    write_result(results_dir, "fig8_reliability_parser", text)
+
+    # Paper shape: predicted and observed probabilities track each other
+    # closely on parser, and most instances sit at high predicted confidence.
+    assert diagram.rms_error() < 0.25
+    points = diagram.points(min_instances=50)
+    assert points
+    high_confidence_mass = sum(p.instances for p in points if p.predicted > 0.8)
+    assert high_confidence_mass > 0.25 * diagram.total_instances

@@ -1,0 +1,36 @@
+"""Bench: Fig. 9 — reliability diagrams across benchmarks plus cumulative."""
+
+from repro.eval.reports import format_table
+from repro.experiments import fig8_9_reliability
+
+from conftest import write_result
+
+
+def test_bench_fig9_reliability_suite(benchmark, results_dir, full_mode):
+    study = benchmark.pedantic(
+        fig8_9_reliability.run,
+        kwargs={"quick": not full_mode},
+        rounds=1, iterations=1,
+    )
+    rows = [[name, round(err, 4)] for name, err in study.rms_errors.items()]
+    rows.append(["cumulative", round(study.cumulative.rms_error(), 4)])
+    text = format_table(["benchmark", "paco RMS error"], rows,
+                        title="Fig. 9 — PaCo reliability RMS error per benchmark")
+    text += "\n\nCumulative diagram (all benchmarks)\n"
+    text += study.cumulative.format_table(min_instances=100)
+    write_result(results_dir, "fig9_reliability_suite", text)
+
+    # Paper shape: twolf/vprRoute-class benchmarks are predicted extremely
+    # well, and the cumulative diagram stays accurate; perlbmk is the
+    # hardest benchmark for PaCo when it is included in the run.
+    assert study.cumulative.rms_error() < 0.25
+    if "twolf" in study.rms_errors and "perlbmk" in study.rms_errors:
+        assert study.rms_errors["twolf"] < study.rms_errors["perlbmk"]
+    # Predicted tracks observed on the cumulative curve: positive correlation.
+    points = study.cumulative.points(min_instances=200)
+    n = len(points)
+    assert n >= 3
+    mean_p = sum(p.predicted for p in points) / n
+    mean_o = sum(p.observed for p in points) / n
+    covariance = sum((p.predicted - mean_p) * (p.observed - mean_o) for p in points)
+    assert covariance > 0

@@ -1,0 +1,28 @@
+"""Bench: Table 7 — PaCo RMS error and mispredict rates per benchmark."""
+
+from repro.eval.reports import format_table
+from repro.experiments import table7_rms
+
+from conftest import write_result
+
+
+def test_bench_table7_rms(benchmark, results_dir, full_mode):
+    result = benchmark.pedantic(
+        table7_rms.run,
+        kwargs={"quick": not full_mode},
+        rounds=1, iterations=1,
+    )
+    headers = ["benchmark", "rms", "rms(paper)", "overall%", "overall%(paper)",
+               "cond%", "cond%(paper)"]
+    text = format_table(headers, result.as_table_rows(),
+                        title="Table 7 — PaCo RMS error and mispredict rates")
+    write_result(results_dir, "table7_rms", text)
+
+    # Paper shape: PaCo's good-path probability estimate is accurate — a
+    # small mean RMS error (0.0377 in the paper; the reduced-scale synthetic
+    # runs land higher but must stay well-calibrated).
+    assert 0.0 < result.mean_rms_error < 0.25
+    # Per-benchmark difficulty ordering: the hardest benchmark present should
+    # have a clearly higher conditional mispredict rate than the easiest.
+    rates = {row.benchmark: row.conditional_mispredict_rate for row in result.rows}
+    assert max(rates.values()) > 2 * (min(rates.values()) + 0.001)

@@ -1,0 +1,25 @@
+"""Bench: Appendix Table 1 — dynamic MRT vs. Static MRT vs. Per-branch MRT."""
+
+from repro.eval.reports import format_table
+from repro.experiments import tableA1_mrt_variants
+
+from conftest import write_result
+
+
+def test_bench_tableA1_mrt_variants(benchmark, results_dir, full_mode):
+    result = benchmark.pedantic(
+        tableA1_mrt_variants.run,
+        kwargs={"quick": not full_mode},
+        rounds=1, iterations=1,
+    )
+    headers = ["benchmark", "MRT", "StaticMRT", "PerBranchMRT",
+               "MRT(paper)", "Static(paper)", "PerBranch(paper)"]
+    text = format_table(headers, result.as_table_rows(),
+                        title="Appendix Table 1 — RMS error of MRT variants")
+    write_result(results_dir, "tableA1_mrt_variants", text)
+
+    # Paper shape: the dynamically measured MRT is the most accurate design
+    # on average; the alternatives are clearly worse.
+    assert result.dynamic_mrt_is_best_on_average()
+    assert result.mean_static_rms > result.mean_mrt_rms
+    assert result.mean_per_branch_rms > result.mean_mrt_rms

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Pipeline-gating study: PaCo gating vs. conventional count gating.
+
+Reproduces a small slice of the paper's Fig. 10: for a handful of
+benchmarks, sweep the PaCo gating probability and the conventional
+gate-count and report, per operating point, the performance loss and the
+reduction in wrong-path instructions executed relative to a no-gating
+baseline.
+
+Run with::
+
+    python examples/pipeline_gating_study.py
+"""
+
+from __future__ import annotations
+
+from repro.applications.pipeline_gating import (
+    GatingSweepConfig,
+    average_curves,
+    run_gating_sweep,
+)
+from repro.eval.reports import format_table
+
+
+def main() -> None:
+    config = GatingSweepConfig(
+        benchmarks=("twolf", "parser", "gzip"),
+        paco_probabilities=(0.10, 0.20, 0.40),
+        jrs_thresholds=(3,),
+        gate_counts=(1, 2, 4),
+        instructions=25_000,
+        warmup_instructions=10_000,
+    )
+    print("Sweeping pipeline-gating configurations "
+          f"({len(config.benchmarks)} benchmarks)...")
+    curves = run_gating_sweep(config)
+
+    rows = []
+    for policy, points in curves.items():
+        for point in points:
+            rows.append([
+                policy, point.parameter,
+                round(100 * point.performance_loss, 2),
+                round(100 * point.badpath_reduction, 1),
+                round(100 * point.badpath_fetch_reduction, 1),
+            ])
+    print()
+    print(format_table(
+        ["policy", "parameter", "perf loss %", "badpath exec red. %",
+         "badpath fetch red. %"],
+        rows,
+        title="Pipeline gating: performance loss vs bad-path reduction",
+    ))
+
+    print()
+    best = average_curves(curves)
+    print(format_table(
+        ["policy", "parameter", "perf loss %", "badpath exec red. %"],
+        [[name, point.parameter,
+          round(100 * point.performance_loss, 2),
+          round(100 * point.badpath_reduction, 1)]
+         for name, point in best.items()],
+        title="Best operating point per policy (<= 1% performance loss)",
+    ))
+    print()
+    print("Paper headline: PaCo removes ~32% of bad-path instructions at no "
+          "performance cost, while the best conventional predictor removes ~7%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: measure PaCo's path-confidence accuracy on one benchmark.
+
+Builds the paper's 4-wide machine running the synthetic ``parser``
+workload, attaches PaCo together with the conventional threshold-and-count
+predictor and the two Appendix-A alternatives, runs a short simulation and
+prints the reliability diagram and RMS errors (the paper's Fig. 8 /
+Table 7 for a single benchmark).
+
+Run with::
+
+    python examples/quickstart.py [benchmark] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval.harness import run_accuracy_experiment
+from repro.eval.reports import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "parser"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+
+    print(f"Running {benchmark} for {instructions:,} instructions "
+          f"(plus warm-up) on the 4-wide machine...")
+    result = run_accuracy_experiment(benchmark, instructions=instructions,
+                                     warmup_instructions=15_000)
+
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["IPC", round(result.stats.ipc, 3)],
+            ["conditional mispredict rate %",
+             round(100 * result.conditional_mispredict_rate, 2)],
+            ["overall mispredict rate %",
+             round(100 * result.overall_mispredict_rate, 2)],
+            ["bad-path instructions executed", result.stats.badpath_executed],
+        ],
+        title=f"{benchmark}: machine behaviour",
+    ))
+
+    print()
+    print(format_table(
+        ["predictor", "reliability RMS error"],
+        [[name, round(error, 4)] for name, error in result.rms_errors.items()],
+        title="Path confidence accuracy (lower is better)",
+    ))
+
+    print()
+    print("PaCo reliability diagram (predicted vs observed good-path probability):")
+    print(result.diagrams["paco"].format_table(min_instances=200))
+
+
+if __name__ == "__main__":
+    main()

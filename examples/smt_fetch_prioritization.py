@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""SMT fetch prioritization: ICOUNT vs threshold-and-count vs PaCo.
+
+Runs one or more benchmark pairs on the 8-wide, 2-thread SMT machine under
+three fetch policies and reports the harmonic mean of weighted IPCs
+(HMWIPC), the metric of the paper's Fig. 12.
+
+Run with::
+
+    python examples/smt_fetch_prioritization.py [benchA] [benchB]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval.harness import run_single_thread_ipc, run_smt_experiment
+from repro.eval.reports import format_table
+
+
+def main() -> None:
+    bench_a = sys.argv[1] if len(sys.argv) > 1 else "gap"
+    bench_b = sys.argv[2] if len(sys.argv) > 2 else "mcf"
+
+    print(f"Measuring single-thread IPCs for {bench_a} and {bench_b}...")
+    singles = (
+        run_single_thread_ipc(bench_a, instructions=25_000),
+        run_single_thread_ipc(bench_b, instructions=25_000),
+    )
+    print(f"  {bench_a}: {singles[0]:.3f} IPC alone, "
+          f"{bench_b}: {singles[1]:.3f} IPC alone")
+
+    rows = []
+    for policy in ("icount", "count", "paco"):
+        result = run_smt_experiment(
+            bench_a, bench_b, policy=policy,
+            instructions=60_000, warmup_instructions=20_000,
+            single_ipcs=singles,
+        )
+        rows.append([
+            result.policy,
+            round(result.smt_ipcs[0], 3),
+            round(result.smt_ipcs[1], 3),
+            round(result.hmwipc, 4),
+        ])
+        print(f"  {result.policy}: HMWIPC {result.hmwipc:.4f}")
+
+    print()
+    print(format_table(
+        ["fetch policy", f"{bench_a} IPC", f"{bench_b} IPC", "HMWIPC"],
+        rows,
+        title=f"SMT fetch prioritization: {bench_a} + {bench_b}",
+    ))
+    print()
+    print("Paper headline: a PaCo-based fetch policy improves HMWIPC over the "
+          "best threshold-and-count policy by 5.5% on average (up to 23%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs work in offline environments whose setuptools predates
+PEP 660 editable-wheel support (``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""PaCo: probability-based path confidence prediction — reproduction library.
+
+This package reproduces *PaCo: Probability-based Path Confidence Prediction*
+(Malik, Agarwal, Dhar, Frank; UIUC CRHC-07-08): the PaCo predictor itself,
+the conventional threshold-and-count predictors it is compared against, the
+out-of-order / SMT pipeline substrate the evaluation runs on, synthetic
+SPEC2000-INT stand-in workloads, and harnesses that regenerate every table
+and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro.eval import run_accuracy_experiment
+
+    result = run_accuracy_experiment("parser", instructions=30_000)
+    print(result.rms_error("paco"))
+
+Package map
+-----------
+``repro.common``            shared hardware primitives and statistics
+``repro.isa``               instruction / program model
+``repro.workloads``         synthetic SPEC2000-INT stand-in benchmarks
+``repro.branch_predictor``  tournament predictor, BTB, RAS, indirect predictor
+``repro.confidence``        JRS / enhanced-JRS confidence prediction
+``repro.pathconf``          PaCo and the baseline path confidence predictors
+``repro.pipeline``          out-of-order and SMT timing models, gating
+``repro.applications``      pipeline gating and SMT fetch prioritization drivers
+``repro.eval``              observers, metrics, harnesses, reports
+``repro.experiments``       one driver per paper table / figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,33 @@
+"""Applications of path confidence prediction evaluated by the paper.
+
+* :mod:`repro.applications.pipeline_gating` — the pipeline-gating design
+  space sweep behind Fig. 10 (performance loss vs. bad-path-instruction
+  reduction for PaCo and for threshold-and-count predictors).
+* :mod:`repro.applications.smt_prioritization` — the SMT fetch
+  prioritization study behind Fig. 12 (HMWIPC of 16 benchmark pairs under
+  ICOUNT, threshold-and-count and PaCo fetch policies).
+"""
+
+from repro.applications.pipeline_gating import (
+    GatingCurvePoint,
+    GatingSweepConfig,
+    run_gating_sweep,
+    average_curves,
+)
+from repro.applications.smt_prioritization import (
+    SMT_PAIRS,
+    SMTPairResult,
+    SMTStudyConfig,
+    run_smt_study,
+)
+
+__all__ = [
+    "GatingCurvePoint",
+    "GatingSweepConfig",
+    "run_gating_sweep",
+    "average_curves",
+    "SMT_PAIRS",
+    "SMTPairResult",
+    "SMTStudyConfig",
+    "run_smt_study",
+]

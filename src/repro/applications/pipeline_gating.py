@@ -1,0 +1,142 @@
+"""Pipeline gating design-space sweep (paper Section 5.1, Fig. 10).
+
+The paper's Fig. 10 plots, averaged over all benchmarks, the reduction in
+bad-path instructions executed (y-axis) against the loss in performance
+(x-axis) as gating becomes more aggressive, for:
+
+* PaCo gating at target good-path probabilities from 2 % to 90 %, and
+* conventional count gating with JRS thresholds 3 / 7 / 11 / 15 and
+  gate-counts from 10 (least aggressive) down to 1 (most aggressive).
+
+:func:`run_gating_sweep` reproduces one such curve family; the benchmark
+set, sweep points and instruction budgets are configurable so the quick
+benchmark harness and a full reproduction can share the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.harness import GatingResult, run_gating_experiment
+from repro.workloads.suite import benchmark_names
+
+
+@dataclass
+class GatingCurvePoint:
+    """One point on a Fig. 10 curve (already averaged over benchmarks)."""
+
+    policy: str
+    parameter: float                 #: gate-count or gating probability
+    performance_loss: float          #: fractional IPC loss vs. no gating
+    badpath_reduction: float         #: fractional reduction in badpath executed
+    badpath_fetch_reduction: float   #: fractional reduction in badpath fetched
+
+
+@dataclass
+class GatingSweepConfig:
+    """Configuration of one gating sweep."""
+
+    benchmarks: Sequence[str] = field(default_factory=benchmark_names)
+    paco_probabilities: Sequence[float] = (0.02, 0.06, 0.10, 0.20, 0.30,
+                                           0.50, 0.70, 0.90)
+    jrs_thresholds: Sequence[int] = (3, 7, 11, 15)
+    gate_counts: Sequence[int] = (1, 2, 3, 4, 6, 8, 10)
+    instructions: int = 40_000
+    warmup_instructions: int = 15_000
+    seed: int = 1
+
+
+def _average(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def run_gating_sweep(config: Optional[GatingSweepConfig] = None
+                     ) -> Dict[str, List[GatingCurvePoint]]:
+    """Run the full gating design-space sweep.
+
+    Returns a mapping from curve name (``"paco"`` or ``"jrs-t{threshold}"``)
+    to the list of averaged curve points, ordered from least to most
+    aggressive gating.  Every configuration of every benchmark is compared
+    against that benchmark's own no-gating baseline (same seed, same
+    workload), exactly as the paper does.
+    """
+    cfg = config if config is not None else GatingSweepConfig()
+
+    baselines: Dict[str, GatingResult] = {}
+    for benchmark in cfg.benchmarks:
+        baselines[benchmark] = run_gating_experiment(
+            benchmark, mode="none",
+            instructions=cfg.instructions, seed=cfg.seed,
+            warmup_instructions=cfg.warmup_instructions,
+        )
+
+    curves: Dict[str, List[GatingCurvePoint]] = {}
+
+    paco_points: List[GatingCurvePoint] = []
+    for probability in cfg.paco_probabilities:
+        losses, reductions, fetch_reductions = [], [], []
+        for benchmark in cfg.benchmarks:
+            result = run_gating_experiment(
+                benchmark, mode="paco", gating_probability=probability,
+                instructions=cfg.instructions, seed=cfg.seed,
+                warmup_instructions=cfg.warmup_instructions,
+            )
+            baseline = baselines[benchmark]
+            losses.append(result.performance_loss_vs(baseline))
+            reductions.append(result.badpath_reduction_vs(baseline))
+            fetch_reductions.append(result.badpath_fetch_reduction_vs(baseline))
+        paco_points.append(GatingCurvePoint(
+            policy="paco",
+            parameter=probability,
+            performance_loss=_average(losses),
+            badpath_reduction=_average(reductions),
+            badpath_fetch_reduction=_average(fetch_reductions),
+        ))
+    curves["paco"] = paco_points
+
+    for threshold in cfg.jrs_thresholds:
+        points: List[GatingCurvePoint] = []
+        for gate_count in sorted(cfg.gate_counts, reverse=True):
+            losses, reductions, fetch_reductions = [], [], []
+            for benchmark in cfg.benchmarks:
+                result = run_gating_experiment(
+                    benchmark, mode="count", gate_count=gate_count,
+                    jrs_threshold=threshold,
+                    instructions=cfg.instructions, seed=cfg.seed,
+                    warmup_instructions=cfg.warmup_instructions,
+                )
+                baseline = baselines[benchmark]
+                losses.append(result.performance_loss_vs(baseline))
+                reductions.append(result.badpath_reduction_vs(baseline))
+                fetch_reductions.append(result.badpath_fetch_reduction_vs(baseline))
+            points.append(GatingCurvePoint(
+                policy=f"jrs-t{threshold}",
+                parameter=float(gate_count),
+                performance_loss=_average(losses),
+                badpath_reduction=_average(reductions),
+                badpath_fetch_reduction=_average(fetch_reductions),
+            ))
+        curves[f"jrs-t{threshold}"] = points
+
+    return curves
+
+
+def average_curves(curves: Dict[str, List[GatingCurvePoint]]
+                   ) -> Dict[str, GatingCurvePoint]:
+    """Pick, per curve, the point with the best badpath reduction at <=1% loss.
+
+    This is the "headline" summary the paper quotes in the abstract: the
+    best operating point of each predictor that does not sacrifice
+    performance.
+    """
+    best: Dict[str, GatingCurvePoint] = {}
+    for name, points in curves.items():
+        eligible = [p for p in points if p.performance_loss <= 0.01]
+        if eligible:
+            best[name] = max(eligible, key=lambda p: p.badpath_reduction)
+        else:
+            # No operating point stays within the loss budget; report the
+            # least harmful one rather than the most aggressive one.
+            best[name] = min(points, key=lambda p: p.performance_loss)
+    return best

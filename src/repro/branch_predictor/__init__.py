@@ -1,0 +1,33 @@
+"""Branch prediction substrate.
+
+Implements the front-end prediction structures of the paper's machine
+(Table 6): a large tournament predictor (32 KB gshare + 32 KB bimodal +
+32 KB selector, 8 bits of global history), a branch target buffer, a return
+address stack and a last-target indirect predictor.  The confidence
+machinery in :mod:`repro.confidence` and :mod:`repro.pathconf` sits on top
+of the predictions these structures produce.
+"""
+
+from repro.branch_predictor.history import GlobalHistory
+from repro.branch_predictor.base import DirectionPredictor, BranchPredictionResult
+from repro.branch_predictor.bimodal import BimodalPredictor
+from repro.branch_predictor.gshare import GSharePredictor
+from repro.branch_predictor.tournament import TournamentPredictor
+from repro.branch_predictor.btb import BranchTargetBuffer
+from repro.branch_predictor.ras import ReturnAddressStack
+from repro.branch_predictor.indirect import IndirectTargetPredictor
+from repro.branch_predictor.frontend import FrontEndPredictor, FrontEndPrediction
+
+__all__ = [
+    "GlobalHistory",
+    "DirectionPredictor",
+    "BranchPredictionResult",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "TournamentPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "IndirectTargetPredictor",
+    "FrontEndPredictor",
+    "FrontEndPrediction",
+]

@@ -1,0 +1,43 @@
+"""Direction-predictor interface shared by all predictors."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class BranchPredictionResult:
+    """The outcome of one direction prediction.
+
+    ``meta`` carries whatever the predictor needs at update time (table
+    indices computed from the speculative history, chooser indices, ...),
+    so the update can be applied to exactly the entries consulted at
+    prediction time even though the history has moved on since.
+    """
+
+    taken: bool
+    meta: object = None
+
+
+class DirectionPredictor(abc.ABC):
+    """A conditional-branch direction predictor."""
+
+    @abc.abstractmethod
+    def predict(self, pc: int, history: int) -> BranchPredictionResult:
+        """Predict the direction of the branch at ``pc`` given the global history."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, history: int, taken: bool,
+               result: Optional[BranchPredictionResult] = None) -> None:
+        """Train the predictor with the resolved outcome.
+
+        ``history`` must be the history value that was used at prediction
+        time; ``result`` is the object returned by :meth:`predict` for this
+        dynamic branch (may be ``None`` for ahead-of-time training).
+        """
+
+    def reset(self) -> None:
+        """Clear all predictor state (optional for subclasses)."""
+        raise NotImplementedError

@@ -1,0 +1,95 @@
+"""Branch target buffer (BTB).
+
+A set-associative target cache.  Besides supplying fetch targets for taken
+branches, the BTB is one of the structures the paper's pipeline-gating
+discussion cares about: wrong-path fetch can evict useful BTB entries
+("BTB pollution", observed for perlbmk), which is why very conservative
+gating can slightly *improve* performance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class _BTBSet:
+    """One set of the BTB, maintained in LRU order (index 0 = MRU)."""
+
+    __slots__ = ("ways", "entries")
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+        self.entries: List[List[int]] = []  # each entry is [tag, target]
+
+    def lookup(self, tag: int) -> Optional[int]:
+        for position, entry in enumerate(self.entries):
+            if entry[0] == tag:
+                if position:
+                    self.entries.insert(0, self.entries.pop(position))
+                return entry[1]
+        return None
+
+    def insert(self, tag: int, target: int) -> bool:
+        """Insert/refresh an entry; returns True if a victim was evicted."""
+        for position, entry in enumerate(self.entries):
+            if entry[0] == tag:
+                entry[1] = target
+                if position:
+                    self.entries.insert(0, self.entries.pop(position))
+                return False
+        evicted = len(self.entries) >= self.ways
+        if evicted:
+            self.entries.pop()
+        self.entries.insert(0, [tag, target])
+        return evicted
+
+
+class BranchTargetBuffer:
+    """A set-associative BTB with LRU replacement."""
+
+    def __init__(self, sets: int = 1024, ways: int = 4) -> None:
+        if sets <= 0 or ways <= 0:
+            raise ValueError("BTB geometry must be positive")
+        self.sets = sets
+        self.ways = ways
+        self._set_mask = sets - 1
+        if sets & self._set_mask:
+            raise ValueError("number of BTB sets must be a power of two")
+        self._storage: Dict[int, _BTBSet] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def _set_for(self, pc: int) -> _BTBSet:
+        index = (pc >> 2) & self._set_mask
+        entry = self._storage.get(index)
+        if entry is None:
+            entry = _BTBSet(self.ways)
+            self._storage[index] = entry
+        return entry
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        """Return the predicted target for ``pc`` or ``None`` on a BTB miss."""
+        self.lookups += 1
+        tag = pc >> 2
+        target = self._set_for(pc).lookup(tag)
+        if target is not None:
+            self.hits += 1
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target of a resolved taken branch."""
+        tag = pc >> 2
+        if self._set_for(pc).insert(tag, target):
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset_stats(self) -> None:
+        self.lookups = 0
+        self.hits = 0
+        self.evictions = 0

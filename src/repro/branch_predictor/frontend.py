@@ -1,0 +1,197 @@
+"""Front-end predictor: direction + target prediction bundled together.
+
+:class:`FrontEndPredictor` is what the fetch engine talks to.  For every
+fetched control-flow instruction it produces a :class:`FrontEndPrediction`
+carrying the predicted direction and target, the global-history value the
+tables were indexed with (needed by the JRS confidence predictor and for
+update-time index recomputation), and whether the BTB hit.  Direction
+history is updated speculatively at prediction time and repaired when a
+conditional branch resolves as mispredicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.branch_predictor.base import BranchPredictionResult
+from repro.branch_predictor.btb import BranchTargetBuffer
+from repro.branch_predictor.history import GlobalHistory
+from repro.branch_predictor.indirect import IndirectTargetPredictor
+from repro.branch_predictor.ras import ReturnAddressStack
+from repro.branch_predictor.tournament import TournamentPredictor
+from repro.isa.instruction import Instruction
+from repro.isa.types import BranchKind
+
+
+@dataclass
+class FrontEndPrediction:
+    """Everything the fetch engine and the confidence machinery need to know
+    about one branch prediction."""
+
+    taken: bool
+    target: Optional[int]
+    history_at_predict: int
+    direction_result: Optional[BranchPredictionResult]
+    btb_hit: bool
+    mispredicted: bool  #: filled in by the fetch engine (it knows the outcome)
+
+
+class FrontEndPredictor:
+    """Tournament direction predictor + BTB + RAS + indirect predictor."""
+
+    def __init__(self, history_bits: int = 8, direction_index_bits: int = 15,
+                 btb_sets: int = 1024, btb_ways: int = 4,
+                 ras_depth: int = 32) -> None:
+        self.history = GlobalHistory(bits=history_bits)
+        self.direction = TournamentPredictor(index_bits=direction_index_bits,
+                                             history_bits=history_bits)
+        self.btb = BranchTargetBuffer(sets=btb_sets, ways=btb_ways)
+        self.ras = ReturnAddressStack(depth=ras_depth)
+        self.indirect = IndirectTargetPredictor()
+
+        self.conditional_predictions = 0
+        self.conditional_mispredictions = 0
+        self.total_predictions = 0
+        self.total_mispredictions = 0
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+
+    def predict(self, instr: Instruction) -> FrontEndPrediction:
+        """Predict direction and target for a fetched control-flow instruction.
+
+        The returned prediction's ``mispredicted`` flag is resolved by the
+        caller (the fetch engine knows the architectural outcome); this
+        method only computes the machine-visible prediction and performs the
+        speculative history / RAS updates a real front end would perform.
+        """
+        if not instr.is_branch:
+            raise ValueError("predict() called on a non-branch instruction")
+        history_now = self.history.snapshot()
+        kind = instr.branch_kind
+
+        if kind is BranchKind.CONDITIONAL:
+            result = self.direction.predict(instr.pc, history_now)
+            btb_target = self.btb.predict_target(instr.pc)
+            target = btb_target if result.taken else None
+            prediction = FrontEndPrediction(
+                taken=result.taken,
+                target=target,
+                history_at_predict=history_now,
+                direction_result=result,
+                btb_hit=btb_target is not None,
+                mispredicted=False,
+            )
+            # Speculative global-history update with the predicted direction.
+            self.history.push(result.taken)
+            return prediction
+
+        if kind in (BranchKind.UNCONDITIONAL, BranchKind.CALL):
+            btb_target = self.btb.predict_target(instr.pc)
+            if kind is BranchKind.CALL:
+                self.ras.push(instr.pc + 4)
+            return FrontEndPrediction(
+                taken=True,
+                target=btb_target,
+                history_at_predict=history_now,
+                direction_result=None,
+                btb_hit=btb_target is not None,
+                mispredicted=False,
+            )
+
+        if kind is BranchKind.RETURN:
+            target = self.ras.pop()
+            return FrontEndPrediction(
+                taken=True,
+                target=target,
+                history_at_predict=history_now,
+                direction_result=None,
+                btb_hit=target is not None,
+                mispredicted=False,
+            )
+
+        # Indirect jump / indirect call.
+        target = self.indirect.predict_target(instr.pc, history_now)
+        if target is None:
+            target = self.btb.predict_target(instr.pc)
+        if kind is BranchKind.INDIRECT_CALL:
+            self.ras.push(instr.pc + 4)
+        return FrontEndPrediction(
+            taken=True,
+            target=target,
+            history_at_predict=history_now,
+            direction_result=None,
+            btb_hit=target is not None,
+            mispredicted=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # resolution / training
+    # ------------------------------------------------------------------ #
+
+    def resolve(self, instr: Instruction, prediction: FrontEndPrediction,
+                train: bool = True) -> None:
+        """Resolve a branch: repair history on a mispredict and train the tables.
+
+        ``train`` should be True only for good-path branches (training on
+        squashed wrong-path branches would be architecturally wrong); the
+        history repair, however, always happens for mispredicted conditional
+        branches because the front end redirects on them regardless of path.
+        """
+        if instr.outcome is None:
+            raise ValueError("cannot resolve a branch without an outcome")
+        kind = instr.branch_kind
+        actual_taken = instr.outcome.taken
+        actual_target = instr.outcome.target
+
+        if kind is BranchKind.CONDITIONAL:
+            if prediction.mispredicted:
+                self.history.repair_and_push(
+                    prediction.history_at_predict, actual_taken
+                )
+            if train:
+                self.direction.update(
+                    instr.pc, prediction.history_at_predict, actual_taken,
+                    prediction.direction_result,
+                )
+                if actual_taken:
+                    self.btb.update(instr.pc, actual_target)
+            return
+
+        if train:
+            if kind in (BranchKind.UNCONDITIONAL, BranchKind.CALL):
+                self.btb.update(instr.pc, actual_target)
+            elif kind in (BranchKind.INDIRECT, BranchKind.INDIRECT_CALL):
+                self.indirect.update(instr.pc, actual_target,
+                                     prediction.history_at_predict)
+                self.btb.update(instr.pc, actual_target)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def note_prediction_outcome(self, instr: Instruction,
+                                prediction: FrontEndPrediction,
+                                mispredicted: bool) -> None:
+        """Record accuracy statistics (called by the fetch engine)."""
+        self.total_predictions += 1
+        if mispredicted:
+            self.total_mispredictions += 1
+        if instr.branch_kind is BranchKind.CONDITIONAL:
+            self.conditional_predictions += 1
+            if mispredicted:
+                self.conditional_mispredictions += 1
+
+    @property
+    def conditional_mispredict_rate(self) -> float:
+        if self.conditional_predictions == 0:
+            return 0.0
+        return self.conditional_mispredictions / self.conditional_predictions
+
+    @property
+    def overall_mispredict_rate(self) -> float:
+        if self.total_predictions == 0:
+            return 0.0
+        return self.total_mispredictions / self.total_predictions

@@ -1,0 +1,53 @@
+"""gshare (global-history XOR PC) direction predictor."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch_predictor.base import BranchPredictionResult, DirectionPredictor
+
+
+class GSharePredictor(DirectionPredictor):
+    """The gshare component of the tournament predictor.
+
+    Indexing XORs the branch PC with the global history register; the
+    history length defaults to the paper's 8 bits.  Entries are 2-bit
+    saturating counters initialised to weakly taken.
+    """
+
+    def __init__(self, index_bits: int = 15, history_bits: int = 8,
+                 counter_bits: int = 2) -> None:
+        if index_bits <= 0 or history_bits <= 0:
+            raise ValueError("table and history widths must be positive")
+        if history_bits > index_bits:
+            raise ValueError("history must not be wider than the table index")
+        self.index_bits = index_bits
+        self.history_bits = history_bits
+        self.size = 1 << index_bits
+        self._mask = self.size - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._max = (1 << counter_bits) - 1
+        self._threshold = 1 << (counter_bits - 1)
+        self.table: List[int] = [self._threshold] * self.size
+
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ (history & self._history_mask)) & self._mask
+
+    def predict(self, pc: int, history: int) -> BranchPredictionResult:
+        index = self._index(pc, history)
+        taken = self.table[index] >= self._threshold
+        return BranchPredictionResult(taken=taken, meta=index)
+
+    def update(self, pc: int, history: int, taken: bool,
+               result: Optional[BranchPredictionResult] = None) -> None:
+        index = result.meta if result is not None else self._index(pc, history)
+        value = self.table[index]
+        if taken:
+            if value < self._max:
+                self.table[index] = value + 1
+        else:
+            if value > 0:
+                self.table[index] = value - 1
+
+    def reset(self) -> None:
+        self.table = [self._threshold] * self.size

@@ -1,0 +1,42 @@
+"""Global branch history register."""
+
+from __future__ import annotations
+
+
+class GlobalHistory:
+    """A speculatively updated global history of conditional-branch outcomes.
+
+    The fetch engine updates the history with the *predicted* direction as
+    soon as a branch is predicted (speculative update); when a branch turns
+    out to be mispredicted the history is repaired from the snapshot taken
+    at prediction time, exactly as a checkpointing front end would do.
+    """
+
+    __slots__ = ("bits", "mask", "value")
+
+    def __init__(self, bits: int = 8, initial: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError("history length must be positive")
+        self.bits = bits
+        self.mask = (1 << bits) - 1
+        self.value = initial & self.mask
+
+    def snapshot(self) -> int:
+        """Return the current history value (for checkpoint/repair)."""
+        return self.value
+
+    def restore(self, snapshot: int) -> None:
+        """Restore a previously snapshotted history value."""
+        self.value = snapshot & self.mask
+
+    def push(self, taken: bool) -> None:
+        """Shift in one (predicted or resolved) conditional-branch outcome."""
+        self.value = ((self.value << 1) | (1 if taken else 0)) & self.mask
+
+    def repair_and_push(self, snapshot: int, taken: bool) -> None:
+        """Repair to ``snapshot`` then push the *actual* outcome of the branch."""
+        self.restore(snapshot)
+        self.push(taken)
+
+    def __int__(self) -> int:
+        return self.value

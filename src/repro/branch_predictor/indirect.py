@@ -1,0 +1,51 @@
+"""Indirect-branch target predictor (last-target table)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class IndirectTargetPredictor:
+    """A simple tagged last-target predictor for indirect jumps and calls.
+
+    Real machines of the paper's era predicted indirect branches with the
+    BTB's last-seen target; this predictor models that with a small
+    direct-mapped table indexed by PC (optionally hashed with history).
+    Polymorphic indirect calls — the perlbmk pathology — defeat it, which
+    is exactly the behaviour the paper relies on: those mispredictions are
+    invisible to the JRS table and therefore to both PaCo and the
+    threshold-and-count predictors.
+    """
+
+    def __init__(self, index_bits: int = 9, use_history: bool = False,
+                 history_bits: int = 8) -> None:
+        if index_bits <= 0:
+            raise ValueError("index width must be positive")
+        self.index_bits = index_bits
+        self.size = 1 << index_bits
+        self._mask = self.size - 1
+        self.use_history = use_history
+        self._history_mask = (1 << history_bits) - 1
+        self._table: Dict[int, int] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def _index(self, pc: int, history: int) -> int:
+        if self.use_history:
+            return ((pc >> 2) ^ (history & self._history_mask)) & self._mask
+        return (pc >> 2) & self._mask
+
+    def predict_target(self, pc: int, history: int = 0) -> Optional[int]:
+        self.lookups += 1
+        target = self._table.get(self._index(pc, history))
+        if target is not None:
+            self.hits += 1
+        return target
+
+    def update(self, pc: int, target: int, history: int = 0) -> None:
+        self._table[self._index(pc, history)] = target
+
+    def reset(self) -> None:
+        self._table.clear()
+        self.lookups = 0
+        self.hits = 0

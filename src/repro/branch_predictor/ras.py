@@ -1,0 +1,48 @@
+"""Return address stack (RAS)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """A fixed-depth return address stack with wrap-around overwrite.
+
+    Calls push their fall-through address; returns pop.  Speculative
+    wrong-path calls and returns corrupt the stack just as they would in
+    hardware (there is no checkpointing here), which keeps return
+    mispredictions realistic after deep wrong-path excursions.
+    """
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        self.pushes += 1
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)
+        self._stack.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> Optional[int]:
+        if not self._stack:
+            return None
+        return self._stack[-1]
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def reset(self) -> None:
+        self._stack.clear()

@@ -1,0 +1,94 @@
+"""Tournament (hybrid) direction predictor: gshare + bimodal + selector.
+
+The paper's machine (Table 6) uses a 96 KB hybrid predictor built from a
+32 KB gshare, a 32 KB bimodal and a 32 KB selector with 8 bits of global
+history; this module implements the same organisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.branch_predictor.base import BranchPredictionResult, DirectionPredictor
+from repro.branch_predictor.bimodal import BimodalPredictor
+from repro.branch_predictor.gshare import GSharePredictor
+
+
+@dataclass
+class _TournamentMeta:
+    """Per-prediction bookkeeping needed at update time."""
+
+    chooser_index: int
+    gshare_result: BranchPredictionResult
+    bimodal_result: BranchPredictionResult
+    chose_gshare: bool
+
+
+class TournamentPredictor(DirectionPredictor):
+    """gshare/bimodal hybrid with a global-history-indexed chooser.
+
+    The chooser is a table of 2-bit counters: values at or above the
+    midpoint select gshare, below select bimodal.  The chooser trains only
+    when the two components disagree.
+    """
+
+    def __init__(self, index_bits: int = 15, history_bits: int = 8) -> None:
+        self.gshare = GSharePredictor(index_bits=index_bits,
+                                      history_bits=history_bits)
+        self.bimodal = BimodalPredictor(index_bits=index_bits)
+        self.history_bits = history_bits
+        self.chooser_bits = index_bits
+        self.chooser_size = 1 << index_bits
+        self._chooser_mask = self.chooser_size - 1
+        self._history_mask = (1 << history_bits) - 1
+        # 2 = weakly prefer gshare.
+        self.chooser: List[int] = [2] * self.chooser_size
+
+    def _chooser_index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ (history & self._history_mask)) & self._chooser_mask
+
+    def predict(self, pc: int, history: int) -> BranchPredictionResult:
+        gshare_result = self.gshare.predict(pc, history)
+        bimodal_result = self.bimodal.predict(pc, history)
+        chooser_index = self._chooser_index(pc, history)
+        chose_gshare = self.chooser[chooser_index] >= 2
+        taken = gshare_result.taken if chose_gshare else bimodal_result.taken
+        meta = _TournamentMeta(
+            chooser_index=chooser_index,
+            gshare_result=gshare_result,
+            bimodal_result=bimodal_result,
+            chose_gshare=chose_gshare,
+        )
+        return BranchPredictionResult(taken=taken, meta=meta)
+
+    def update(self, pc: int, history: int, taken: bool,
+               result: Optional[BranchPredictionResult] = None) -> None:
+        if result is None or not isinstance(result.meta, _TournamentMeta):
+            # Ahead-of-time training path: recompute indices from history.
+            gshare_result = self.gshare.predict(pc, history)
+            bimodal_result = self.bimodal.predict(pc, history)
+            meta = _TournamentMeta(
+                chooser_index=self._chooser_index(pc, history),
+                gshare_result=gshare_result,
+                bimodal_result=bimodal_result,
+                chose_gshare=self.chooser[self._chooser_index(pc, history)] >= 2,
+            )
+        else:
+            meta = result.meta
+        gshare_correct = meta.gshare_result.taken == taken
+        bimodal_correct = meta.bimodal_result.taken == taken
+        # Train the chooser only on disagreement.
+        if gshare_correct != bimodal_correct:
+            value = self.chooser[meta.chooser_index]
+            if gshare_correct and value < 3:
+                self.chooser[meta.chooser_index] = value + 1
+            elif bimodal_correct and value > 0:
+                self.chooser[meta.chooser_index] = value - 1
+        self.gshare.update(pc, history, taken, meta.gshare_result)
+        self.bimodal.update(pc, history, taken, meta.bimodal_result)
+
+    def reset(self) -> None:
+        self.gshare.reset()
+        self.bimodal.reset()
+        self.chooser = [2] * self.chooser_size

@@ -1,0 +1,168 @@
+"""Encoded-probability arithmetic and Mitchell's binary-log circuit.
+
+PaCo avoids floating-point multiplication by working with *encoded*
+correct-prediction probabilities (Equation 3 of the paper):
+
+.. math::
+
+    \\text{enc}(p) = \\lceil -1024 \\cdot \\log_2(p) \\rceil
+
+so that the product of probabilities along the unresolved-branch window
+becomes a sum of encoded values, and the encoded value of the good-path
+probability is simply the running sum.  Encoded values are clamped to
+:data:`ENCODED_PROBABILITY_MAX` (:math:`2^{12}`), which corresponds to a
+mispredict rate of about 93.75 %; the paper reports no branch bucket ever
+exceeds this.
+
+The hardware computes the logarithm with Mitchell's shift-register
+approximation (Mitchell, 1962): for an integer ``N`` whose leading one is at
+bit position ``k`` and whose remaining fraction bits are ``m``,
+
+.. math::
+
+    \\log_2 N \\approx k + m / 2^k .
+
+:class:`MitchellLogCircuit` models exactly that circuit (a priority encoder,
+a shift register and an adder).  :func:`encode_probability_exact` provides
+the floating-point reference used by the accuracy ablations and the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Scale factor applied to -log2(p) before rounding (the paper uses 1024).
+ENCODED_PROBABILITY_SCALE = 1024
+
+#: Saturation value for encoded probabilities (the paper clamps at 2**12).
+ENCODED_PROBABILITY_MAX = 1 << 12
+
+
+class MitchellLogCircuit:
+    """Mitchell's binary-logarithm approximation circuit.
+
+    The circuit operates on unsigned integers of a fixed width (10 bits in
+    the paper, matching the width of the MRT correct-prediction counter) and
+    produces a fixed-point approximation of ``log2(value)`` with
+    ``fraction_bits`` bits of fraction.
+
+    The approximation is exact at powers of two and has a maximum relative
+    error of about 5.7 % in between, which is more than sufficient for the
+    path-confidence use case (the paper's sensitivity discussion).
+    """
+
+    def __init__(self, input_bits: int = 10, fraction_bits: int = 10) -> None:
+        if input_bits <= 0 or fraction_bits <= 0:
+            raise ValueError("circuit widths must be positive")
+        self.input_bits = input_bits
+        self.fraction_bits = fraction_bits
+        self._max_input = (1 << input_bits) - 1
+
+    def log2_fixed(self, value: int) -> int:
+        """Return ``round(log2(value) * 2**fraction_bits)`` via Mitchell's method.
+
+        ``value`` must be a positive integer representable in ``input_bits``
+        bits.  ``log2(1)`` is 0 by construction.
+        """
+        if value <= 0:
+            raise ValueError("logarithm input must be positive")
+        if value > self._max_input:
+            raise ValueError(
+                f"value {value} does not fit in {self.input_bits} input bits"
+            )
+        # Priority encoder: position of the leading one.
+        characteristic = value.bit_length() - 1
+        # Mantissa: remaining bits, interpreted as a fraction of 2**characteristic.
+        mantissa = value - (1 << characteristic)
+        if characteristic == 0:
+            fraction = 0
+        else:
+            # The shift register aligns the mantissa under the fraction point.
+            fraction = (mantissa << self.fraction_bits) >> characteristic
+        return (characteristic << self.fraction_bits) + fraction
+
+    def log2(self, value: int) -> float:
+        """Convenience wrapper returning the approximation as a float."""
+        return self.log2_fixed(value) / (1 << self.fraction_bits)
+
+    def encode_rate(self, correct: int, total: int,
+                    scale: int = ENCODED_PROBABILITY_SCALE,
+                    clamp: int = ENCODED_PROBABILITY_MAX) -> int:
+        """Encode the probability ``correct / total`` using the circuit.
+
+        This is the operation the re-logarithmizing pass performs on each MRT
+        bucket:  ``enc = scale * (log2(total) - log2(correct))``, clamped.
+        A bucket with no samples (``total == 0``) or with no correct
+        predictions at all encodes to the clamp value.
+        """
+        if total <= 0:
+            return clamp
+        if correct <= 0:
+            return clamp
+        if correct >= total:
+            return 0
+        # Down-scale counts that exceed the circuit's input width while
+        # preserving their ratio (hardware would simply halve both).
+        while total > self._max_input:
+            total >>= 1
+            correct >>= 1
+            if correct == 0:
+                return clamp
+        log_total = self.log2_fixed(total)
+        log_correct = self.log2_fixed(correct)
+        delta = log_total - log_correct
+        encoded = (delta * scale) >> self.fraction_bits
+        return min(encoded, clamp)
+
+
+def encode_probability_exact(probability: float,
+                             scale: int = ENCODED_PROBABILITY_SCALE,
+                             clamp: int = ENCODED_PROBABILITY_MAX) -> int:
+    """Encode a correct-prediction probability with exact (float) arithmetic.
+
+    ``enc = ceil(-scale * log2(p))`` clamped to ``clamp``.  Used by the
+    Static-MRT ablation and as the reference the Mitchell circuit is tested
+    against.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability {probability} outside [0, 1]")
+    if probability <= 0.0:
+        return clamp
+    if probability >= 1.0:
+        return 0
+    encoded = int(math.ceil(-scale * math.log2(probability)))
+    return min(max(encoded, 0), clamp)
+
+
+# Backwards-compatible aliases used throughout the code base.
+def encode_probability(probability: float,
+                       scale: int = ENCODED_PROBABILITY_SCALE,
+                       clamp: int = ENCODED_PROBABILITY_MAX) -> int:
+    """Alias of :func:`encode_probability_exact` (the architectural encoding)."""
+    return encode_probability_exact(probability, scale=scale, clamp=clamp)
+
+
+def decode_probability(encoded: int,
+                       scale: int = ENCODED_PROBABILITY_SCALE) -> float:
+    """Convert an encoded (summed) value back into a real probability.
+
+    The hardware never performs this conversion — application thresholds are
+    converted *into* encoded space once instead — but the evaluation
+    machinery (reliability diagrams, RMS error) needs real probabilities.
+    """
+    if encoded < 0:
+        raise ValueError("encoded probability must be non-negative")
+    return 2.0 ** (-encoded / scale)
+
+
+def encode_threshold(probability: float,
+                     scale: int = ENCODED_PROBABILITY_SCALE) -> int:
+    """Convert an application-level probability threshold to encoded space.
+
+    Example from the paper: a 10 % gating threshold encodes to 3401 (the
+    paper quotes 3321 for a slightly different rounding); fetch is gated
+    whenever the path-confidence register exceeds this value.
+    """
+    if not 0.0 < probability <= 1.0:
+        raise ValueError("threshold probability must be in (0, 1]")
+    return int(round(-scale * math.log2(probability)))

@@ -1,0 +1,112 @@
+"""Deterministic named random streams.
+
+Every stochastic component of the reproduction (workload generation,
+wrong-path instruction synthesis, cache address streams, ...) draws from a
+named stream derived from a single experiment seed, so that:
+
+* two components never perturb each other's randomness, and
+* every experiment is reproducible bit-for-bit from its seed.
+
+The generator is a small xorshift64* kept in pure Python — fast enough for
+the simulator's needs and independent of the version-to-version behaviour of
+:mod:`random`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Sequence, TypeVar
+
+_T = TypeVar("_T")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _seed_from_name(master_seed: int, name: str) -> int:
+    """Derive a 64-bit stream seed from the master seed and a stream name."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    return seed or 0x9E3779B97F4A7C15
+
+
+class DeterministicRng:
+    """A small, fast xorshift64* pseudo-random generator."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = (seed & _MASK64) or 0x9E3779B97F4A7C15
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned integer."""
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def random(self) -> float:
+        """Return a float uniformly distributed in [0, 1)."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def randint(self, low: int, high: int) -> int:
+        """Return an integer uniformly distributed in [low, high] inclusive."""
+        if high < low:
+            raise ValueError("empty range for randint")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def choice(self, items: Sequence[_T]) -> _T:
+        """Return a uniformly chosen element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.next_u64() % len(items)]
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        return self.random() < probability
+
+    def geometric(self, probability: float, cap: int = 1 << 20) -> int:
+        """Return a geometric variate (number of trials until first success)."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        count = 1
+        while not self.bernoulli(probability) and count < cap:
+            count += 1
+        return count
+
+    def weighted_choice(self, items: Sequence[_T], weights: Sequence[float]) -> _T:
+        """Return an element chosen with probability proportional to its weight."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have equal length")
+        total = float(sum(weights))
+        if total <= 0.0:
+            raise ValueError("weights must sum to a positive value")
+        target = self.random() * total
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if target < acc:
+                return item
+        return items[-1]
+
+
+class RngPool:
+    """A pool of independent named random streams sharing one master seed."""
+
+    def __init__(self, master_seed: int = 1) -> None:
+        self.master_seed = master_seed
+        self._streams: Dict[str, DeterministicRng] = {}
+
+    def stream(self, name: str) -> DeterministicRng:
+        """Return (creating if needed) the stream with the given name."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = DeterministicRng(_seed_from_name(self.master_seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngPool":
+        """Return a new pool whose master seed is derived from this one."""
+        return RngPool(_seed_from_name(self.master_seed, f"fork:{name}"))

@@ -1,0 +1,122 @@
+"""JRS miss-distance-counter branch confidence predictor.
+
+The JRS predictor keeps a table of small saturating *miss distance
+counters* (MDCs).  The entry for a dynamic branch is found by XOR-ing the
+branch PC with the global branch history (and, in the *enhanced* variant of
+Grunwald et al., also the predicted direction).  The entry is incremented
+on a correct prediction and reset to zero on a misprediction, so an MDC
+value of ``k`` means "this branch context has been predicted correctly
+``k`` times in a row (saturating)".
+
+Downstream users:
+
+* Threshold-and-count path confidence predictors compare the MDC against a
+  threshold to classify the branch as high or low confidence.
+* PaCo uses the raw MDC value as the bucket index into its Mispredict Rate
+  Table — the stratifier role described in Section 3.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Width of a miss distance counter in the paper's configuration.
+MDC_BITS_DEFAULT = 4
+
+
+@dataclass(frozen=True)
+class ConfidenceLookup:
+    """The result of a fetch-time confidence lookup for one branch.
+
+    The token is carried with the in-flight branch so that the resolution
+    update hits exactly the entry consulted at prediction time (the global
+    history will have moved on by then).
+    """
+
+    index: int
+    mdc_value: int
+
+    def is_high_confidence(self, threshold: int) -> bool:
+        """True when the MDC value is at or above the confidence threshold."""
+        return self.mdc_value >= threshold
+
+
+class JRSConfidencePredictor:
+    """The (enhanced) JRS confidence table.
+
+    Parameters
+    ----------
+    index_bits:
+        log2 of the number of table entries.  The paper's 8 KB table of
+        4-bit counters corresponds to 2^14 entries (``index_bits=14``).
+    mdc_bits:
+        Width of each miss distance counter (4 in the paper).
+    history_bits:
+        Number of global-history bits folded into the index.
+    enhanced:
+        When True (the default, matching the paper), the predicted
+        direction of the branch is also folded into the index, as proposed
+        by Grunwald et al.
+    """
+
+    def __init__(self, index_bits: int = 14, mdc_bits: int = MDC_BITS_DEFAULT,
+                 history_bits: int = 8, enhanced: bool = True) -> None:
+        if index_bits <= 0 or mdc_bits <= 0:
+            raise ValueError("table geometry must be positive")
+        self.index_bits = index_bits
+        self.mdc_bits = mdc_bits
+        self.history_bits = history_bits
+        self.enhanced = enhanced
+        self.size = 1 << index_bits
+        self._mask = self.size - 1
+        self._history_mask = (1 << history_bits) - 1
+        self.mdc_max = (1 << mdc_bits) - 1
+        self.table: List[int] = [0] * self.size
+
+        self.lookups = 0
+        self.updates = 0
+        self.resets = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _index(self, pc: int, history: int, predicted_taken: bool) -> int:
+        index = ((pc >> 2) ^ (history & self._history_mask)) & self._mask
+        if self.enhanced:
+            index ^= (1 if predicted_taken else 0) << (self.index_bits - 1)
+            index &= self._mask
+        return index
+
+    def lookup(self, pc: int, history: int, predicted_taken: bool) -> ConfidenceLookup:
+        """Fetch-time lookup: return the MDC value (and the index used)."""
+        self.lookups += 1
+        index = self._index(pc, history, predicted_taken)
+        return ConfidenceLookup(index=index, mdc_value=self.table[index])
+
+    def update(self, lookup: ConfidenceLookup, was_correct: bool) -> None:
+        """Resolution-time update of the entry consulted at prediction time."""
+        self.updates += 1
+        if was_correct:
+            value = self.table[lookup.index]
+            if value < self.mdc_max:
+                self.table[lookup.index] = value + 1
+        else:
+            self.resets += 1
+            self.table[lookup.index] = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_mdc_values(self) -> int:
+        """Number of distinct MDC values (the number of PaCo MRT buckets)."""
+        return self.mdc_max + 1
+
+    def storage_bits(self) -> int:
+        """Total storage of the table in bits (the paper's 8 KB budget check)."""
+        return self.size * self.mdc_bits
+
+    def reset(self) -> None:
+        self.table = [0] * self.size
+        self.lookups = 0
+        self.updates = 0
+        self.resets = 0

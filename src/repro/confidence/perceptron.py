@@ -1,0 +1,159 @@
+"""Perceptron-based branch confidence estimation (Akkary et al., HPCA-10).
+
+The paper's related-work section points out that better branch confidence
+predictors exist — notably the perceptron-based estimator — and argues that
+PaCo is orthogonal: a better confidence predictor simply gives PaCo a
+better *stratifier*.  This module provides that alternative stratifier so
+the claim can be exercised: the perceptron's scaled output magnitude is
+quantised into the same 4-bit bucket space the JRS MDC table produces, and
+can be plugged into any path confidence predictor in place of the JRS MDC
+value.
+
+The estimator keeps one small perceptron per (hashed) branch PC whose
+inputs are the global history bits; the *magnitude* of the dot product is a
+measure of how consistently the history predicts this branch, i.e. its
+confidence.  Training follows the standard perceptron rule, driven by
+whether the underlying direction prediction was correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Default number of history bits (perceptron inputs).
+DEFAULT_HISTORY_BITS = 8
+
+
+@dataclass(frozen=True)
+class PerceptronConfidenceLookup:
+    """Result of a fetch-time perceptron confidence lookup."""
+
+    index: int
+    history: int
+    output: int
+    bucket: int
+
+    def is_high_confidence(self, threshold_bucket: int) -> bool:
+        """True when the quantised confidence bucket is at or above the threshold."""
+        return self.bucket >= threshold_bucket
+
+
+class PerceptronConfidenceEstimator:
+    """A perceptron-based confidence estimator usable as a PaCo stratifier.
+
+    Parameters
+    ----------
+    index_bits:
+        log2 of the number of perceptrons.
+    history_bits:
+        Number of global-history bits used as inputs.
+    weight_limit:
+        Saturation magnitude of each weight (6-bit signed weights by default).
+    training_threshold:
+        Train whenever the output magnitude is below this value or the
+        confidence decision was wrong — the usual perceptron margin rule.
+    num_buckets:
+        Number of quantised confidence buckets produced (16 to be a drop-in
+        replacement for the 4-bit MDC value).
+    """
+
+    def __init__(self, index_bits: int = 10,
+                 history_bits: int = DEFAULT_HISTORY_BITS,
+                 weight_limit: int = 31,
+                 training_threshold: int = 14,
+                 num_buckets: int = 16) -> None:
+        if index_bits <= 0 or history_bits <= 0:
+            raise ValueError("table geometry must be positive")
+        if weight_limit <= 0 or num_buckets <= 1:
+            raise ValueError("weight limit and bucket count must be positive")
+        self.index_bits = index_bits
+        self.history_bits = history_bits
+        self.weight_limit = weight_limit
+        self.training_threshold = training_threshold
+        self.num_buckets = num_buckets
+        self.size = 1 << index_bits
+        self._mask = self.size - 1
+        # weights[i] = [bias, w_0 .. w_{h-1}]
+        self._weights: List[List[int]] = [
+            [0] * (history_bits + 1) for _ in range(self.size)
+        ]
+        # Output magnitude that maps to the extreme buckets.  The perceptron
+        # stops training once its margin exceeds ``training_threshold``, so
+        # outputs saturate just beyond it; quantising over the full weight
+        # range would squash every branch into the middle buckets.
+        self._max_output = max(2 * training_threshold, history_bits + 1)
+        self.lookups = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    @staticmethod
+    def _history_inputs(history: int, bits: int) -> List[int]:
+        return [1 if (history >> i) & 1 else -1 for i in range(bits)]
+
+    def _output(self, index: int, history: int) -> int:
+        weights = self._weights[index]
+        total = weights[0]
+        for i, x in enumerate(self._history_inputs(history, self.history_bits)):
+            total += weights[i + 1] * x
+        return total
+
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, pc: int, history: int,
+               predicted_taken: bool) -> PerceptronConfidenceLookup:
+        """Fetch-time lookup: returns the output and its confidence bucket.
+
+        The sign convention follows the underlying direction prediction: the
+        output is folded so that a large *positive* value means "the history
+        strongly agrees with the predicted direction" (high confidence).
+        """
+        self.lookups += 1
+        index = self._index(pc)
+        raw = self._output(index, history)
+        agreement = raw if predicted_taken else -raw
+        bucket = self._bucket_for(agreement)
+        return PerceptronConfidenceLookup(index=index, history=history,
+                                          output=agreement, bucket=bucket)
+
+    def _bucket_for(self, agreement: int) -> int:
+        """Quantise the (signed) agreement into ``num_buckets`` buckets."""
+        clamped = max(-self._max_output, min(agreement, self._max_output))
+        # Map [-max, +max] onto [0, num_buckets - 1].
+        span = 2 * self._max_output
+        position = (clamped + self._max_output) / span if span else 0.0
+        return min(int(position * self.num_buckets), self.num_buckets - 1)
+
+    def update(self, lookup: PerceptronConfidenceLookup, was_correct: bool,
+               actual_taken: bool) -> None:
+        """Resolution-time training with the standard perceptron rule."""
+        self.updates += 1
+        needs_training = (not was_correct
+                          or abs(lookup.output) <= self.training_threshold)
+        if not needs_training:
+            return
+        target = 1 if actual_taken else -1
+        weights = self._weights[lookup.index]
+        weights[0] = self._saturate(weights[0] + target)
+        inputs = self._history_inputs(lookup.history, self.history_bits)
+        for i, x in enumerate(inputs):
+            weights[i + 1] = self._saturate(weights[i + 1] + target * x)
+
+    def _saturate(self, value: int) -> int:
+        return max(-self.weight_limit, min(value, self.weight_limit))
+
+    # ------------------------------------------------------------------ #
+
+    def storage_bits(self) -> int:
+        """Total weight storage (6-bit signed weights by default)."""
+        bits_per_weight = (self.weight_limit * 2 + 1).bit_length()
+        return self.size * (self.history_bits + 1) * bits_per_weight
+
+    def reset(self) -> None:
+        self._weights = [[0] * (self.history_bits + 1) for _ in range(self.size)]
+        self.lookups = 0
+        self.updates = 0

@@ -1,0 +1,496 @@
+"""Experiment harnesses: wiring benchmarks, predictors and cores together.
+
+These builders encapsulate the plumbing every experiment needs — construct
+the workload generator, the front-end predictor, the JRS confidence table,
+the path confidence predictor(s), the fetch engine and the core — so that
+experiment drivers, examples and benchmarks stay short and consistent.
+
+Scaled parameters
+-----------------
+The paper simulates 100 million instructions per benchmark and
+re-logarithmizes PaCo's MRT every 200 000 cycles.  Pure-Python runs are
+10²–10³ times shorter, so the harness defaults scale accordingly: the
+default instruction budget is 60 000 and the default re-logarithmizing
+period is 20 000 cycles.  Both are parameters; the paper's values can be
+requested explicitly when longer runs are affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.stats import ReliabilityDiagram
+from repro.confidence.jrs import JRSConfidencePredictor
+from repro.eval.metrics import hmwipc
+from repro.eval.observers import (
+    CounterGoodpathObserver,
+    MultiPredictorObserver,
+    PhaseAwareCounterObserver,
+)
+from repro.eval.profiling import MDCProfiler
+from repro.branch_predictor.frontend import FrontEndPredictor
+from repro.pathconf.base import PathConfidencePredictor
+from repro.pathconf.composite import CompositePathConfidence
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.per_branch_mrt import PerBranchMRTPredictor
+from repro.pathconf.static_mrt import StaticMRTPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.pipeline.config import MachineConfig, SMTConfig
+from repro.pipeline.core import CoreStats, OutOfOrderCore
+from repro.pipeline.fetch import FetchEngine
+from repro.pipeline.fetch_policy import (
+    CountConfidencePolicy,
+    FetchPolicy,
+    ICountPolicy,
+    PaCoConfidencePolicy,
+    RoundRobinPolicy,
+)
+from repro.pipeline.gating import CountGating, GatingPolicy, NoGating, PaCoGating
+from repro.pipeline.smt import SMTCore, SMTStats, SMTThread
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec import BenchmarkSpec
+from repro.workloads.suite import get_benchmark
+
+#: Default instruction budget per run (scaled down from the paper's 100 M).
+DEFAULT_INSTRUCTIONS = 60_000
+
+#: Default PaCo re-logarithmizing period (scaled down from 200 000 cycles).
+DEFAULT_RELOG_PERIOD = 20_000
+
+
+def _subtract_stats(total: CoreStats, warmup: CoreStats) -> CoreStats:
+    """Return the per-field difference ``total - warmup`` of two stat records.
+
+    Used to report measurement-window statistics when an experiment warms
+    the predictors up before observing.
+    """
+    deltas = {
+        f.name: getattr(total, f.name) - getattr(warmup, f.name)
+        for f in fields(CoreStats)
+    }
+    return CoreStats(**deltas)
+
+
+def _resolve_spec(benchmark: object) -> BenchmarkSpec:
+    if isinstance(benchmark, BenchmarkSpec):
+        return benchmark
+    return get_benchmark(str(benchmark))
+
+
+def build_frontend(config: MachineConfig) -> FrontEndPredictor:
+    """Build the front-end predictor with the machine's table geometries."""
+    return FrontEndPredictor(
+        history_bits=config.branch_history_bits,
+        direction_index_bits=config.direction_index_bits,
+        btb_sets=config.btb_sets,
+        btb_ways=config.btb_ways,
+        ras_depth=config.ras_depth,
+    )
+
+
+def build_single_core(
+    benchmark: object,
+    path_confidence: PathConfidencePredictor,
+    config: Optional[MachineConfig] = None,
+    seed: int = 1,
+    gating_policy: Optional[GatingPolicy] = None,
+) -> Tuple[OutOfOrderCore, FetchEngine, WorkloadGenerator]:
+    """Wire up a single-thread core running one benchmark.
+
+    Returns the core, its fetch engine and the workload generator (the
+    generator is exposed because phase-aware observers need it).
+    """
+    spec = _resolve_spec(benchmark)
+    machine = config if config is not None else MachineConfig.paper_4wide()
+    generator = WorkloadGenerator(spec, seed=seed)
+    frontend = build_frontend(machine)
+    confidence = JRSConfidencePredictor(
+        index_bits=machine.jrs_index_bits,
+        mdc_bits=machine.jrs_mdc_bits,
+        history_bits=machine.branch_history_bits,
+    )
+    fetch_engine = FetchEngine(
+        generator=generator,
+        frontend=frontend,
+        confidence=confidence,
+        path_confidence=path_confidence,
+        wrongpath_seed=seed + 1,
+    )
+    core = OutOfOrderCore(
+        config=machine,
+        fetch_engine=fetch_engine,
+        gating_policy=gating_policy if gating_policy is not None else NoGating(),
+    )
+    return core, fetch_engine, generator
+
+
+# ---------------------------------------------------------------------- #
+# accuracy experiments (Table 7, Fig. 2, Fig. 3, Fig. 8/9, Appendix A)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class AccuracyResult:
+    """Everything an accuracy experiment produces for one benchmark."""
+
+    benchmark: str
+    stats: CoreStats
+    diagrams: Dict[str, ReliabilityDiagram]
+    rms_errors: Dict[str, float]
+    mdc_mispredict_rates: Dict[int, float]
+    counter_goodpath: Dict[int, float]
+    counter_occupancy: Dict[int, int]
+    phase_counter_goodpath: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    conditional_mispredict_rate: float = 0.0
+    overall_mispredict_rate: float = 0.0
+
+    def rms_error(self, predictor_name: str = "paco") -> float:
+        return self.rms_errors[predictor_name]
+
+
+def default_accuracy_predictors(
+    relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
+    count_threshold: int = 3,
+) -> List[PathConfidencePredictor]:
+    """The predictor set used by accuracy experiments: PaCo, both Appendix-A
+    alternatives, and a threshold-and-count baseline."""
+    return [
+        PaCoPredictor(relog_period_cycles=relog_period_cycles),
+        StaticMRTPredictor(),
+        PerBranchMRTPredictor(),
+        ThresholdAndCountPredictor(threshold=count_threshold),
+    ]
+
+
+def run_accuracy_experiment(
+    benchmark: object,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = 1,
+    predictors: Optional[Sequence[PathConfidencePredictor]] = None,
+    relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
+    count_threshold: int = 3,
+    config: Optional[MachineConfig] = None,
+    max_counter: int = 16,
+    warmup_instructions: int = 20_000,
+) -> AccuracyResult:
+    """Run one benchmark and measure every predictor's accuracy over the run.
+
+    All predictors observe exactly the same dynamic execution (they are
+    wrapped in a composite), so their reliability diagrams and RMS errors
+    are directly comparable.
+
+    ``warmup_instructions`` good-path instructions are retired before any
+    observer is attached and before the mispredict-rate bookkeeping starts,
+    so that cold predictor tables (an artefact of the short run lengths,
+    not of the mechanisms) do not dominate the measured rates.
+    """
+    spec = _resolve_spec(benchmark)
+    predictor_list = (list(predictors) if predictors is not None
+                      else default_accuracy_predictors(
+                          relog_period_cycles=relog_period_cycles,
+                          count_threshold=count_threshold))
+    profiler = MDCProfiler()
+    count_predictor = next(
+        (p for p in predictor_list if isinstance(p, ThresholdAndCountPredictor)),
+        None,
+    )
+    composite = CompositePathConfidence(
+        predictors=list(predictor_list) + [profiler],
+        primary=predictor_list[0],
+    )
+    core, _fetch_engine, generator = build_single_core(
+        spec, composite, config=config, seed=seed
+    )
+    probability_predictors = [
+        p for p in predictor_list
+        if not isinstance(p, ThresholdAndCountPredictor)
+    ]
+
+    warmup_snapshot = None
+    if warmup_instructions > 0:
+        core.run(max_instructions=warmup_instructions)
+        warmup_snapshot = replace(core.stats)
+
+    multi_observer = MultiPredictorObserver(probability_predictors)
+    core.add_observer(multi_observer)
+    counter_observer = None
+    phase_observer = None
+    if count_predictor is not None:
+        counter_observer = CounterGoodpathObserver(count_predictor,
+                                                   max_count=max_counter)
+        core.add_observer(counter_observer)
+        if spec.phases:
+            phase_observer = PhaseAwareCounterObserver(count_predictor, generator,
+                                                       max_count=max_counter)
+            core.add_observer(phase_observer)
+
+    stats = core.run(max_instructions=warmup_instructions + instructions)
+    if warmup_snapshot is not None:
+        stats = _subtract_stats(stats, warmup_snapshot)
+
+    counter_goodpath: Dict[int, float] = {}
+    counter_occupancy: Dict[int, int] = {}
+    if counter_observer is not None:
+        for count in range(max_counter + 1):
+            counter_occupancy[count] = counter_observer.occupancy(count)
+            if counter_occupancy[count]:
+                counter_goodpath[count] = counter_observer.goodpath_probability(count)
+    phase_counter_goodpath: Dict[str, Dict[int, float]] = {}
+    if phase_observer is not None:
+        for phase in phase_observer.phases():
+            phase_counter_goodpath[phase] = {
+                count: phase_observer.goodpath_probability(phase, count)
+                for count in range(max_counter + 1)
+                if phase_observer.occupancy(phase, count) > 0
+            }
+
+    return AccuracyResult(
+        benchmark=spec.name,
+        stats=stats,
+        diagrams=dict(multi_observer.diagrams),
+        rms_errors=multi_observer.rms_errors(),
+        mdc_mispredict_rates=profiler.mispredict_rates(),
+        counter_goodpath=counter_goodpath,
+        counter_occupancy=counter_occupancy,
+        phase_counter_goodpath=phase_counter_goodpath,
+        conditional_mispredict_rate=stats.conditional_mispredict_rate,
+        overall_mispredict_rate=stats.overall_mispredict_rate,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# pipeline gating (Fig. 10)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class GatingResult:
+    """Outcome of one pipeline-gating configuration on one benchmark."""
+
+    benchmark: str
+    policy: str
+    ipc: float
+    badpath_executed: int
+    badpath_fetched: int
+    gated_cycles: int
+    stats: CoreStats
+
+    def performance_loss_vs(self, baseline: "GatingResult") -> float:
+        """Fractional IPC loss relative to a no-gating baseline (negative = gain)."""
+        if baseline.ipc == 0.0:
+            return 0.0
+        return (baseline.ipc - self.ipc) / baseline.ipc
+
+    def badpath_reduction_vs(self, baseline: "GatingResult") -> float:
+        """Fractional reduction in bad-path instructions executed."""
+        if baseline.badpath_executed == 0:
+            return 0.0
+        return ((baseline.badpath_executed - self.badpath_executed)
+                / baseline.badpath_executed)
+
+    def badpath_fetch_reduction_vs(self, baseline: "GatingResult") -> float:
+        if baseline.badpath_fetched == 0:
+            return 0.0
+        return ((baseline.badpath_fetched - self.badpath_fetched)
+                / baseline.badpath_fetched)
+
+
+def run_gating_experiment(
+    benchmark: object,
+    mode: str = "none",
+    gate_count: int = 0,
+    gating_probability: float = 0.0,
+    jrs_threshold: int = 3,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = 1,
+    relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
+    config: Optional[MachineConfig] = None,
+    warmup_instructions: int = 15_000,
+) -> GatingResult:
+    """Run one benchmark under one gating configuration.
+
+    ``mode`` is ``"none"`` (baseline), ``"count"`` (threshold-and-count
+    gating at ``gate_count`` with JRS threshold ``jrs_threshold``) or
+    ``"paco"`` (gate when PaCo's good-path probability is below
+    ``gating_probability``).  The warm-up window (during which gating is
+    already active, exactly as it would be in hardware) is excluded from
+    the reported statistics.
+    """
+    spec = _resolve_spec(benchmark)
+    if mode == "none":
+        predictor: PathConfidencePredictor = ThresholdAndCountPredictor(
+            threshold=jrs_threshold
+        )
+        gating: GatingPolicy = NoGating()
+        policy_name = "no-gating"
+    elif mode == "count":
+        count_predictor = ThresholdAndCountPredictor(threshold=jrs_threshold)
+        predictor = count_predictor
+        gating = CountGating(count_predictor, gate_count=gate_count)
+        policy_name = gating.name
+    elif mode == "paco":
+        paco = PaCoPredictor(relog_period_cycles=relog_period_cycles)
+        predictor = paco
+        gating = PaCoGating(paco, target_goodpath_probability=gating_probability)
+        policy_name = gating.name
+    else:
+        raise ValueError(f"unknown gating mode {mode!r}")
+
+    core, _fetch_engine, _generator = build_single_core(
+        spec, predictor, config=config, seed=seed, gating_policy=gating
+    )
+    warmup_snapshot = None
+    if warmup_instructions > 0:
+        core.run(max_instructions=warmup_instructions)
+        warmup_snapshot = replace(core.stats)
+    stats = core.run(max_instructions=warmup_instructions + instructions)
+    if warmup_snapshot is not None:
+        stats = _subtract_stats(stats, warmup_snapshot)
+    return GatingResult(
+        benchmark=spec.name,
+        policy=policy_name,
+        ipc=stats.ipc,
+        badpath_executed=stats.badpath_executed,
+        badpath_fetched=stats.badpath_fetched,
+        gated_cycles=stats.gated_cycles,
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# SMT fetch prioritization (Fig. 12)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class SMTResult:
+    """Outcome of one SMT pair under one fetch policy."""
+
+    benchmarks: Tuple[str, str]
+    policy: str
+    smt_ipcs: Tuple[float, float]
+    single_ipcs: Tuple[float, float]
+    hmwipc: float
+    stats: SMTStats
+
+
+def run_single_thread_ipc(
+    benchmark: object,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    seed: int = 1,
+    config: Optional[MachineConfig] = None,
+    warmup_instructions: int = 15_000,
+) -> float:
+    """IPC of a benchmark running alone on the (8-wide) SMT machine."""
+    machine = config if config is not None else MachineConfig.smt_8wide()
+    predictor = ThresholdAndCountPredictor(threshold=3)
+    core, _fetch_engine, _generator = build_single_core(
+        benchmark, predictor, config=machine, seed=seed
+    )
+    warmup_snapshot = None
+    if warmup_instructions > 0:
+        core.run(max_instructions=warmup_instructions)
+        warmup_snapshot = replace(core.stats)
+    stats = core.run(max_instructions=warmup_instructions + instructions)
+    if warmup_snapshot is not None:
+        stats = _subtract_stats(stats, warmup_snapshot)
+    return stats.ipc
+
+
+def _make_policy_and_predictor(policy_name: str, jrs_threshold: int,
+                               relog_period_cycles: int
+                               ) -> Tuple[FetchPolicy, callable]:
+    """Return (policy, per-thread predictor factory) for one policy name."""
+    if policy_name == "icount":
+        return ICountPolicy(), lambda: ThresholdAndCountPredictor(threshold=3)
+    if policy_name == "round-robin":
+        return RoundRobinPolicy(), lambda: ThresholdAndCountPredictor(threshold=3)
+    if policy_name == "count":
+        return (CountConfidencePolicy(threshold=jrs_threshold),
+                lambda: ThresholdAndCountPredictor(threshold=jrs_threshold))
+    if policy_name == "paco":
+        return (PaCoConfidencePolicy(),
+                lambda: PaCoPredictor(relog_period_cycles=relog_period_cycles))
+    raise ValueError(f"unknown SMT fetch policy {policy_name!r}")
+
+
+def run_smt_experiment(
+    benchmark_a: object,
+    benchmark_b: object,
+    policy: str = "paco",
+    jrs_threshold: int = 3,
+    instructions: int = 2 * DEFAULT_INSTRUCTIONS,
+    seed: int = 1,
+    relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
+    single_thread_instructions: Optional[int] = None,
+    single_ipcs: Optional[Tuple[float, float]] = None,
+    warmup_instructions: int = 30_000,
+) -> SMTResult:
+    """Run one benchmark pair in SMT mode under one fetch policy.
+
+    ``policy`` is one of ``"icount"``, ``"round-robin"``, ``"count"``
+    (threshold-and-count confidence with ``jrs_threshold``) or ``"paco"``.
+    Single-thread IPCs for the HMWIPC weighting are either supplied by the
+    caller (so they can be computed once and reused across policies) or
+    measured here.  ``warmup_instructions`` total retired instructions are
+    excluded from the reported IPCs.
+    """
+    spec_a = _resolve_spec(benchmark_a)
+    spec_b = _resolve_spec(benchmark_b)
+    smt_config = SMTConfig()
+    machine = smt_config.machine
+    fetch_policy, predictor_factory = _make_policy_and_predictor(
+        policy, jrs_threshold, relog_period_cycles
+    )
+
+    threads: List[SMTThread] = []
+    for thread_id, spec in enumerate((spec_a, spec_b)):
+        generator = WorkloadGenerator(spec, seed=seed + thread_id, thread_id=thread_id)
+        frontend = build_frontend(machine)
+        confidence = JRSConfidencePredictor(
+            index_bits=machine.jrs_index_bits,
+            mdc_bits=machine.jrs_mdc_bits,
+            history_bits=machine.branch_history_bits,
+        )
+        fetch_engine = FetchEngine(
+            generator=generator,
+            frontend=frontend,
+            confidence=confidence,
+            path_confidence=predictor_factory(),
+            wrongpath_seed=seed + 10 + thread_id,
+        )
+        threads.append(SMTThread(thread_id=thread_id, fetch_engine=fetch_engine))
+
+    core = SMTCore(config=smt_config, threads=threads, fetch_policy=fetch_policy)
+    warmup_retired = (0, 0)
+    warmup_cycles = 0
+    if warmup_instructions > 0:
+        warm = core.run(max_total_instructions=warmup_instructions)
+        warmup_retired = (warm.threads[0].retired_instructions,
+                          warm.threads[1].retired_instructions)
+        warmup_cycles = warm.cycles
+    stats = core.run(max_total_instructions=warmup_instructions + instructions)
+
+    if single_ipcs is None:
+        budget = (single_thread_instructions if single_thread_instructions is not None
+                  else instructions // 2)
+        single_ipcs = (
+            run_single_thread_ipc(spec_a, instructions=budget, seed=seed),
+            run_single_thread_ipc(spec_b, instructions=budget, seed=seed + 1),
+        )
+
+    measured_cycles = max(stats.cycles - warmup_cycles, 1)
+    smt_ipcs = (
+        (stats.threads[0].retired_instructions - warmup_retired[0]) / measured_cycles,
+        (stats.threads[1].retired_instructions - warmup_retired[1]) / measured_cycles,
+    )
+    metric = hmwipc(single_ipcs, smt_ipcs)
+    return SMTResult(
+        benchmarks=(spec_a.name, spec_b.name),
+        policy=fetch_policy.name,
+        smt_ipcs=smt_ipcs,
+        single_ipcs=single_ipcs,
+        hmwipc=metric,
+        stats=stats,
+    )

@@ -1,0 +1,37 @@
+"""SMT performance metrics.
+
+The paper uses the *harmonic mean of weighted IPCs* (HMWIPC) as the SMT
+fetch-prioritization metric (Equation 6), following Luo et al.'s argument
+that it balances throughput and fairness:
+
+.. math::
+
+    \\text{HMWIPC} = N \\Big/ \\sum_i \\frac{\\text{SingleIPC}_i}{\\text{IPC}_i}
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def weighted_ipc(single_ipc: float, smt_ipc: float) -> float:
+    """One thread's weighted IPC: its SMT IPC relative to running alone."""
+    if single_ipc <= 0.0:
+        raise ValueError("single-thread IPC must be positive")
+    return smt_ipc / single_ipc
+
+
+def hmwipc(single_ipcs: Sequence[float], smt_ipcs: Sequence[float]) -> float:
+    """Harmonic mean of weighted IPCs (paper Equation 6)."""
+    if len(single_ipcs) != len(smt_ipcs):
+        raise ValueError("need one single-thread IPC per SMT IPC")
+    if not single_ipcs:
+        raise ValueError("need at least one thread")
+    denominator = 0.0
+    for single, smt in zip(single_ipcs, smt_ipcs):
+        if single <= 0.0:
+            raise ValueError("single-thread IPC must be positive")
+        if smt <= 0.0:
+            raise ValueError("SMT IPC must be positive")
+        denominator += single / smt
+    return len(single_ipcs) / denominator

@@ -1,0 +1,134 @@
+"""Instance observers.
+
+An *instance* (paper Section 4.3) is any event that can change the path
+confidence estimate — fetching an instruction or executing one.  The
+observers here are attached to an :class:`~repro.pipeline.core.OutOfOrderCore`
+and record, at every instance, the predictions of one or more path
+confidence predictors together with the oracle's knowledge of whether the
+front end is currently on the good path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.common.stats import ReliabilityDiagram
+from repro.pathconf.base import PathConfidencePredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.pipeline.core import InstanceObserver
+
+
+class PathConfidenceObserver(InstanceObserver):
+    """Builds a reliability diagram for one path confidence predictor."""
+
+    def __init__(self, predictor: PathConfidencePredictor,
+                 num_bins: int = 100,
+                 kinds: Optional[Sequence[str]] = None) -> None:
+        self.predictor = predictor
+        self.diagram = ReliabilityDiagram(num_bins=num_bins)
+        self.kinds = set(kinds) if kinds is not None else None
+
+    def record(self, kind: str, on_goodpath: bool, cycle: int) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.diagram.record(self.predictor.goodpath_probability(), on_goodpath)
+
+    @property
+    def rms_error(self) -> float:
+        return self.diagram.rms_error()
+
+
+class MultiPredictorObserver(InstanceObserver):
+    """Builds one reliability diagram per predictor over the same run."""
+
+    def __init__(self, predictors: Iterable[PathConfidencePredictor],
+                 num_bins: int = 100) -> None:
+        self.diagrams: Dict[str, ReliabilityDiagram] = {}
+        self._predictors = list(predictors)
+        for predictor in self._predictors:
+            self.diagrams[predictor.name] = ReliabilityDiagram(num_bins=num_bins)
+
+    def record(self, kind: str, on_goodpath: bool, cycle: int) -> None:
+        for predictor in self._predictors:
+            self.diagrams[predictor.name].record(
+                predictor.goodpath_probability(), on_goodpath
+            )
+
+    def rms_errors(self) -> Dict[str, float]:
+        return {name: diagram.rms_error()
+                for name, diagram in self.diagrams.items()}
+
+
+class CounterGoodpathObserver(InstanceObserver):
+    """Measures P(good path | low-confidence branch count == N).
+
+    This is the statistic behind Fig. 3: the same counter value corresponds
+    to very different good-path probabilities across benchmarks and phases,
+    which is why a count is a poor path confidence estimate.
+    """
+
+    def __init__(self, predictor: ThresholdAndCountPredictor,
+                 max_count: int = 16) -> None:
+        self.predictor = predictor
+        self.max_count = max_count
+        self.instances = [0] * (max_count + 1)
+        self.goodpath_instances = [0] * (max_count + 1)
+
+    def record(self, kind: str, on_goodpath: bool, cycle: int) -> None:
+        count = min(self.predictor.low_confidence_count, self.max_count)
+        self.instances[count] += 1
+        if on_goodpath:
+            self.goodpath_instances[count] += 1
+
+    def goodpath_probability(self, count: int) -> float:
+        """Observed good-path probability when exactly ``count`` branches are out."""
+        if not 0 <= count <= self.max_count:
+            raise ValueError(f"count {count} out of range")
+        if self.instances[count] == 0:
+            return 0.0
+        return self.goodpath_instances[count] / self.instances[count]
+
+    def occupancy(self, count: int) -> int:
+        return self.instances[count]
+
+
+class PhaseAwareCounterObserver(InstanceObserver):
+    """Like :class:`CounterGoodpathObserver`, but split by program phase.
+
+    Used for Fig. 3(b): the good-path probability at a fixed counter value
+    differs between phases of the same benchmark.  The observer reads the
+    current phase from the workload generator at every instance.
+    """
+
+    def __init__(self, predictor: ThresholdAndCountPredictor,
+                 generator, max_count: int = 16) -> None:
+        self.predictor = predictor
+        self.generator = generator
+        self.max_count = max_count
+        self._instances: Dict[str, list] = {}
+        self._goodpath: Dict[str, list] = {}
+
+    def record(self, kind: str, on_goodpath: bool, cycle: int) -> None:
+        phase = self.generator.current_phase_label or "all"
+        if phase not in self._instances:
+            self._instances[phase] = [0] * (self.max_count + 1)
+            self._goodpath[phase] = [0] * (self.max_count + 1)
+        count = min(self.predictor.low_confidence_count, self.max_count)
+        self._instances[phase][count] += 1
+        if on_goodpath:
+            self._goodpath[phase][count] += 1
+
+    def phases(self) -> Sequence[str]:
+        return list(self._instances)
+
+    def goodpath_probability(self, phase: str, count: int) -> float:
+        if phase not in self._instances:
+            raise KeyError(f"unknown phase {phase!r}")
+        if self._instances[phase][count] == 0:
+            return 0.0
+        return self._goodpath[phase][count] / self._instances[phase][count]
+
+    def occupancy(self, phase: str, count: int) -> int:
+        if phase not in self._instances:
+            return 0
+        return self._instances[phase][count]

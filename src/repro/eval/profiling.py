@@ -1,0 +1,87 @@
+"""Per-MDC-bucket mispredict-rate profiling (the data behind Fig. 2).
+
+:class:`MDCProfiler` implements the path confidence predictor interface so
+it can ride along inside a :class:`~repro.pathconf.composite.CompositePathConfidence`
+and observe every conditional branch's fetch-time MDC value and
+resolution-time outcome without influencing the simulation.  Its output is
+the per-MDC mispredict-rate profile: the quantity the paper plots in
+Fig. 2 and the input to the Static-MRT ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
+
+
+@dataclass
+class _ProfileToken:
+    mdc_value: int
+    resolved: bool = False
+
+
+class MDCProfiler(PathConfidencePredictor):
+    """Counts, per MDC value, how many branch predictions were right or wrong."""
+
+    name = "mdc-profiler"
+
+    def __init__(self, num_mdc_values: int = 16) -> None:
+        self.num_mdc_values = num_mdc_values
+        self.correct: List[int] = [0] * num_mdc_values
+        self.mispredicted: List[int] = [0] * num_mdc_values
+
+    # --- path confidence interface (profiling only) -------------------- #
+
+    def on_branch_fetch(self, info: BranchFetchInfo) -> _ProfileToken:
+        return _ProfileToken(mdc_value=min(info.mdc_value, self.num_mdc_values - 1))
+
+    def on_branch_resolve(self, token: _ProfileToken, mispredicted: bool) -> None:
+        if token.resolved:
+            return
+        token.resolved = True
+        if mispredicted:
+            self.mispredicted[token.mdc_value] += 1
+        else:
+            self.correct[token.mdc_value] += 1
+
+    def on_branch_squash(self, token: _ProfileToken) -> None:
+        token.resolved = True
+
+    def goodpath_probability(self) -> float:
+        return 1.0
+
+    # --- profile outputs ------------------------------------------------ #
+
+    def samples(self, mdc_value: int) -> int:
+        return self.correct[mdc_value] + self.mispredicted[mdc_value]
+
+    def mispredict_rate(self, mdc_value: int) -> float:
+        """Observed mispredict rate of one MDC bucket (0.0 with no samples)."""
+        total = self.samples(mdc_value)
+        if total == 0:
+            return 0.0
+        return self.mispredicted[mdc_value] / total
+
+    def mispredict_rates(self) -> Dict[int, float]:
+        """Per-bucket mispredict rates for buckets that saw any samples."""
+        return {
+            mdc: self.mispredict_rate(mdc)
+            for mdc in range(self.num_mdc_values)
+            if self.samples(mdc) > 0
+        }
+
+    def static_profile(self, floor: float = 0.005) -> List[float]:
+        """A mispredict-rate profile usable as a Static-MRT configuration.
+
+        Buckets with no samples inherit the previous bucket's rate; a small
+        floor keeps the encoded probabilities finite.
+        """
+        profile: List[float] = []
+        previous = 0.25
+        for mdc in range(self.num_mdc_values):
+            if self.samples(mdc) > 0:
+                previous = max(self.mispredict_rate(mdc), floor)
+            profile.append(previous)
+        return profile

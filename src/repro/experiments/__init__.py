@@ -1,0 +1,44 @@
+"""Experiment drivers — one module per table or figure of the paper.
+
+Every driver exposes a ``run(...)`` function returning structured results
+and a ``main()`` that prints the same rows/series the paper reports.  The
+``quick`` flag (used by the pytest-benchmark harness) shrinks the benchmark
+set and instruction budgets; the full settings reproduce the complete
+artefact.
+
+==========  ===========================================================
+Driver      Paper artefact
+==========  ===========================================================
+``fig2``    Fig. 2 — mispredict rate per MDC value, per benchmark
+``fig3``    Fig. 3 — P(good path) at a fixed low-confidence count,
+            across benchmarks (a) and phases (b)
+``table7``  Fig. 7 (table) — PaCo RMS error and mispredict rates
+``fig8``    Fig. 8 / Fig. 9 — reliability diagrams
+``fig10``   Fig. 10 — pipeline gating curves
+``fig12``   Fig. 12 — SMT fetch prioritization HMWIPC
+``tableA1`` Appendix Table 1 — MRT vs Static MRT vs Per-branch MRT
+``ablations`` re-logarithmizing period / encoding scale / log circuit
+==========  ===========================================================
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported driver modules)
+    fig2_mdc_rates,
+    fig3_counter_goodpath,
+    table7_rms,
+    fig8_9_reliability,
+    fig10_gating,
+    fig12_smt,
+    tableA1_mrt_variants,
+    ablations,
+)
+
+__all__ = [
+    "fig2_mdc_rates",
+    "fig3_counter_goodpath",
+    "table7_rms",
+    "fig8_9_reliability",
+    "fig10_gating",
+    "fig12_smt",
+    "tableA1_mrt_variants",
+    "ablations",
+]

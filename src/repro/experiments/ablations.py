@@ -1,0 +1,138 @@
+"""Ablations on PaCo's design parameters.
+
+Three design choices the paper motivates but does not sweep in detail:
+
+* the MRT re-logarithmizing period (the paper uses 200 000 cycles and notes
+  PaCo "is not very sensitive to this period"),
+* the encoded-probability scale factor (1024) and its interaction with the
+  12-bit clamp, and
+* the use of Mitchell's approximate log circuit instead of an exact
+  logarithm.
+
+Each ablation reports PaCo's reliability RMS error under the modified
+configuration over the same workloads, so regressions attributable to the
+design choice are directly visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.harness import run_accuracy_experiment
+from repro.eval.reports import format_table
+from repro.pathconf.paco import PaCoPredictor
+
+DEFAULT_BENCHMARKS = ("parser", "twolf", "gzip", "bzip2")
+
+
+@dataclass
+class AblationResult:
+    """RMS errors of PaCo variants, keyed by variant label then benchmark."""
+
+    rms_by_variant: Dict[str, Dict[str, float]]
+
+    def mean_rms(self, variant: str) -> float:
+        values = list(self.rms_by_variant[variant].values())
+        return sum(values) / len(values) if values else 0.0
+
+    def rows(self) -> List[List[object]]:
+        rows = []
+        for variant, by_benchmark in self.rms_by_variant.items():
+            row: List[object] = [variant]
+            row.extend(round(by_benchmark[name], 4) for name in by_benchmark)
+            row.append(round(self.mean_rms(variant), 4))
+            rows.append(row)
+        return rows
+
+
+def _measure(variants: Dict[str, dict], benchmarks: Sequence[str],
+             instructions: int, warmup_instructions: int,
+             seed: int) -> AblationResult:
+    rms: Dict[str, Dict[str, float]] = {label: {} for label in variants}
+    for benchmark in benchmarks:
+        for label, kwargs in variants.items():
+            predictor = PaCoPredictor(**kwargs)
+            result = run_accuracy_experiment(
+                benchmark,
+                instructions=instructions,
+                warmup_instructions=warmup_instructions,
+                seed=seed,
+                predictors=[predictor],
+            )
+            rms[label][benchmark] = result.rms_errors["paco"]
+    return AblationResult(rms_by_variant=rms)
+
+
+def run_relog_period_ablation(
+        periods: Sequence[int] = (5_000, 20_000, 100_000, 200_000),
+        benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+        instructions: int = 30_000,
+        warmup_instructions: int = 15_000,
+        seed: int = 1,
+        quick: bool = False) -> AblationResult:
+    """Sweep the MRT re-logarithmizing period."""
+    if quick:
+        periods = tuple(periods)[:3]
+        benchmarks = tuple(benchmarks)[:2]
+        instructions = min(instructions, 20_000)
+        warmup_instructions = min(warmup_instructions, 10_000)
+    variants = {f"relog={p}": {"relog_period_cycles": p} for p in periods}
+    return _measure(variants, benchmarks, instructions, warmup_instructions, seed)
+
+
+def run_scale_ablation(
+        scales: Sequence[int] = (256, 512, 1024, 2048),
+        benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+        instructions: int = 30_000,
+        warmup_instructions: int = 15_000,
+        seed: int = 1,
+        quick: bool = False) -> AblationResult:
+    """Sweep the encoded-probability scale factor."""
+    if quick:
+        scales = tuple(scales)[:2]
+        benchmarks = tuple(benchmarks)[:2]
+        instructions = min(instructions, 20_000)
+        warmup_instructions = min(warmup_instructions, 10_000)
+    variants = {
+        f"scale={s}": {"scale": s, "relog_period_cycles": 20_000} for s in scales
+    }
+    return _measure(variants, benchmarks, instructions, warmup_instructions, seed)
+
+
+def run_log_circuit_ablation(
+        benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+        instructions: int = 30_000,
+        warmup_instructions: int = 15_000,
+        seed: int = 1,
+        quick: bool = False) -> AblationResult:
+    """Mitchell log circuit vs. exact floating-point logarithms."""
+    if quick:
+        benchmarks = tuple(benchmarks)[:2]
+        instructions = min(instructions, 20_000)
+        warmup_instructions = min(warmup_instructions, 10_000)
+    variants = {
+        "mitchell-log": {"use_mitchell_log": True, "relog_period_cycles": 20_000},
+        "exact-log": {"use_mitchell_log": False, "relog_period_cycles": 20_000},
+    }
+    return _measure(variants, benchmarks, instructions, warmup_instructions, seed)
+
+
+def main() -> str:
+    parts = []
+    for title, result in [
+        ("Re-logarithmizing period", run_relog_period_ablation()),
+        ("Encoded-probability scale", run_scale_ablation()),
+        ("Log circuit", run_log_circuit_ablation()),
+    ]:
+        benchmarks = list(next(iter(result.rms_by_variant.values())).keys())
+        headers = ["variant"] + benchmarks + ["mean"]
+        parts.append(format_table(headers, result.rows(),
+                                  title=f"Ablation — {title}"))
+    text = "\n\n".join(parts)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

@@ -1,0 +1,88 @@
+"""Fig. 2 — mispredict rates of branches with different MDC values.
+
+The paper's Fig. 2 plots, per benchmark, the observed mispredict rate of
+branches whose miss-distance counter had a given value at prediction time.
+The shape — a steep fall from MDC 0 towards the saturated bucket, with the
+absolute level differing per benchmark — is what makes the MDC value a
+useful stratifier and a fixed confidence threshold a poor one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.harness import run_accuracy_experiment
+from repro.eval.reports import format_table
+from repro.workloads.suite import benchmark_names
+
+#: Benchmarks highlighted in the paper's Fig. 2 discussion.
+DEFAULT_BENCHMARKS = ("gcc", "vortex", "twolf", "gzip", "parser", "bzip2")
+
+
+@dataclass
+class Fig2Result:
+    """Per-benchmark, per-MDC-value mispredict rates."""
+
+    rates: Dict[str, Dict[int, float]]
+    max_mdc: int = 15
+
+    def rows(self) -> List[List[object]]:
+        rows = []
+        for benchmark, by_mdc in self.rates.items():
+            row: List[object] = [benchmark]
+            for mdc in range(self.max_mdc + 1):
+                row.append(round(100.0 * by_mdc.get(mdc, 0.0), 2))
+            rows.append(row)
+        return rows
+
+    def is_monotone_decreasing_overall(self, tolerance: float = 0.05) -> bool:
+        """Check the headline shape: low MDC buckets mispredict more.
+
+        Compares the average rate of buckets 0–2 against buckets 3+ for
+        every benchmark that has samples in both ranges.
+        """
+        for by_mdc in self.rates.values():
+            low = [rate for mdc, rate in by_mdc.items() if mdc <= 2]
+            high = [rate for mdc, rate in by_mdc.items() if mdc >= 3]
+            if not low or not high:
+                continue
+            if (sum(low) / len(low)) + tolerance < (sum(high) / len(high)):
+                return False
+        return True
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        instructions: int = 30_000,
+        warmup_instructions: int = 20_000,
+        seed: int = 1,
+        quick: bool = False) -> Fig2Result:
+    """Measure per-MDC mispredict rates for the requested benchmarks."""
+    names = list(benchmarks) if benchmarks is not None else (
+        list(DEFAULT_BENCHMARKS) if quick else benchmark_names()
+    )
+    if quick:
+        instructions = min(instructions, 20_000)
+        warmup_instructions = min(warmup_instructions, 10_000)
+    rates: Dict[str, Dict[int, float]] = {}
+    for name in names:
+        result = run_accuracy_experiment(
+            name, instructions=instructions, seed=seed,
+            warmup_instructions=warmup_instructions,
+        )
+        rates[name] = result.mdc_mispredict_rates
+    return Fig2Result(rates=rates)
+
+
+def main() -> str:
+    """Run the experiment with paper-shaped defaults and return the table text."""
+    result = run()
+    headers = ["benchmark"] + [f"mdc{m}" for m in range(16)]
+    text = format_table(headers, result.rows(),
+                        title="Fig. 2 — mispredict rate (%) per MDC value")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

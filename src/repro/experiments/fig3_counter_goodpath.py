@@ -1,0 +1,135 @@
+"""Fig. 3 — good-path probability when N low-confidence branches are outstanding.
+
+Fig. 3(a): the observed probability of being on the good path when exactly
+five low-confidence branches are outstanding, for several benchmarks — the
+same counter value corresponds to very different probabilities.
+
+Fig. 3(b): the same statistic for different phases of mcf and gcc — the
+best gate-count changes even within one benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.harness import run_accuracy_experiment
+from repro.eval.reports import format_table
+
+#: Benchmarks shown in the paper's Fig. 3(a).
+FIG3A_BENCHMARKS = ("crafty", "gzip", "bzip2", "vprRoute")
+
+#: Benchmarks whose phases are shown in Fig. 3(b).  gcc is listed first
+#: because its phases are short enough to appear even in quick runs; mcf's
+#: two phases are 150 000 instructions long and need full-scale runs.
+FIG3B_BENCHMARKS = ("gcc", "mcf")
+
+
+@dataclass
+class Fig3Result:
+    """Observed good-path probabilities at a fixed low-confidence count."""
+
+    counter_value: int
+    across_benchmarks: Dict[str, float]
+    across_phases: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    occupancy: Dict[str, int] = field(default_factory=dict)
+
+    def spread(self) -> float:
+        """Max minus min probability across benchmarks (the figure's point)."""
+        if not self.across_benchmarks:
+            return 0.0
+        values = list(self.across_benchmarks.values())
+        return max(values) - min(values)
+
+    def rows_benchmarks(self) -> List[List[object]]:
+        return [[name, round(prob, 3), self.occupancy.get(name, 0)]
+                for name, prob in self.across_benchmarks.items()]
+
+    def rows_phases(self) -> List[List[object]]:
+        return [[f"{bench}_{phase}", round(prob, 3)]
+                for (bench, phase), prob in self.across_phases.items()]
+
+
+def _probability_near(counter_goodpath: Dict[int, float],
+                      occupancy: Dict[int, int],
+                      counter_value: int) -> Tuple[float, int]:
+    """The observed probability at the counter value (or nearest populated one)."""
+    if occupancy.get(counter_value, 0) > 0:
+        return counter_goodpath[counter_value], occupancy[counter_value]
+    populated = [c for c, n in occupancy.items() if n > 0]
+    if not populated:
+        return 0.0, 0
+    nearest = min(populated, key=lambda c: abs(c - counter_value))
+    return counter_goodpath.get(nearest, 0.0), occupancy[nearest]
+
+
+def run(counter_value: int = 5,
+        benchmarks: Optional[Sequence[str]] = None,
+        phase_benchmarks: Optional[Sequence[str]] = None,
+        instructions: int = 40_000,
+        warmup_instructions: int = 15_000,
+        seed: int = 1,
+        quick: bool = False) -> Fig3Result:
+    """Measure P(good path | low-confidence count == ``counter_value``)."""
+    names = list(benchmarks) if benchmarks is not None else list(FIG3A_BENCHMARKS)
+    phase_names = (list(phase_benchmarks) if phase_benchmarks is not None
+                   else list(FIG3B_BENCHMARKS))
+    if quick:
+        instructions = min(instructions, 25_000)
+        warmup_instructions = min(warmup_instructions, 10_000)
+        phase_names = phase_names[:1]
+
+    across: Dict[str, float] = {}
+    occupancy: Dict[str, int] = {}
+    for name in names:
+        result = run_accuracy_experiment(
+            name, instructions=instructions, seed=seed,
+            warmup_instructions=warmup_instructions,
+        )
+        probability, samples = _probability_near(
+            result.counter_goodpath, result.counter_occupancy, counter_value
+        )
+        across[name] = probability
+        occupancy[name] = samples
+
+    across_phases: Dict[Tuple[str, str], float] = {}
+    for name in phase_names:
+        result = run_accuracy_experiment(
+            name, instructions=instructions, seed=seed,
+            warmup_instructions=warmup_instructions,
+        )
+        for phase, by_count in result.phase_counter_goodpath.items():
+            if counter_value in by_count:
+                across_phases[(name, phase)] = by_count[counter_value]
+            elif by_count:
+                nearest = min(by_count, key=lambda c: abs(c - counter_value))
+                across_phases[(name, phase)] = by_count[nearest]
+
+    return Fig3Result(
+        counter_value=counter_value,
+        across_benchmarks=across,
+        across_phases=across_phases,
+        occupancy=occupancy,
+    )
+
+
+def main() -> str:
+    result = run()
+    text_a = format_table(
+        ["benchmark", "P(goodpath)", "instances"],
+        result.rows_benchmarks(),
+        title=f"Fig. 3(a) — good-path probability at counter = {result.counter_value}",
+    )
+    text_b = format_table(
+        ["benchmark_phase", "P(goodpath)"],
+        result.rows_phases(),
+        title=f"Fig. 3(b) — per-phase good-path probability at counter = "
+              f"{result.counter_value}",
+    )
+    text = text_a + "\n\n" + text_b
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

@@ -1,0 +1,103 @@
+"""Fig. 8 and Fig. 9 — reliability diagrams.
+
+Fig. 8 is the reliability diagram of PaCo on parser: predicted good-path
+probability (x) against observed good-path probability (y), together with a
+histogram of how often each predicted probability occurred.  Fig. 9 shows
+the same diagram for a range of benchmarks plus a cumulative diagram over
+all of them; the paper highlights that twolf/vprRoute are extremely
+accurate, crafty/bzip2/gzip good, gcc/gap noticeably worse, and perlbmk
+poor (because its mispredictions come from an indirect call the JRS table
+cannot see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.stats import ReliabilityDiagram
+from repro.eval.harness import run_accuracy_experiment
+from repro.eval.reports import format_table
+from repro.workloads.suite import benchmark_names
+
+#: Benchmarks shown individually in the paper's Fig. 9.
+FIG9_BENCHMARKS = ("twolf", "vprRoute", "crafty", "gcc", "perlbmk")
+
+
+@dataclass
+class ReliabilityStudyResult:
+    """Reliability diagrams per benchmark plus the cumulative diagram."""
+
+    diagrams: Dict[str, ReliabilityDiagram]
+    cumulative: ReliabilityDiagram
+    rms_errors: Dict[str, float] = field(default_factory=dict)
+
+    def rows(self, benchmark: str, min_instances: int = 10) -> List[List[object]]:
+        diagram = (self.cumulative if benchmark == "cumulative"
+                   else self.diagrams[benchmark])
+        return [
+            [round(100 * p.predicted, 1), round(100 * p.observed, 1), p.instances]
+            for p in diagram.points(min_instances=min_instances)
+        ]
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        instructions: int = 40_000,
+        warmup_instructions: int = 20_000,
+        seed: int = 1,
+        num_bins: int = 100,
+        quick: bool = False) -> ReliabilityStudyResult:
+    """Build PaCo reliability diagrams for the requested benchmarks."""
+    names = list(benchmarks) if benchmarks is not None else (
+        list(FIG9_BENCHMARKS) if quick else benchmark_names()
+    )
+    if quick:
+        instructions = min(instructions, 20_000)
+        warmup_instructions = min(warmup_instructions, 10_000)
+    diagrams: Dict[str, ReliabilityDiagram] = {}
+    rms_errors: Dict[str, float] = {}
+    cumulative = ReliabilityDiagram(num_bins=num_bins)
+    for name in names:
+        result = run_accuracy_experiment(
+            name, instructions=instructions, seed=seed,
+            warmup_instructions=warmup_instructions,
+        )
+        diagram = result.diagrams["paco"]
+        diagrams[name] = diagram
+        rms_errors[name] = diagram.rms_error()
+        cumulative.merge(diagram)
+    return ReliabilityStudyResult(diagrams=diagrams, cumulative=cumulative,
+                                  rms_errors=rms_errors)
+
+
+def run_parser_diagram(instructions: int = 60_000,
+                       warmup_instructions: int = 20_000,
+                       seed: int = 1,
+                       quick: bool = False) -> ReliabilityDiagram:
+    """Fig. 8: the reliability diagram of PaCo on parser alone."""
+    if quick:
+        instructions = min(instructions, 25_000)
+        warmup_instructions = min(warmup_instructions, 10_000)
+    result = run_accuracy_experiment(
+        "parser", instructions=instructions, seed=seed,
+        warmup_instructions=warmup_instructions,
+    )
+    return result.diagrams["paco"]
+
+
+def main() -> str:
+    study = run()
+    rows = [[name, round(err, 4)] for name, err in study.rms_errors.items()]
+    rows.append(["cumulative", round(study.cumulative.rms_error(), 4)])
+    text = format_table(["benchmark", "paco RMS error"], rows,
+                        title="Fig. 9 — reliability-diagram RMS error per benchmark")
+    text += "\n\nFig. 8 — parser reliability diagram (predicted% / observed% / n)\n"
+    text += format_table(["predicted%", "observed%", "instances"],
+                         study.rows("parser" if "parser" in study.diagrams
+                                    else "cumulative", min_instances=25))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

@@ -1,0 +1,108 @@
+"""Table 7 (Fig. 7) — PaCo RMS error and mispredict rates per benchmark.
+
+For every benchmark the paper reports the RMS error between PaCo's
+predicted good-path probability and the observed probability, the overall
+control-flow mispredict rate, and the conditional-branch mispredict rate.
+The headline number is the mean RMS error of 0.0377.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.harness import run_accuracy_experiment
+from repro.eval.reports import format_table
+from repro.workloads.suite import (
+    PAPER_CONDITIONAL_MISPREDICT_RATES,
+    PAPER_OVERALL_MISPREDICT_RATES,
+    PAPER_PACO_RMS_ERROR,
+    benchmark_names,
+)
+
+
+@dataclass
+class Table7Row:
+    """One benchmark's row of Table 7 (measured next to the paper's values)."""
+
+    benchmark: str
+    paco_rms_error: float
+    overall_mispredict_rate: float
+    conditional_mispredict_rate: float
+    paper_rms_error: float
+    paper_overall_rate: float
+    paper_conditional_rate: float
+
+
+@dataclass
+class Table7Result:
+    rows: List[Table7Row]
+
+    @property
+    def mean_rms_error(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(r.paco_rms_error for r in self.rows) / len(self.rows)
+
+    def as_table_rows(self) -> List[List[object]]:
+        table = []
+        for row in self.rows:
+            table.append([
+                row.benchmark,
+                round(row.paco_rms_error, 4),
+                round(row.paper_rms_error, 4),
+                round(100 * row.overall_mispredict_rate, 2),
+                round(row.paper_overall_rate, 2),
+                round(100 * row.conditional_mispredict_rate, 2),
+                round(row.paper_conditional_rate, 2),
+            ])
+        table.append([
+            "mean",
+            round(self.mean_rms_error, 4),
+            round(sum(r.paper_rms_error for r in self.rows) / max(len(self.rows), 1), 4),
+            "-", "-", "-", "-",
+        ])
+        return table
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        instructions: int = 40_000,
+        warmup_instructions: int = 20_000,
+        seed: int = 1,
+        quick: bool = False) -> Table7Result:
+    """Measure PaCo's RMS error and the mispredict rates per benchmark."""
+    names = list(benchmarks) if benchmarks is not None else benchmark_names()
+    if quick:
+        names = names[:6]
+        instructions = min(instructions, 20_000)
+        warmup_instructions = min(warmup_instructions, 10_000)
+    rows: List[Table7Row] = []
+    for name in names:
+        result = run_accuracy_experiment(
+            name, instructions=instructions, seed=seed,
+            warmup_instructions=warmup_instructions,
+        )
+        rows.append(Table7Row(
+            benchmark=name,
+            paco_rms_error=result.rms_errors["paco"],
+            overall_mispredict_rate=result.overall_mispredict_rate,
+            conditional_mispredict_rate=result.conditional_mispredict_rate,
+            paper_rms_error=PAPER_PACO_RMS_ERROR.get(name, 0.0),
+            paper_overall_rate=PAPER_OVERALL_MISPREDICT_RATES.get(name, 0.0),
+            paper_conditional_rate=PAPER_CONDITIONAL_MISPREDICT_RATES.get(name, 0.0),
+        ))
+    return Table7Result(rows=rows)
+
+
+def main() -> str:
+    result = run()
+    headers = ["benchmark", "rms", "rms(paper)", "overall%", "overall%(paper)",
+               "cond%", "cond%(paper)"]
+    text = format_table(headers, result.as_table_rows(),
+                        title="Table 7 — PaCo RMS error and mispredict rates")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

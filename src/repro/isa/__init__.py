@@ -1,0 +1,23 @@
+"""Instruction and program model for the PaCo reproduction.
+
+The simulator is trace-driven in spirit: workload generators synthesise
+dynamic :class:`~repro.isa.instruction.Instruction` records (including
+wrong-path records after a branch misprediction) and the pipeline model
+moves them through fetch, execute and retire.  The ISA model carries exactly
+the information the paper's mechanisms care about: instruction class, branch
+kind and outcome, memory address, data-dependence distance and execution
+latency class.
+"""
+
+from repro.isa.types import InstructionClass, BranchKind
+from repro.isa.instruction import Instruction, BranchOutcome
+from repro.isa.program import StaticBranch, StaticInstructionMix
+
+__all__ = [
+    "InstructionClass",
+    "BranchKind",
+    "Instruction",
+    "BranchOutcome",
+    "StaticBranch",
+    "StaticInstructionMix",
+]

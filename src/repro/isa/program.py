@@ -1,0 +1,77 @@
+"""Static-program metadata used by the workload generators.
+
+A synthetic benchmark is described by a population of *static branches*
+(each with a behaviour model attached by :mod:`repro.workloads`) plus an
+instruction mix describing the non-branch instructions between branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.types import BranchKind, InstructionClass
+
+
+@dataclass
+class StaticBranch:
+    """Identity and shape of one static branch site.
+
+    The behaviour (taken/not-taken sequence, indirect-target sequence) is
+    supplied by a behaviour model in :mod:`repro.workloads.branch_models`;
+    this record only carries the static properties the predictors see.
+    """
+
+    branch_id: int
+    pc: int
+    kind: BranchKind
+    taken_target: int
+    fallthrough: int
+
+    def __post_init__(self) -> None:
+        if self.kind is BranchKind.NOT_A_BRANCH:
+            raise ValueError("a StaticBranch must be a branch")
+
+
+@dataclass
+class StaticInstructionMix:
+    """Relative frequencies of the non-branch instruction classes.
+
+    The mix controls the latency/dependence texture of the instructions the
+    generator inserts between branches, which in turn controls how long
+    branches stay unresolved — the quantity path-confidence prediction is
+    all about.
+    """
+
+    alu: float = 0.55
+    load: float = 0.25
+    store: float = 0.12
+    mul: float = 0.05
+    div: float = 0.01
+    nop: float = 0.02
+
+    def as_weights(self) -> Dict[InstructionClass, float]:
+        weights = {
+            InstructionClass.ALU: self.alu,
+            InstructionClass.LOAD: self.load,
+            InstructionClass.STORE: self.store,
+            InstructionClass.MUL: self.mul,
+            InstructionClass.DIV: self.div,
+            InstructionClass.NOP: self.nop,
+        }
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("instruction mix weights must sum to a positive value")
+        return {klass: weight / total for klass, weight in weights.items()}
+
+
+#: Default execution latency (cycles) per instruction class, before cache effects.
+DEFAULT_LATENCY_BY_CLASS: Dict[InstructionClass, int] = {
+    InstructionClass.ALU: 1,
+    InstructionClass.LOAD: 2,      # plus cache hierarchy latency on a miss
+    InstructionClass.STORE: 1,
+    InstructionClass.BRANCH: 1,
+    InstructionClass.MUL: 3,
+    InstructionClass.DIV: 12,
+    InstructionClass.NOP: 1,
+}

@@ -1,0 +1,57 @@
+"""Instruction-class and branch-kind enumerations."""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstructionClass(enum.IntEnum):
+    """Coarse instruction classes the timing model distinguishes."""
+
+    ALU = 0          #: single-cycle integer operation
+    LOAD = 1         #: memory read (latency depends on the cache hierarchy)
+    STORE = 2        #: memory write
+    BRANCH = 3       #: any control-flow instruction
+    MUL = 4          #: multi-cycle integer multiply
+    DIV = 5          #: long-latency integer divide
+    NOP = 6          #: no-op / fence
+
+
+class BranchKind(enum.IntEnum):
+    """Control-flow instruction kinds.
+
+    The distinction matters to the confidence machinery: the JRS predictor
+    assigns miss-distance counters only to *conditional* branches, which is
+    why PaCo loses accuracy on perlbmk (whose mispredictions are dominated
+    by a single indirect call the JRS table cannot stratify).
+    """
+
+    NOT_A_BRANCH = 0
+    CONDITIONAL = 1      #: conditional direct branch
+    UNCONDITIONAL = 2    #: unconditional direct jump
+    CALL = 3             #: direct call
+    RETURN = 4           #: return (predicted by the return address stack)
+    INDIRECT = 5         #: indirect jump
+    INDIRECT_CALL = 6    #: indirect call
+
+    @property
+    def is_conditional(self) -> bool:
+        return self is BranchKind.CONDITIONAL
+
+    @property
+    def is_indirect(self) -> bool:
+        return self in (BranchKind.INDIRECT, BranchKind.INDIRECT_CALL)
+
+    @property
+    def is_call(self) -> bool:
+        return self in (BranchKind.CALL, BranchKind.INDIRECT_CALL)
+
+    @property
+    def uses_btb_target(self) -> bool:
+        """Whether the fetch-time target comes from the BTB / indirect predictor."""
+        return self in (
+            BranchKind.UNCONDITIONAL,
+            BranchKind.CALL,
+            BranchKind.INDIRECT,
+            BranchKind.INDIRECT_CALL,
+        )

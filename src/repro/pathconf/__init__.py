@@ -1,0 +1,46 @@
+"""Path confidence prediction — the paper's core contribution.
+
+A *path confidence* predictor estimates, at any instant, the probability
+that the processor front end is fetching instructions that will eventually
+retire (the "good path").  This package contains:
+
+* :class:`~repro.pathconf.threshold_count.ThresholdAndCountPredictor` — the
+  conventional predictor (count of unresolved low-confidence branches).
+* :class:`~repro.pathconf.paco.PaCoPredictor` — the paper's proposal: the
+  JRS MDC value stratifies branches into buckets, a Mispredict Rate Table
+  measures each bucket's correct-prediction probability, a log circuit
+  encodes it, and a running sum of encoded probabilities over the
+  unresolved branches is the (encoded) good-path probability.
+* :class:`~repro.pathconf.static_mrt.StaticMRTPredictor` and
+  :class:`~repro.pathconf.per_branch_mrt.PerBranchMRTPredictor` — the two
+  alternative designs evaluated in the paper's Appendix A.
+* :class:`~repro.pathconf.oracle.OraclePathConfidence` — a perfect
+  reference predictor used by tests and sanity checks.
+"""
+
+from repro.pathconf.base import (
+    BranchFetchInfo,
+    BranchResolution,
+    PathConfidencePredictor,
+)
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.pathconf.mrt import MispredictRateTable, DEFAULT_STATIC_MISPREDICT_RATES
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.static_mrt import StaticMRTPredictor
+from repro.pathconf.per_branch_mrt import PerBranchMRTPredictor
+from repro.pathconf.oracle import OraclePathConfidence
+from repro.pathconf.composite import CompositePathConfidence
+
+__all__ = [
+    "CompositePathConfidence",
+    "BranchFetchInfo",
+    "BranchResolution",
+    "PathConfidencePredictor",
+    "ThresholdAndCountPredictor",
+    "MispredictRateTable",
+    "DEFAULT_STATIC_MISPREDICT_RATES",
+    "PaCoPredictor",
+    "StaticMRTPredictor",
+    "PerBranchMRTPredictor",
+    "OraclePathConfidence",
+]

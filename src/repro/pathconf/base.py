@@ -1,0 +1,104 @@
+"""Common interface of all path confidence predictors.
+
+The pipeline interacts with a path confidence predictor at exactly three
+points, mirroring the hardware:
+
+* **branch fetch** — a conditional branch enters the window; the predictor
+  receives the branch's fetch-time confidence information (its JRS MDC
+  value) and returns an opaque *token*.
+* **branch resolution** — the branch executes; the predictor receives the
+  token back together with whether the prediction was correct.
+* **branch squash** — the branch is flushed from the window before
+  resolving (it was younger than a mispredicted branch); the predictor
+  removes its contribution without learning anything from it.
+
+Between those events the pipeline (or the evaluation machinery) may query
+:meth:`PathConfidencePredictor.goodpath_probability` at any time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BranchFetchInfo:
+    """Fetch-time information about one conditional branch entering the window.
+
+    Attributes
+    ----------
+    pc:
+        Branch program counter.
+    mdc_value:
+        The miss-distance-counter value read from the JRS table at fetch.
+    mdc_index:
+        The JRS table index that was consulted (needed to update the same
+        entry at resolution).
+    predicted_taken:
+        The direction predicted by the branch predictor.
+    history:
+        Global-history value at prediction time.
+    static_branch_id:
+        Identity of the static branch (used by the per-branch MRT ablation).
+    thread_id:
+        SMT hardware thread the branch belongs to.
+    """
+
+    pc: int
+    mdc_value: int
+    mdc_index: int
+    predicted_taken: bool
+    history: int
+    static_branch_id: Optional[int] = None
+    thread_id: int = 0
+
+
+@dataclass(frozen=True)
+class BranchResolution:
+    """Resolution-time information: was the fetch-time prediction correct?"""
+
+    mispredicted: bool
+
+
+class PathConfidencePredictor(abc.ABC):
+    """Abstract base class of every path confidence predictor."""
+
+    #: Human-readable name used in reports and experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_branch_fetch(self, info: BranchFetchInfo) -> object:
+        """A conditional branch enters the window; returns an opaque token."""
+
+    @abc.abstractmethod
+    def on_branch_resolve(self, token: object, mispredicted: bool) -> None:
+        """The branch carrying ``token`` resolved (executed)."""
+
+    @abc.abstractmethod
+    def on_branch_squash(self, token: object) -> None:
+        """The branch carrying ``token`` was flushed before resolving."""
+
+    @abc.abstractmethod
+    def goodpath_probability(self) -> float:
+        """Current estimate of the probability the front end is on the good path."""
+
+    def on_cycle(self, cycle: int) -> None:
+        """Per-cycle hook for periodic work (PaCo's re-logarithmizing pass)."""
+
+    def outstanding_branches(self) -> int:
+        """Number of branches currently contributing to the estimate."""
+        return 0
+
+    def reset_window(self) -> None:
+        """Drop all outstanding-branch state (used on a full pipeline flush)."""
+
+    def should_gate(self, target_goodpath_probability: float) -> bool:
+        """Pipeline-gating decision: gate fetch when the estimated good-path
+        probability falls below the target.
+
+        The default implementation compares real probabilities; PaCo
+        overrides it to compare in encoded space, as the hardware would.
+        """
+        return self.goodpath_probability() < target_goodpath_probability

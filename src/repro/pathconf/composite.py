@@ -1,0 +1,67 @@
+"""Composite path confidence predictor.
+
+Running the timing simulator is the expensive part of every experiment, so
+the evaluation harness frequently wants to evaluate several path confidence
+predictors *simultaneously* over the exact same dynamic execution (PaCo,
+the threshold-and-count baselines, the Appendix-A ablations, plus a
+profiler).  :class:`CompositePathConfidence` fans every pipeline event out
+to all attached predictors while exposing one of them as the *primary* —
+the one whose estimate drives gating or fetch-prioritization decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
+
+
+class CompositePathConfidence(PathConfidencePredictor):
+    """Fan-out wrapper over several path confidence predictors."""
+
+    name = "composite"
+
+    def __init__(self, predictors: Sequence[PathConfidencePredictor],
+                 primary: Optional[PathConfidencePredictor] = None) -> None:
+        if not predictors:
+            raise ValueError("need at least one predictor")
+        self.predictors: List[PathConfidencePredictor] = list(predictors)
+        self.primary = primary if primary is not None else self.predictors[0]
+        if self.primary not in self.predictors:
+            raise ValueError("the primary predictor must be one of the composites")
+
+    # ------------------------------------------------------------------ #
+
+    def on_branch_fetch(self, info: BranchFetchInfo) -> List[object]:
+        return [predictor.on_branch_fetch(info) for predictor in self.predictors]
+
+    def on_branch_resolve(self, token: List[object], mispredicted: bool) -> None:
+        for predictor, sub_token in zip(self.predictors, token):
+            predictor.on_branch_resolve(sub_token, mispredicted)
+
+    def on_branch_squash(self, token: List[object]) -> None:
+        for predictor, sub_token in zip(self.predictors, token):
+            predictor.on_branch_squash(sub_token)
+
+    def on_cycle(self, cycle: int) -> None:
+        for predictor in self.predictors:
+            predictor.on_cycle(cycle)
+
+    def reset_window(self) -> None:
+        for predictor in self.predictors:
+            predictor.reset_window()
+
+    # ------------------------------------------------------------------ #
+
+    def goodpath_probability(self) -> float:
+        return self.primary.goodpath_probability()
+
+    def outstanding_branches(self) -> int:
+        return self.primary.outstanding_branches()
+
+    def should_gate(self, target_goodpath_probability: float) -> bool:
+        return self.primary.should_gate(target_goodpath_probability)
+
+    def by_name(self) -> Dict[str, PathConfidencePredictor]:
+        """Return the attached predictors keyed by their names."""
+        return {predictor.name: predictor for predictor in self.predictors}

@@ -1,0 +1,164 @@
+"""The Mispredict Rate Table (MRT).
+
+One :class:`~repro.common.counters.HalvingRateCounter` per MDC value (16
+buckets for the paper's 4-bit MDCs): a 10-bit correct-prediction counter
+and a 6-bit misprediction counter that are both halved whenever either
+overflows.  Periodically (every 200 000 cycles in the paper) a
+re-logarithmizing pass converts each bucket's measured correct-prediction
+probability into a 12-bit encoded probability via the Mitchell log circuit
+and resets the counters.
+
+The module also provides the static per-MDC mispredict-rate profile used to
+(a) seed the encoded-probability registers before the first
+re-logarithmizing pass and (b) drive the Static-MRT ablation of Appendix A.
+The profile's shape follows Fig. 2 of the paper: mispredict rates fall
+steeply from MDC 0 (~35 %) towards the saturated bucket (~1 %).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.counters import HalvingRateCounter
+from repro.common.logcircuit import (
+    ENCODED_PROBABILITY_MAX,
+    ENCODED_PROBABILITY_SCALE,
+    MitchellLogCircuit,
+    encode_probability_exact,
+)
+
+#: A static per-MDC-value mispredict-rate profile with the shape of Fig. 2.
+#: Index = MDC value (0..15).
+DEFAULT_STATIC_MISPREDICT_RATES: List[float] = [
+    0.35, 0.27, 0.21, 0.17, 0.14, 0.11, 0.09, 0.075,
+    0.062, 0.052, 0.044, 0.037, 0.031, 0.026, 0.022, 0.012,
+]
+
+
+class MispredictRateTable:
+    """Dynamic measurement of per-MDC-bucket correct-prediction probability.
+
+    Parameters
+    ----------
+    num_buckets:
+        Number of MDC values (16 for 4-bit MDCs).
+    correct_bits / mispredict_bits:
+        Counter widths (10 and 6 in the paper — 32 bytes of storage total).
+    relog_period_cycles:
+        How often the re-logarithmizing pass runs (200 000 cycles in the
+        paper; the paper notes PaCo is not very sensitive to this).
+    scale / clamp:
+        Encoded-probability scale factor and saturation value.
+    initial_mispredict_rates:
+        Profile used to seed the encoded-probability registers before the
+        first pass (defaults to :data:`DEFAULT_STATIC_MISPREDICT_RATES`).
+    use_mitchell_log:
+        When True (default) the encoded probabilities are produced by the
+        hardware-faithful Mitchell circuit; when False, by exact floating
+        point (used by ablations that quantify the circuit's error).
+    """
+
+    def __init__(self, num_buckets: int = 16, correct_bits: int = 10,
+                 mispredict_bits: int = 6, relog_period_cycles: int = 200_000,
+                 scale: int = ENCODED_PROBABILITY_SCALE,
+                 clamp: int = ENCODED_PROBABILITY_MAX,
+                 initial_mispredict_rates: Optional[Sequence[float]] = None,
+                 use_mitchell_log: bool = True) -> None:
+        if num_buckets <= 0:
+            raise ValueError("need at least one MRT bucket")
+        if relog_period_cycles <= 0:
+            raise ValueError("re-logarithmizing period must be positive")
+        self.num_buckets = num_buckets
+        self.relog_period_cycles = relog_period_cycles
+        self.scale = scale
+        self.clamp = clamp
+        self.use_mitchell_log = use_mitchell_log
+        self.counters: List[HalvingRateCounter] = [
+            HalvingRateCounter(correct_bits=correct_bits,
+                               mispredict_bits=mispredict_bits)
+            for _ in range(num_buckets)
+        ]
+        self._log_circuit = MitchellLogCircuit(input_bits=correct_bits,
+                                               fraction_bits=10)
+        rates = list(initial_mispredict_rates
+                     if initial_mispredict_rates is not None
+                     else DEFAULT_STATIC_MISPREDICT_RATES)
+        if len(rates) < num_buckets:
+            rates = rates + [rates[-1]] * (num_buckets - len(rates))
+        self.encoded_probabilities: List[int] = [
+            encode_probability_exact(1.0 - rates[i], scale=scale, clamp=clamp)
+            for i in range(num_buckets)
+        ]
+        self._last_relog_cycle = 0
+        self.relog_passes = 0
+        self.samples_recorded = 0
+
+    # ------------------------------------------------------------------ #
+
+    def record(self, mdc_value: int, was_correct: bool) -> None:
+        """Record one resolved branch outcome into its MDC bucket."""
+        if not 0 <= mdc_value < self.num_buckets:
+            raise ValueError(f"MDC value {mdc_value} out of range")
+        self.counters[mdc_value].record(was_correct)
+        self.samples_recorded += 1
+
+    def encoded_probability(self, mdc_value: int) -> int:
+        """Current encoded correct-prediction probability for an MDC bucket."""
+        if not 0 <= mdc_value < self.num_buckets:
+            raise ValueError(f"MDC value {mdc_value} out of range")
+        return self.encoded_probabilities[mdc_value]
+
+    def measured_mispredict_rate(self, mdc_value: int) -> float:
+        """The mispredict rate currently accumulated in a bucket's counters."""
+        return self.counters[mdc_value].mispredict_rate
+
+    # ------------------------------------------------------------------ #
+
+    def maybe_relog(self, cycle: int) -> bool:
+        """Run the re-logarithmizing pass if the period has elapsed.
+
+        Returns True when a pass was performed.
+        """
+        if cycle - self._last_relog_cycle < self.relog_period_cycles:
+            return False
+        self.relogarithmize()
+        self._last_relog_cycle = cycle
+        return True
+
+    def relogarithmize(self) -> None:
+        """Convert every bucket's counters into encoded probabilities and reset.
+
+        Buckets that saw no samples since the last pass keep their previous
+        encoded probability (there is nothing new to learn from them).
+        """
+        self.relog_passes += 1
+        for mdc_value, counter in enumerate(self.counters):
+            total = counter.total
+            if total == 0:
+                continue
+            if self.use_mitchell_log:
+                encoded = self._log_circuit.encode_rate(
+                    counter.correct, total, scale=self.scale, clamp=self.clamp
+                )
+            else:
+                encoded = encode_probability_exact(
+                    counter.correct / total, scale=self.scale, clamp=self.clamp
+                )
+            self.encoded_probabilities[mdc_value] = encoded
+            counter.reset()
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot_rates(self) -> Dict[int, float]:
+        """Return the current per-bucket mispredict rates (for reporting)."""
+        return {
+            mdc: counter.mispredict_rate
+            for mdc, counter in enumerate(self.counters)
+            if counter.total > 0
+        }
+
+    def storage_bits(self) -> int:
+        """Storage used by the MRT counters plus the encoded-probability registers."""
+        counter_bits = sum(c.correct_bits + c.mispredict_bits for c in self.counters)
+        encoded_bits = self.num_buckets * 12
+        return counter_bits + encoded_bits

@@ -1,0 +1,65 @@
+"""Oracle path confidence — a perfect reference predictor.
+
+The oracle knows, for every unresolved branch, whether its prediction was
+actually wrong (the simulator knows the architectural outcome at fetch
+time).  Its good-path probability is therefore exactly 1.0 while no
+unresolved branch is mispredicted and 0.0 otherwise.  It is used by unit
+tests, by sanity checks in the evaluation harness, and as an upper bound in
+ablation benches; it is *not* a realisable hardware design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
+
+
+@dataclass
+class _OracleToken:
+    will_mispredict: bool
+    resolved: bool = False
+
+
+class OraclePathConfidence(PathConfidencePredictor):
+    """Perfect path confidence based on oracle knowledge of mispredictions."""
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        self._outstanding_mispredicted = 0
+        self._outstanding = 0
+
+    def on_branch_fetch(self, info: BranchFetchInfo,
+                        will_mispredict: bool = False) -> _OracleToken:
+        """Register a fetched branch; the caller supplies oracle knowledge."""
+        self._outstanding += 1
+        if will_mispredict:
+            self._outstanding_mispredicted += 1
+        return _OracleToken(will_mispredict=will_mispredict)
+
+    def _remove(self, token: _OracleToken) -> None:
+        if token.resolved:
+            return
+        token.resolved = True
+        self._outstanding = max(0, self._outstanding - 1)
+        if token.will_mispredict:
+            self._outstanding_mispredicted = max(
+                0, self._outstanding_mispredicted - 1
+            )
+
+    def on_branch_resolve(self, token: _OracleToken, mispredicted: bool) -> None:
+        self._remove(token)
+
+    def on_branch_squash(self, token: _OracleToken) -> None:
+        self._remove(token)
+
+    def reset_window(self) -> None:
+        self._outstanding = 0
+        self._outstanding_mispredicted = 0
+
+    def goodpath_probability(self) -> float:
+        return 0.0 if self._outstanding_mispredicted > 0 else 1.0
+
+    def outstanding_branches(self) -> int:
+        return self._outstanding

@@ -1,0 +1,130 @@
+"""Per-branch MRT path confidence prediction (Appendix A ablation).
+
+Instead of stratifying branches by their MDC value, this design keeps a
+mispredict-rate entry *per branch context* (indexed by a hash of the branch
+PC and the global history) and uses that entry's long-run rate as the
+branch's correct-prediction probability.
+
+The paper finds this both more expensive and significantly *less* accurate
+than PaCo's MDC-bucket approach (Appendix Table 1): a long-run per-branch
+rate weighs ancient and recent mispredictions equally, so a branch that
+mispredicted just now looks no more dangerous than one that mispredicted a
+thousand instances ago — exactly the recency information the MDC value
+captures and this design throws away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.logcircuit import (
+    ENCODED_PROBABILITY_MAX,
+    ENCODED_PROBABILITY_SCALE,
+    decode_probability,
+    encode_probability_exact,
+    encode_threshold,
+)
+from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
+
+
+@dataclass
+class _PerBranchToken:
+    table_index: int
+    encoded_added: int
+    resolved: bool = False
+
+
+class PerBranchMRTPredictor(PathConfidencePredictor):
+    """Path confidence from per-branch-context long-run mispredict rates.
+
+    Parameters
+    ----------
+    index_bits:
+        log2 of the number of per-branch entries (the paper calls this the
+        more hardware-intensive option; 2^12 entries by default).
+    history_bits:
+        Global-history bits folded into the index.
+    prior_correct / prior_total:
+        Pseudo-counts seeding every entry, so a never-seen branch context
+        starts from a mildly optimistic correct-prediction probability
+        instead of 0/0.
+    """
+
+    name = "per-branch-mrt"
+
+    def __init__(self, index_bits: int = 12, history_bits: int = 8,
+                 prior_correct: int = 3, prior_total: int = 4,
+                 scale: int = ENCODED_PROBABILITY_SCALE,
+                 clamp: int = ENCODED_PROBABILITY_MAX) -> None:
+        if index_bits <= 0:
+            raise ValueError("index width must be positive")
+        if prior_total < prior_correct or prior_total <= 0:
+            raise ValueError("invalid prior pseudo-counts")
+        self.index_bits = index_bits
+        self.size = 1 << index_bits
+        self._mask = self.size - 1
+        self._history_mask = (1 << history_bits) - 1
+        self.scale = scale
+        self.clamp = clamp
+        self.prior_correct = prior_correct
+        self.prior_total = prior_total
+        # Long-run counters per entry: [correct, total]; never halved, which
+        # is precisely the design weakness the paper points out.
+        self._correct: List[int] = [prior_correct] * self.size
+        self._total: List[int] = [prior_total] * self.size
+
+        self.path_confidence_register = 0
+        self._outstanding = 0
+
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ (history & self._history_mask)) & self._mask
+
+    def _encoded_for(self, index: int) -> int:
+        probability = self._correct[index] / self._total[index]
+        return encode_probability_exact(probability, scale=self.scale,
+                                        clamp=self.clamp)
+
+    # ------------------------------------------------------------------ #
+
+    def on_branch_fetch(self, info: BranchFetchInfo) -> _PerBranchToken:
+        index = self._index(info.pc, info.history)
+        encoded = self._encoded_for(index)
+        self.path_confidence_register += encoded
+        self._outstanding += 1
+        return _PerBranchToken(table_index=index, encoded_added=encoded)
+
+    def _remove(self, token: _PerBranchToken) -> None:
+        if token.resolved:
+            return
+        token.resolved = True
+        self.path_confidence_register = max(
+            0, self.path_confidence_register - token.encoded_added
+        )
+        self._outstanding = max(0, self._outstanding - 1)
+
+    def on_branch_resolve(self, token: _PerBranchToken, mispredicted: bool) -> None:
+        index = token.table_index
+        self._total[index] += 1
+        if not mispredicted:
+            self._correct[index] += 1
+        self._remove(token)
+
+    def on_branch_squash(self, token: _PerBranchToken) -> None:
+        self._remove(token)
+
+    def reset_window(self) -> None:
+        self.path_confidence_register = 0
+        self._outstanding = 0
+
+    # ------------------------------------------------------------------ #
+
+    def goodpath_probability(self) -> float:
+        return decode_probability(self.path_confidence_register, scale=self.scale)
+
+    def outstanding_branches(self) -> int:
+        return self._outstanding
+
+    def should_gate(self, target_goodpath_probability: float) -> bool:
+        threshold = encode_threshold(target_goodpath_probability, scale=self.scale)
+        return self.path_confidence_register > threshold

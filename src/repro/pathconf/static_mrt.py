@@ -1,0 +1,94 @@
+"""Static-MRT path confidence prediction (Appendix A ablation).
+
+Identical to PaCo except that the per-MDC-bucket correct-prediction
+probabilities are fixed at construction time from a profile instead of
+being measured dynamically.  This removes the MRT counters and the log
+circuit from the hardware budget, at the cost of the roughly 3x higher RMS
+error the paper reports (Appendix Table 1): a single static profile cannot
+track differences across benchmarks or across phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.logcircuit import (
+    ENCODED_PROBABILITY_MAX,
+    ENCODED_PROBABILITY_SCALE,
+    decode_probability,
+    encode_probability_exact,
+    encode_threshold,
+)
+from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
+from repro.pathconf.mrt import DEFAULT_STATIC_MISPREDICT_RATES
+
+
+@dataclass
+class _StaticToken:
+    encoded_added: int
+    resolved: bool = False
+
+
+class StaticMRTPredictor(PathConfidencePredictor):
+    """PaCo with profile-derived, fixed encoded probabilities per MDC value."""
+
+    name = "static-mrt"
+
+    def __init__(self, mispredict_rates: Optional[Sequence[float]] = None,
+                 num_mdc_values: int = 16,
+                 scale: int = ENCODED_PROBABILITY_SCALE,
+                 clamp: int = ENCODED_PROBABILITY_MAX) -> None:
+        rates = list(mispredict_rates if mispredict_rates is not None
+                     else DEFAULT_STATIC_MISPREDICT_RATES)
+        if len(rates) < num_mdc_values:
+            rates = rates + [rates[-1]] * (num_mdc_values - len(rates))
+        for rate in rates:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("mispredict rates must be in [0, 1]")
+        self.scale = scale
+        self.clamp = clamp
+        self.num_mdc_values = num_mdc_values
+        self.encoded_probabilities = [
+            encode_probability_exact(1.0 - rates[i], scale=scale, clamp=clamp)
+            for i in range(num_mdc_values)
+        ]
+        self.path_confidence_register = 0
+        self._outstanding = 0
+
+    def on_branch_fetch(self, info: BranchFetchInfo) -> _StaticToken:
+        if not 0 <= info.mdc_value < self.num_mdc_values:
+            raise ValueError(f"MDC value {info.mdc_value} out of range")
+        encoded = self.encoded_probabilities[info.mdc_value]
+        self.path_confidence_register += encoded
+        self._outstanding += 1
+        return _StaticToken(encoded_added=encoded)
+
+    def _remove(self, token: _StaticToken) -> None:
+        if token.resolved:
+            return
+        token.resolved = True
+        self.path_confidence_register = max(
+            0, self.path_confidence_register - token.encoded_added
+        )
+        self._outstanding = max(0, self._outstanding - 1)
+
+    def on_branch_resolve(self, token: _StaticToken, mispredicted: bool) -> None:
+        self._remove(token)
+
+    def on_branch_squash(self, token: _StaticToken) -> None:
+        self._remove(token)
+
+    def reset_window(self) -> None:
+        self.path_confidence_register = 0
+        self._outstanding = 0
+
+    def goodpath_probability(self) -> float:
+        return decode_probability(self.path_confidence_register, scale=self.scale)
+
+    def outstanding_branches(self) -> int:
+        return self._outstanding
+
+    def should_gate(self, target_goodpath_probability: float) -> bool:
+        threshold = encode_threshold(target_goodpath_probability, scale=self.scale)
+        return self.path_confidence_register > threshold

@@ -1,0 +1,126 @@
+"""Conventional threshold-and-count path confidence prediction.
+
+The predictor the paper compares against (Fig. 1): the JRS MDC value of a
+fetched branch is thresholded into a 1-bit high/low confidence estimate and
+a counter tracks how many unresolved low-confidence branches are in flight.
+The counter value is the "path confidence": higher means less likely to be
+on the good path.
+
+Because the counter is not a probability, applications must pick magic
+numbers: pipeline gating gates when the count exceeds a *gate-count*, and
+SMT fetch prioritization gives bandwidth to the thread with the smaller
+count.  Section 2.3 of the paper shows why this is inaccurate: the same
+count corresponds to very different good-path probabilities across
+benchmarks and phases.
+
+For reliability-diagram comparisons this class can optionally map counts to
+probabilities with a fixed per-low-confidence-branch correctness rate; that
+mapping is *not* part of the conventional hardware and is clearly labelled
+as an evaluation aid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
+
+
+@dataclass
+class _CountToken:
+    """Per-branch bookkeeping: whether this branch was counted as low confidence."""
+
+    counted: bool
+    resolved: bool = False
+
+
+class ThresholdAndCountPredictor(PathConfidencePredictor):
+    """Count of unresolved low-confidence branches.
+
+    Parameters
+    ----------
+    threshold:
+        JRS confidence threshold; branches with ``MDC < threshold`` are
+        low-confidence.  The paper explores thresholds 3, 7, 11 and 15 and
+        finds 3 the best overall.
+    assumed_low_confidence_correct_rate:
+        Only used by :meth:`goodpath_probability` to translate the count
+        into a probability for reliability-diagram comparisons (the
+        hardware never does this).  The default 0.75 corresponds to the
+        ~25 % mispredict rate conventionally assumed for low-confidence
+        branches.
+    """
+
+    def __init__(self, threshold: int = 3,
+                 assumed_low_confidence_correct_rate: float = 0.75) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if not 0.0 < assumed_low_confidence_correct_rate <= 1.0:
+            raise ValueError("assumed correct rate must be in (0, 1]")
+        self.threshold = threshold
+        self.assumed_low_confidence_correct_rate = assumed_low_confidence_correct_rate
+        self.name = f"jrs-count(t={threshold})"
+        self._low_confidence_outstanding = 0
+        self._outstanding = 0
+
+        self.fetched_branches = 0
+        self.low_confidence_branches = 0
+
+    # ------------------------------------------------------------------ #
+
+    def on_branch_fetch(self, info: BranchFetchInfo) -> _CountToken:
+        self.fetched_branches += 1
+        self._outstanding += 1
+        counted = info.mdc_value < self.threshold
+        if counted:
+            self.low_confidence_branches += 1
+            self._low_confidence_outstanding += 1
+        return _CountToken(counted=counted)
+
+    def _remove(self, token: _CountToken) -> None:
+        if token.resolved:
+            return
+        token.resolved = True
+        self._outstanding = max(0, self._outstanding - 1)
+        if token.counted:
+            self._low_confidence_outstanding = max(
+                0, self._low_confidence_outstanding - 1
+            )
+
+    def on_branch_resolve(self, token: _CountToken, mispredicted: bool) -> None:
+        self._remove(token)
+
+    def on_branch_squash(self, token: _CountToken) -> None:
+        self._remove(token)
+
+    def reset_window(self) -> None:
+        self._low_confidence_outstanding = 0
+        self._outstanding = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def low_confidence_count(self) -> int:
+        """The hardware output: number of unresolved low-confidence branches."""
+        return self._low_confidence_outstanding
+
+    def outstanding_branches(self) -> int:
+        return self._outstanding
+
+    def goodpath_probability(self) -> float:
+        """Evaluation-aid probability mapping (see class docstring)."""
+        return (self.assumed_low_confidence_correct_rate
+                ** self._low_confidence_outstanding)
+
+    def should_gate(self, target_goodpath_probability: float,
+                    gate_count: Optional[int] = None) -> bool:
+        """Gate when the low-confidence count reaches ``gate_count``.
+
+        The probability-style signature is kept for interface compatibility;
+        pipeline-gating experiments pass an explicit ``gate_count`` because
+        that is the knob the conventional mechanism exposes.
+        """
+        if gate_count is not None:
+            return self._low_confidence_outstanding >= gate_count
+        return super().should_gate(target_goodpath_probability)

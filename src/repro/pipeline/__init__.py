@@ -1,0 +1,64 @@
+"""Cycle-approximate out-of-order / SMT pipeline model.
+
+This package is the timing substrate of the reproduction: a 4-wide
+out-of-order core with the paper's Table 6 parameters (and the 8-wide,
+2-thread SMT configuration of Table 11), driven by the synthetic workloads
+of :mod:`repro.workloads`.  The model captures everything the path
+confidence mechanisms interact with:
+
+* speculative fetch past unresolved branches (the window PaCo reasons about),
+* wrong-path fetch and execution after a misprediction, with recovery when
+  the mispredicted branch resolves,
+* a cache hierarchy and BTB that wrong-path instructions can pollute,
+* pipeline gating driven by a path confidence predictor, and
+* SMT fetch arbitration driven by per-thread path confidence.
+"""
+
+from repro.pipeline.config import MachineConfig, SMTConfig, CacheConfig
+from repro.pipeline.caches import Cache, CacheHierarchy
+from repro.pipeline.fetch import FetchEngine
+from repro.pipeline.gating import GatingPolicy, NoGating, PaCoGating, CountGating
+from repro.pipeline.throttling import (
+    ThrottlingPolicy,
+    NoThrottling,
+    CountThrottling,
+    PaCoThrottling,
+    ThrottledGatingAdapter,
+)
+from repro.pipeline.core import OutOfOrderCore, CoreStats, InstanceObserver
+from repro.pipeline.fetch_policy import (
+    FetchPolicy,
+    RoundRobinPolicy,
+    ICountPolicy,
+    CountConfidencePolicy,
+    PaCoConfidencePolicy,
+)
+from repro.pipeline.smt import SMTCore, SMTStats
+
+__all__ = [
+    "MachineConfig",
+    "SMTConfig",
+    "CacheConfig",
+    "Cache",
+    "CacheHierarchy",
+    "FetchEngine",
+    "GatingPolicy",
+    "NoGating",
+    "PaCoGating",
+    "CountGating",
+    "ThrottlingPolicy",
+    "NoThrottling",
+    "CountThrottling",
+    "PaCoThrottling",
+    "ThrottledGatingAdapter",
+    "OutOfOrderCore",
+    "CoreStats",
+    "InstanceObserver",
+    "FetchPolicy",
+    "RoundRobinPolicy",
+    "ICountPolicy",
+    "CountConfidencePolicy",
+    "PaCoConfidencePolicy",
+    "SMTCore",
+    "SMTStats",
+]

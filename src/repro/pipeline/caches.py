@@ -1,0 +1,111 @@
+"""Set-associative cache models and the two-level hierarchy.
+
+Wrong-path loads and stores access these caches just like good-path ones,
+so wrong-path execution pollutes them — the effect behind the paper's
+observation that very conservative pipeline gating can slightly *improve*
+performance (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pipeline.config import CacheConfig, MachineConfig
+
+
+class Cache:
+    """A set-associative, LRU-replacement cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self._line_shift = config.line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != config.line_bytes:
+            raise ValueError("cache line size must be a power of two")
+        self._sets: Dict[int, List[int]] = {}
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _locate(self, address: int) -> (int, int):
+        line = address >> self._line_shift
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        return index, tag
+
+    def access(self, address: int) -> bool:
+        """Access the cache; returns True on a hit.  Misses allocate the line."""
+        self.accesses += 1
+        index, tag = self._locate(address)
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = []
+            self._sets[index] = entries
+        try:
+            position = entries.index(tag)
+        except ValueError:
+            self.misses += 1
+            if len(entries) >= self.config.ways:
+                entries.pop()
+                self.evictions += 1
+            entries.insert(0, tag)
+            return False
+        if position:
+            entries.insert(0, entries.pop(position))
+        return True
+
+    def probe(self, address: int) -> bool:
+        """Check for a hit without updating LRU state or allocating."""
+        index, tag = self._locate(address)
+        entries = self._sets.get(index)
+        return bool(entries) and tag in entries
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class CacheHierarchy:
+    """L1 instruction cache + L1 data cache + unified L2.
+
+    ``access_data`` and ``access_instruction`` return the extra latency (in
+    cycles) the access adds on top of the instruction's base latency:
+    0 on an L1 hit, the L1 miss latency on an L1 miss that hits in L2, and
+    L1 + L2 miss latencies when both miss.
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.l1i = Cache(config.l1i)
+        self.l1d = Cache(config.l1d)
+        self.l2 = Cache(config.l2)
+        self._l1i_miss_latency = config.l1i.miss_latency
+        self._l1d_miss_latency = config.l1d.miss_latency
+        self._l2_miss_latency = config.l2.miss_latency
+
+    def access_instruction(self, pc: int) -> int:
+        """Fetch-side access; returns added latency in cycles."""
+        if self.l1i.access(pc):
+            return 0
+        if self.l2.access(pc):
+            return self._l1i_miss_latency
+        return self._l1i_miss_latency + self._l2_miss_latency
+
+    def access_data(self, address: int) -> int:
+        """Load/store access; returns added latency in cycles."""
+        if self.l1d.access(address):
+            return 0
+        if self.l2.access(address):
+            return self._l1d_miss_latency
+        return self._l1d_miss_latency + self._l2_miss_latency
+
+    def reset_stats(self) -> None:
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()

@@ -1,0 +1,98 @@
+"""Machine configuration records (the paper's Table 6 and Table 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and miss latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int
+    miss_latency: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError("cache size must be divisible by ways * line size")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass
+class MachineConfig:
+    """Parameters of the 4-wide out-of-order machine (paper Table 6).
+
+    The structural parameters follow the paper exactly; the handful of
+    timing parameters the paper leaves implicit (front-end depth, extra
+    redirect bubbles after a misprediction) are chosen so that the minimum
+    misprediction penalty is at least the paper's 10 cycles.
+    """
+
+    width: int = 4
+    rob_size: int = 256
+    scheduler_size: int = 64
+    num_functional_units: int = 4
+    frontend_depth: int = 6          #: cycles from fetch to earliest issue
+    redirect_penalty: int = 4        #: extra bubbles after a mispredict redirect
+    branch_history_bits: int = 8
+    direction_index_bits: int = 15
+    btb_sets: int = 1024
+    btb_ways: int = 4
+    ras_depth: int = 32
+    jrs_index_bits: int = 14         #: 8 KB of 4-bit MDCs
+    jrs_mdc_bits: int = 4
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * 1024, ways=4, line_bytes=128, miss_latency=10, label="L1I"))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * 1024, ways=4, line_bytes=64, miss_latency=10, label="L1D"))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=512 * 1024, ways=8, line_bytes=128, miss_latency=100, label="L2"))
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.rob_size <= 0 or self.scheduler_size <= 0:
+            raise ValueError("pipeline structure sizes must be positive")
+        if self.num_functional_units <= 0:
+            raise ValueError("need at least one functional unit")
+        if self.frontend_depth < 1:
+            raise ValueError("front-end depth must be at least one cycle")
+
+    @property
+    def min_mispredict_penalty(self) -> int:
+        """Lower bound on the fetch-to-redirect penalty of a mispredict."""
+        return self.frontend_depth + self.redirect_penalty
+
+    @classmethod
+    def paper_4wide(cls) -> "MachineConfig":
+        """The paper's 4-wide configuration (Table 6)."""
+        return cls()
+
+    @classmethod
+    def smt_8wide(cls) -> "MachineConfig":
+        """Per-core parameters of the paper's 8-wide SMT machine (Table 11)."""
+        return cls(
+            width=8,
+            rob_size=512,
+            num_functional_units=8,
+            frontend_depth=12,
+            redirect_penalty=8,
+        )
+
+
+@dataclass
+class SMTConfig:
+    """The SMT machine (paper Table 11): 8-wide, 2 threads, 512-entry ROB."""
+
+    machine: MachineConfig = field(default_factory=MachineConfig.smt_8wide)
+    num_threads: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 2:
+            raise ValueError("an SMT configuration needs at least two threads")

@@ -1,0 +1,184 @@
+"""Speculative fetch engine.
+
+The fetch engine is where the good path and the wrong path meet:
+
+* While on the good path it pulls instructions from the benchmark's
+  :class:`~repro.workloads.generator.WorkloadGenerator`, predicts every
+  control-flow instruction with the front-end predictor and, because the
+  generator also supplies the architectural outcome, knows immediately
+  whether the prediction was wrong (this is the oracle knowledge an
+  execution-driven simulator has).
+* The moment a good-path branch is mispredicted, fetch switches to the
+  :class:`~repro.workloads.generator.WrongPathGenerator`; everything
+  fetched from then on is wrong-path and will eventually be squashed.
+* When the mispredicted branch resolves in the backend, the core calls
+  :meth:`FetchEngine.recover` and fetch resumes on the good path.
+
+The engine is also the single place where the confidence machinery is
+driven: every fetched conditional branch performs a JRS lookup and
+registers with the path confidence predictor; every resolved branch updates
+the JRS entry it read at fetch and notifies the path confidence predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.branch_predictor.frontend import FrontEndPredictor, FrontEndPrediction
+from repro.confidence.jrs import ConfidenceLookup, JRSConfidencePredictor
+from repro.isa.instruction import Instruction
+from repro.isa.types import BranchKind
+from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
+from repro.workloads.generator import WorkloadGenerator, WrongPathGenerator
+
+
+@dataclass
+class _BranchBookkeeping:
+    """Everything attached to an in-flight branch at fetch time."""
+
+    prediction: FrontEndPrediction
+    confidence_lookup: Optional[ConfidenceLookup]
+    path_token: Optional[object]
+    resolved: bool = False
+
+
+class FetchEngine:
+    """Per-thread speculative fetch, path tracking and confidence hookup."""
+
+    def __init__(self, generator: WorkloadGenerator,
+                 frontend: FrontEndPredictor,
+                 confidence: JRSConfidencePredictor,
+                 path_confidence: PathConfidencePredictor,
+                 wrongpath_seed: int = 2) -> None:
+        self.generator = generator
+        self.wrongpath_generator = WrongPathGenerator(generator, seed=wrongpath_seed)
+        self.frontend = frontend
+        self.confidence = confidence
+        self.path_confidence = path_confidence
+
+        self.on_wrong_path = False
+        self._pending_mispredict_seq: Optional[int] = None
+
+        self.goodpath_fetched = 0
+        self.badpath_fetched = 0
+        self.branches_fetched = 0
+        self.conditional_branches_fetched = 0
+
+    # ------------------------------------------------------------------ #
+    # fetch
+    # ------------------------------------------------------------------ #
+
+    def fetch_one(self, seq: int, cycle: int) -> Instruction:
+        """Fetch the next instruction (good-path or wrong-path) and predict it."""
+        if self.on_wrong_path:
+            instr = self.wrongpath_generator.next_instruction(seq)
+            self.badpath_fetched += 1
+        else:
+            instr = self.generator.next_instruction(seq)
+            self.goodpath_fetched += 1
+        instr.fetch_cycle = cycle
+        if instr.is_branch:
+            self._predict_branch(instr)
+        return instr
+
+    def _predict_branch(self, instr: Instruction) -> None:
+        self.branches_fetched += 1
+        prediction = self.frontend.predict(instr)
+        mispredicted = self._is_mispredicted(instr, prediction)
+        prediction.mispredicted = mispredicted
+        instr.predicted_taken = prediction.taken
+        instr.predicted_target = prediction.target
+        instr.mispredicted = mispredicted
+        self.frontend.note_prediction_outcome(instr, prediction, mispredicted)
+
+        confidence_lookup: Optional[ConfidenceLookup] = None
+        path_token: Optional[object] = None
+        if instr.branch_kind is BranchKind.CONDITIONAL:
+            self.conditional_branches_fetched += 1
+            confidence_lookup = self.confidence.lookup(
+                instr.pc, prediction.history_at_predict, prediction.taken
+            )
+            info = BranchFetchInfo(
+                pc=instr.pc,
+                mdc_value=confidence_lookup.mdc_value,
+                mdc_index=confidence_lookup.index,
+                predicted_taken=prediction.taken,
+                history=prediction.history_at_predict,
+                static_branch_id=instr.static_branch_id,
+                thread_id=instr.thread_id,
+            )
+            path_token = self.path_confidence.on_branch_fetch(info)
+        instr.conf_token = _BranchBookkeeping(
+            prediction=prediction,
+            confidence_lookup=confidence_lookup,
+            path_token=path_token,
+        )
+
+        # A mispredicted branch on the good path sends fetch onto the wrong
+        # path until it resolves.  Wrong-path "mispredicts" change nothing:
+        # we are already fetching instructions that will be squashed.
+        if mispredicted and instr.on_goodpath and not self.on_wrong_path:
+            self.on_wrong_path = True
+            self._pending_mispredict_seq = instr.seq
+
+    @staticmethod
+    def _is_mispredicted(instr: Instruction,
+                         prediction: FrontEndPrediction) -> bool:
+        outcome = instr.outcome
+        if outcome is None:
+            return False
+        if instr.branch_kind is BranchKind.CONDITIONAL:
+            return prediction.taken != outcome.taken
+        # Control flow with a predicted target: mispredict when the target
+        # is unknown (BTB/RAS/indirect miss) or wrong.
+        return prediction.target != outcome.target
+
+    # ------------------------------------------------------------------ #
+    # resolution / recovery
+    # ------------------------------------------------------------------ #
+
+    def resolve_branch(self, instr: Instruction) -> None:
+        """Called by the core when a branch executes (good or wrong path)."""
+        bookkeeping: Optional[_BranchBookkeeping] = instr.conf_token
+        if bookkeeping is None or bookkeeping.resolved:
+            return
+        bookkeeping.resolved = True
+        train = instr.on_goodpath
+        self.frontend.resolve(instr, bookkeeping.prediction, train=train)
+        if bookkeeping.confidence_lookup is not None and train:
+            self.confidence.update(
+                bookkeeping.confidence_lookup, was_correct=not instr.mispredicted
+            )
+        if bookkeeping.path_token is not None:
+            if train:
+                self.path_confidence.on_branch_resolve(
+                    bookkeeping.path_token, mispredicted=instr.mispredicted
+                )
+            else:
+                # Wrong-path branches leave the window without training the
+                # mispredict-rate machinery (they never retire).
+                self.path_confidence.on_branch_squash(bookkeeping.path_token)
+
+    def squash_branch(self, instr: Instruction) -> None:
+        """Called by the core when an unresolved branch is flushed."""
+        bookkeeping: Optional[_BranchBookkeeping] = instr.conf_token
+        if bookkeeping is None or bookkeeping.resolved:
+            return
+        bookkeeping.resolved = True
+        if bookkeeping.path_token is not None:
+            self.path_confidence.on_branch_squash(bookkeeping.path_token)
+
+    def recover(self, mispredicted_instr: Instruction) -> None:
+        """Resume good-path fetch after the mispredicted branch resolved."""
+        if (self._pending_mispredict_seq is not None
+                and mispredicted_instr.seq == self._pending_mispredict_seq):
+            self.on_wrong_path = False
+            self._pending_mispredict_seq = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fetching_goodpath(self) -> bool:
+        """True when the next fetched instruction will be a good-path one."""
+        return not self.on_wrong_path

@@ -1,0 +1,135 @@
+"""SMT fetch prioritization policies.
+
+Every cycle the SMT front end gives its full fetch bandwidth to one thread;
+the policy decides which.  The paper compares:
+
+* **ICOUNT** (Tullsen et al.) — fetch for the thread with the fewest
+  instructions in flight.
+* **Threshold-and-count confidence** (Luo et al.) — fetch for the thread
+  with the fewest unresolved low-confidence branches, i.e. the thread a
+  conventional path confidence predictor believes is more likely to be on
+  the good path.  Ties fall back to ICOUNT.
+* **PaCo confidence** — fetch for the thread whose PaCo good-path
+  probability is higher (smaller encoded path-confidence register).  Ties
+  fall back to ICOUNT.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+
+
+class ThreadView(abc.ABC):
+    """The per-thread state a fetch policy is allowed to look at."""
+
+    @property
+    @abc.abstractmethod
+    def in_flight_instructions(self) -> int:
+        """Number of not-yet-retired instructions of this thread."""
+
+    @property
+    @abc.abstractmethod
+    def path_confidence(self) -> object:
+        """The thread's path confidence predictor."""
+
+
+class FetchPolicy(abc.ABC):
+    """Chooses which thread fetches this cycle."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, cycle: int, threads: Sequence[ThreadView]) -> int:
+        """Return the index of the thread that gets the fetch bandwidth."""
+
+
+class RoundRobinPolicy(FetchPolicy):
+    """Alternate fetch between threads regardless of their state."""
+
+    name = "round-robin"
+
+    def select(self, cycle: int, threads: Sequence[ThreadView]) -> int:
+        return cycle % len(threads)
+
+
+class ICountPolicy(FetchPolicy):
+    """ICOUNT: prefer the thread with the fewest in-flight instructions."""
+
+    name = "icount"
+
+    def select(self, cycle: int, threads: Sequence[ThreadView]) -> int:
+        counts = [t.in_flight_instructions for t in threads]
+        best = min(counts)
+        candidates = [i for i, c in enumerate(counts) if c == best]
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[cycle % len(candidates)]
+
+
+def _icount_tiebreak(cycle: int, threads: Sequence[ThreadView],
+                     candidates: List[int]) -> int:
+    counts = [threads[i].in_flight_instructions for i in candidates]
+    best = min(counts)
+    finalists = [candidates[i] for i, c in enumerate(counts) if c == best]
+    if len(finalists) == 1:
+        return finalists[0]
+    return finalists[cycle % len(finalists)]
+
+
+class CountConfidencePolicy(FetchPolicy):
+    """Luo et al.: prefer the thread with fewer unresolved low-confidence branches.
+
+    Each thread's predictor must be a
+    :class:`~repro.pathconf.threshold_count.ThresholdAndCountPredictor`.
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        self.threshold = threshold
+        self.name = f"conf-count(t={threshold})"
+
+    def select(self, cycle: int, threads: Sequence[ThreadView]) -> int:
+        counts = []
+        for thread in threads:
+            predictor = thread.path_confidence
+            if not isinstance(predictor, ThresholdAndCountPredictor):
+                raise TypeError(
+                    "CountConfidencePolicy requires ThresholdAndCountPredictor "
+                    f"per thread, got {type(predictor).__name__}"
+                )
+            counts.append(predictor.low_confidence_count)
+        best = min(counts)
+        candidates = [i for i, c in enumerate(counts) if c == best]
+        if len(candidates) == 1:
+            return candidates[0]
+        return _icount_tiebreak(cycle, threads, candidates)
+
+
+class PaCoConfidencePolicy(FetchPolicy):
+    """Prefer the thread with the higher PaCo good-path probability.
+
+    The comparison happens directly on the encoded path-confidence
+    registers (smaller register = higher probability), which is exactly the
+    integer comparison the hardware would perform.
+    """
+
+    name = "paco-confidence"
+
+    def select(self, cycle: int, threads: Sequence[ThreadView]) -> int:
+        registers = []
+        for thread in threads:
+            predictor = thread.path_confidence
+            if not isinstance(predictor, PaCoPredictor):
+                raise TypeError(
+                    "PaCoConfidencePolicy requires a PaCoPredictor per thread, "
+                    f"got {type(predictor).__name__}"
+                )
+            registers.append(predictor.path_confidence_register)
+        best = min(registers)
+        candidates = [i for i, r in enumerate(registers) if r == best]
+        if len(candidates) == 1:
+            return candidates[0]
+        return _icount_tiebreak(cycle, threads, candidates)

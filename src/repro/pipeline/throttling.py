@@ -1,0 +1,133 @@
+"""Selective fetch throttling (Aragon et al., HPCA-9).
+
+The paper's related-work section notes that instead of the all-or-nothing
+gating of Manne et al., fetch bandwidth can be *gradually* reduced as path
+confidence decreases, and argues this should work even better with PaCo
+because PaCo provides fine-grained probabilities rather than a small
+counter.  This module implements both variants:
+
+* :class:`CountThrottling` — fetch width shrinks as the number of
+  unresolved low-confidence branches grows (the conventional design).
+* :class:`PaCoThrottling` — fetch width shrinks as PaCo's good-path
+  probability falls through a list of probability steps; the comparisons
+  happen in encoded space, one integer compare per step.
+
+A throttling policy returns the number of fetch slots allowed this cycle;
+``0`` is equivalent to gating.  The out-of-order core accepts a throttling
+policy in place of a gating policy via :class:`ThrottledGatingAdapter`,
+which also exposes the per-cycle width so future front-end models can use
+it directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.pipeline.gating import GatingPolicy
+
+
+class ThrottlingPolicy(abc.ABC):
+    """Decides how many instructions may be fetched this cycle."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def allowed_width(self, full_width: int) -> int:
+        """Return the number of fetch slots allowed this cycle (0..full_width)."""
+
+
+class NoThrottling(ThrottlingPolicy):
+    """Baseline: always allow the full fetch width."""
+
+    name = "no-throttling"
+
+    def allowed_width(self, full_width: int) -> int:
+        return full_width
+
+
+class CountThrottling(ThrottlingPolicy):
+    """Reduce fetch width as the low-confidence branch count grows.
+
+    ``steps`` maps a count threshold to a width fraction; the lowest
+    matching entry wins.  The default follows Aragon et al.'s spirit:
+    full width below 2 outstanding low-confidence branches, half width at
+    2–3, quarter width at 4–5, gated at 6+.
+    """
+
+    def __init__(self, predictor: ThresholdAndCountPredictor,
+                 steps: Sequence[Tuple[int, float]] = ((2, 0.5), (4, 0.25),
+                                                       (6, 0.0))) -> None:
+        self.predictor = predictor
+        self.steps: List[Tuple[int, float]] = sorted(steps)
+        for count, fraction in self.steps:
+            if count < 0 or not 0.0 <= fraction <= 1.0:
+                raise ValueError("invalid throttling step")
+        self.name = f"count-throttling(t={predictor.threshold})"
+
+    def allowed_width(self, full_width: int) -> int:
+        count = self.predictor.low_confidence_count
+        fraction = 1.0
+        for threshold, step_fraction in self.steps:
+            if count >= threshold:
+                fraction = step_fraction
+        return int(round(full_width * fraction))
+
+
+class PaCoThrottling(ThrottlingPolicy):
+    """Reduce fetch width as PaCo's good-path probability falls.
+
+    ``steps`` maps a good-path probability threshold to a width fraction:
+    when the probability falls below the threshold, the width fraction
+    applies (the lowest matching threshold wins).  Thresholds are converted
+    to encoded space once at construction.
+    """
+
+    def __init__(self, predictor: PaCoPredictor,
+                 steps: Sequence[Tuple[float, float]] = ((0.6, 0.75), (0.4, 0.5),
+                                                         (0.2, 0.25),
+                                                         (0.08, 0.0))) -> None:
+        self.predictor = predictor
+        ordered = sorted(steps, reverse=True)
+        self._encoded_steps: List[Tuple[int, float]] = []
+        for probability, fraction in ordered:
+            if not 0.0 < probability < 1.0 or not 0.0 <= fraction <= 1.0:
+                raise ValueError("invalid throttling step")
+            self._encoded_steps.append(
+                (predictor.encoded_threshold(probability), fraction)
+            )
+        self.name = "paco-throttling"
+
+    def allowed_width(self, full_width: int) -> int:
+        register = self.predictor.path_confidence_register
+        fraction = 1.0
+        for encoded_threshold, step_fraction in self._encoded_steps:
+            if register > encoded_threshold:
+                fraction = step_fraction
+        return int(round(full_width * fraction))
+
+
+class ThrottledGatingAdapter(GatingPolicy):
+    """Adapts a throttling policy to the core's gating interface.
+
+    The current :class:`~repro.pipeline.core.OutOfOrderCore` asks a single
+    yes/no gating question per cycle.  The adapter answers "gate" whenever
+    the throttling policy allows zero slots, and additionally exposes
+    :meth:`allowed_width` so width-aware front ends (and tests) can observe
+    the graduated behaviour.
+    """
+
+    def __init__(self, throttling: ThrottlingPolicy, full_width: int) -> None:
+        if full_width <= 0:
+            raise ValueError("full_width must be positive")
+        self.throttling = throttling
+        self.full_width = full_width
+        self.name = f"gated({throttling.name})"
+
+    def allowed_width(self) -> int:
+        return self.throttling.allowed_width(self.full_width)
+
+    def should_gate(self) -> bool:
+        return self.allowed_width() == 0

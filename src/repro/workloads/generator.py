@@ -1,0 +1,464 @@
+"""Dynamic instruction stream generation.
+
+:class:`WorkloadGenerator` turns a :class:`~repro.workloads.spec.BenchmarkSpec`
+into an endless good-path instruction stream: the architectural path the
+program would retire.  The pipeline's fetch engine consumes this stream,
+runs the real branch predictor over it, and — when a prediction is wrong —
+switches to a :class:`WrongPathGenerator` until the mispredicted branch
+resolves, exactly mirroring how an execution-driven simulator wanders onto
+the wrong path.
+
+The generator owns all architectural state of the synthetic program: the
+current phase, the call stack (so returns have real targets for the RAS to
+predict), per-static-branch behaviour state and the data reference stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.common.rng import DeterministicRng, RngPool
+from repro.isa.instruction import BranchOutcome, Instruction
+from repro.isa.program import DEFAULT_LATENCY_BY_CLASS, StaticBranch
+from repro.isa.types import BranchKind, InstructionClass
+from repro.workloads.branch_models import (
+    BiasedRandomBranch,
+    BranchBehavior,
+    CorrelatedBranch,
+    GlobalCorrelationState,
+    IndirectTargetModel,
+    LoopBranch,
+    PatternBranch,
+)
+from repro.workloads.spec import BenchmarkSpec, PhaseSpec
+
+# Behaviour class tags used when sampling which population a dynamic
+# conditional branch comes from.
+_CLASS_HARD = "hard"
+_CLASS_CORRELATED = "correlated"
+_CLASS_LOOP = "loop"
+_CLASS_PATTERN = "pattern"
+_CLASS_BIASED = "biased"
+
+#: Taken-probability of the 'leftover' mildly biased population.
+_LEFTOVER_BIAS = 0.985
+
+#: Code region layout (purely cosmetic, but keeps PCs plausible and distinct).
+_CODE_BASE = 0x0040_0000
+_INDIRECT_TARGET_BASE = 0x0080_0000
+_WRONGPATH_CODE_BASE = 0x00C0_0000
+
+
+class _ConditionalSite:
+    """One static conditional branch together with its behaviour model."""
+
+    __slots__ = ("static", "behavior", "klass", "bias")
+
+    def __init__(self, static: StaticBranch, behavior: BranchBehavior,
+                 klass: str, bias: float = 0.5) -> None:
+        self.static = static
+        self.behavior = behavior
+        self.klass = klass
+        self.bias = bias
+
+
+class WorkloadGenerator:
+    """Generates the good-path dynamic instruction stream for one benchmark.
+
+    Parameters
+    ----------
+    spec:
+        The benchmark description.
+    seed:
+        Master seed; every stochastic decision derives from it, so two
+        generators with the same spec and seed produce identical streams.
+    thread_id:
+        SMT hardware-thread id stamped on every generated instruction.
+    """
+
+    def __init__(self, spec: BenchmarkSpec, seed: int = 1, thread_id: int = 0) -> None:
+        self.spec = spec
+        self.thread_id = thread_id
+        self._pool = RngPool(seed).fork(spec.name)
+        self._rng_branch = self._pool.stream("branch-outcomes")
+        self._rng_select = self._pool.stream("site-selection")
+        self._rng_mix = self._pool.stream("instruction-mix")
+        self._rng_memory = self._pool.stream("memory")
+        self._rng_dep = self._pool.stream("dependences")
+
+        self._correlation_state = GlobalCorrelationState()
+        self._conditional_sites: List[_ConditionalSite] = []
+        self._sites_by_class: dict = {}
+        self._build_conditional_population()
+        self._build_other_branch_sites()
+
+        # Architectural call stack (return targets) with a bounded depth.
+        self._call_stack: Deque[int] = deque(maxlen=64)
+
+        # Data reference stream state.
+        self._recent_lines: Deque[int] = deque(maxlen=64)
+        self._stride_pointer = 0
+
+        # Phase schedule state.
+        self.instructions_generated = 0
+        self._phase_index = 0
+        self._phase_remaining = (
+            spec.phases[0].length_instructions if spec.phases else 0
+        )
+
+        # Mix weights, flattened once.
+        mix = spec.instruction_mix.as_weights()
+        self._mix_classes = list(mix.keys())
+        self._mix_weights = list(mix.values())
+        kinds = spec.kind_mix.normalised()
+        self._kind_names = list(kinds.keys())
+        self._kind_weights = list(kinds.values())
+
+    # ------------------------------------------------------------------ #
+    # population construction
+    # ------------------------------------------------------------------ #
+
+    def _build_conditional_population(self) -> None:
+        spec = self.spec
+        rng = self._pool.stream("population")
+        n = spec.num_static_conditionals
+        class_shares = [
+            (_CLASS_HARD, spec.hard_fraction),
+            (_CLASS_CORRELATED, spec.correlated_fraction),
+            (_CLASS_LOOP, spec.loop_fraction),
+            (_CLASS_PATTERN, spec.pattern_fraction),
+            (_CLASS_BIASED, spec.biased_fraction),
+        ]
+        branch_id = 0
+        for klass, share in class_shares:
+            count = max(1, int(round(n * share))) if share > 0 else 0
+            sites = []
+            for _ in range(count):
+                pc = _CODE_BASE + branch_id * 0x20
+                static = StaticBranch(
+                    branch_id=branch_id,
+                    pc=pc,
+                    kind=BranchKind.CONDITIONAL,
+                    taken_target=pc + 0x100 + (branch_id % 7) * 0x40,
+                    fallthrough=pc + 4,
+                )
+                behavior, bias = self._make_behavior(klass, rng)
+                sites.append(_ConditionalSite(static, behavior, klass, bias))
+                branch_id += 1
+            self._sites_by_class[klass] = sites
+            self._conditional_sites.extend(sites)
+        if not self._conditional_sites:
+            raise ValueError("benchmark spec produced an empty branch population")
+
+    def _make_behavior(self, klass: str,
+                       rng: DeterministicRng) -> Tuple[BranchBehavior, float]:
+        spec = self.spec
+        if klass == _CLASS_HARD:
+            jitter = (rng.random() - 0.5) * 0.10
+            bias = min(max(spec.hard_taken_bias + jitter, 0.5), 0.98)
+            return BiasedRandomBranch(bias), bias
+        if klass == _CLASS_CORRELATED:
+            return CorrelatedBranch(self._correlation_state,
+                                    calm_probability=0.97,
+                                    turbulent_probability=0.65), 0.97
+        if klass == _CLASS_LOOP:
+            lo, hi = min(spec.loop_trip_range), max(spec.loop_trip_range)
+            trip = rng.randint(lo, hi)
+            return LoopBranch(trip, jitter_probability=0.05), 1.0 - 1.0 / trip
+        if klass == _CLASS_PATTERN:
+            # The "easy" population: strongly biased branches whose minority
+            # direction is rare.  (A global-history predictor cannot exploit
+            # short local patterns when unrelated branches are interleaved,
+            # so predictable-by-bias is the faithful easy population here.)
+            lo, hi = min(spec.easy_bias_range), max(spec.easy_bias_range)
+            bias = lo + (hi - lo) * rng.random()
+            return BiasedRandomBranch(bias), bias
+        # leftover: very strongly biased branches
+        return BiasedRandomBranch(_LEFTOVER_BIAS), _LEFTOVER_BIAS
+
+    def _build_other_branch_sites(self) -> None:
+        base = _CODE_BASE + 0x10_0000
+        self._uncond_pcs = [base + i * 0x40 for i in range(32)]
+        self._call_pcs = [base + 0x4000 + i * 0x40 for i in range(32)]
+        self._return_pcs = [base + 0x8000 + i * 0x40 for i in range(32)]
+        self._indirect_sites = []
+        for i in range(4):
+            pc = base + 0xC000 + i * 0x40
+            model = IndirectTargetModel(
+                base_target=_INDIRECT_TARGET_BASE + i * 0x1_0000,
+                num_targets=self.spec.indirect_targets,
+                repeat_probability=self.spec.indirect_repeat_probability,
+            )
+            self._indirect_sites.append((pc, model))
+        # One dominant indirect-call site (the perlbmk pathology): site 0 is
+        # used for 70% of indirect calls.
+        self._indirect_site_weights = [0.70, 0.14, 0.10, 0.06]
+
+    # ------------------------------------------------------------------ #
+    # phase handling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_phase(self) -> Optional[PhaseSpec]:
+        if not self.spec.phases:
+            return None
+        return self.spec.phases[self._phase_index]
+
+    @property
+    def current_phase_index(self) -> int:
+        return self._phase_index if self.spec.phases else 0
+
+    @property
+    def current_phase_label(self) -> str:
+        phase = self.current_phase
+        if phase is None:
+            return ""
+        return phase.label or f"phase{self._phase_index}"
+
+    def _advance_phase(self) -> None:
+        if not self.spec.phases:
+            return
+        self._phase_remaining -= 1
+        if self._phase_remaining <= 0:
+            self._phase_index = (self._phase_index + 1) % len(self.spec.phases)
+            self._phase_remaining = (
+                self.spec.phases[self._phase_index].length_instructions
+            )
+
+    def _phase_hard_fraction(self) -> float:
+        phase = self.current_phase
+        if phase is not None and phase.hard_fraction is not None:
+            return phase.hard_fraction
+        return self.spec.hard_fraction
+
+    def _phase_bias_shift(self) -> float:
+        phase = self.current_phase
+        if phase is not None and phase.hard_taken_bias is not None:
+            return phase.hard_taken_bias - self.spec.hard_taken_bias
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+    # instruction generation
+    # ------------------------------------------------------------------ #
+
+    def next_instruction(self, seq: int) -> Instruction:
+        """Generate the next good-path dynamic instruction."""
+        self.instructions_generated += 1
+        self._advance_phase()
+        if self._rng_mix.bernoulli(self.spec.branch_fraction):
+            instr = self._generate_branch(seq)
+        else:
+            instr = self._generate_non_branch(seq)
+        return instr
+
+    # -- branches ------------------------------------------------------- #
+
+    def _generate_branch(self, seq: int) -> Instruction:
+        kind_name = self._rng_select.weighted_choice(
+            self._kind_names, self._kind_weights
+        )
+        if kind_name == "conditional":
+            return self._generate_conditional(seq)
+        if kind_name == "unconditional":
+            pc = self._rng_select.choice(self._uncond_pcs)
+            target = pc + 0x200
+            return self._branch_instruction(
+                seq, pc, BranchKind.UNCONDITIONAL, taken=True, target=target
+            )
+        if kind_name == "call":
+            pc = self._rng_select.choice(self._call_pcs)
+            target = pc + 0x1000
+            self._call_stack.append(pc + 4)
+            return self._branch_instruction(
+                seq, pc, BranchKind.CALL, taken=True, target=target
+            )
+        if kind_name == "ret":
+            pc = self._rng_select.choice(self._return_pcs)
+            target = self._call_stack.pop() if self._call_stack else _CODE_BASE
+            return self._branch_instruction(
+                seq, pc, BranchKind.RETURN, taken=True, target=target
+            )
+        # indirect or indirect_call
+        pc, model = self._rng_select.weighted_choice(
+            self._indirect_sites, self._indirect_site_weights
+        )
+        target = model.next_target(self._rng_branch)
+        kind = (BranchKind.INDIRECT_CALL if kind_name == "indirect_call"
+                else BranchKind.INDIRECT)
+        if kind is BranchKind.INDIRECT_CALL:
+            self._call_stack.append(pc + 4)
+        return self._branch_instruction(seq, pc, kind, taken=True, target=target)
+
+    def _generate_conditional(self, seq: int) -> Instruction:
+        site = self._select_conditional_site()
+        taken = self._conditional_outcome(site)
+        static = site.static
+        target = static.taken_target if taken else static.fallthrough
+        instr = self._branch_instruction(
+            seq, static.pc, BranchKind.CONDITIONAL, taken=taken, target=target
+        )
+        instr.static_branch_id = static.branch_id
+        return instr
+
+    def _select_conditional_site(self) -> _ConditionalSite:
+        """Sample which population the next dynamic conditional comes from."""
+        spec = self.spec
+        hard_fraction = self._phase_hard_fraction()
+        scale = 1.0
+        base_other = (spec.correlated_fraction + spec.loop_fraction
+                      + spec.pattern_fraction + spec.biased_fraction)
+        if base_other > 0:
+            scale = (1.0 - hard_fraction) / base_other
+        weights = [
+            hard_fraction,
+            spec.correlated_fraction * scale,
+            spec.loop_fraction * scale,
+            spec.pattern_fraction * scale,
+            spec.biased_fraction * scale,
+        ]
+        classes = [_CLASS_HARD, _CLASS_CORRELATED, _CLASS_LOOP,
+                   _CLASS_PATTERN, _CLASS_BIASED]
+        # Drop empty populations.
+        available = [(klass, weight) for klass, weight in zip(classes, weights)
+                     if self._sites_by_class.get(klass)]
+        klass = self._rng_select.weighted_choice(
+            [a[0] for a in available], [max(a[1], 1e-9) for a in available]
+        )
+        return self._rng_select.choice(self._sites_by_class[klass])
+
+    def _conditional_outcome(self, site: _ConditionalSite) -> bool:
+        if site.klass == _CLASS_HARD:
+            shift = self._phase_bias_shift()
+            if shift:
+                bias = min(max(site.bias + shift, 0.02), 0.98)
+                return self._rng_branch.bernoulli(bias)
+        return site.behavior.next_outcome(
+            self._rng_branch, phase=self.current_phase_index
+        )
+
+    def _branch_instruction(self, seq: int, pc: int, kind: BranchKind,
+                            taken: bool, target: int) -> Instruction:
+        return Instruction(
+            seq=seq,
+            pc=pc,
+            iclass=InstructionClass.BRANCH,
+            branch_kind=kind,
+            outcome=BranchOutcome(taken=taken, target=target),
+            dep_distance=self._sample_dep_distance(),
+            latency_class=DEFAULT_LATENCY_BY_CLASS[InstructionClass.BRANCH],
+            thread_id=self.thread_id,
+            on_goodpath=True,
+        )
+
+    # -- non-branches ---------------------------------------------------- #
+
+    def _generate_non_branch(self, seq: int) -> Instruction:
+        iclass = self._rng_mix.weighted_choice(self._mix_classes, self._mix_weights)
+        address = None
+        if iclass in (InstructionClass.LOAD, InstructionClass.STORE):
+            address = self._next_data_address()
+        return Instruction(
+            seq=seq,
+            pc=_CODE_BASE + 0x20_0000 + (seq % 4096) * 4,
+            iclass=iclass,
+            address=address,
+            dep_distance=self._sample_dep_distance(),
+            latency_class=DEFAULT_LATENCY_BY_CLASS[iclass],
+            thread_id=self.thread_id,
+            on_goodpath=True,
+        )
+
+    def _sample_dep_distance(self) -> int:
+        """Distance to the producer of the critical source operand."""
+        rng = self._rng_dep
+        if rng.bernoulli(0.35):
+            return 0  # operands already architecturally ready
+        return rng.randint(1, 12)
+
+    def _next_data_address(self) -> int:
+        spec = self.spec.memory
+        rng = self._rng_memory
+        if self._recent_lines and rng.bernoulli(spec.reuse_probability):
+            line = rng.choice(list(self._recent_lines))
+        elif rng.bernoulli(spec.stride_fraction):
+            self._stride_pointer = (self._stride_pointer + 1) % spec.working_set_lines
+            line = self._stride_pointer
+        else:
+            line = rng.randint(0, spec.working_set_lines - 1)
+        self._recent_lines.append(line)
+        return 0x1000_0000 + line * spec.line_bytes + self.thread_id * 0x4000_0000
+
+
+class WrongPathGenerator:
+    """Synthesises the instructions fetched while the machine is on the wrong path.
+
+    Wrong-path code in a real machine is just other code from the same
+    program, so the generator reuses the parent generator's static branch
+    population (keeping predictor-table interference realistic) but draws
+    outcomes and data addresses from its own random streams and never
+    touches the parent's architectural state (call stack, phase schedule).
+    Data addresses are biased towards lines *outside* the hot working set,
+    which is what produces the cache/BTB pollution effects the paper
+    observes for gap and perlbmk.
+    """
+
+    def __init__(self, parent: WorkloadGenerator, seed: int = 2) -> None:
+        self._parent = parent
+        pool = RngPool(seed).fork(f"wrongpath:{parent.spec.name}")
+        self._rng = pool.stream("main")
+        self._rng_memory = pool.stream("memory")
+        spec = parent.spec
+        mix = spec.instruction_mix.as_weights()
+        self._mix_classes = list(mix.keys())
+        self._mix_weights = list(mix.values())
+
+    def next_instruction(self, seq: int) -> Instruction:
+        """Generate the next wrong-path instruction."""
+        parent = self._parent
+        spec = parent.spec
+        thread_id = parent.thread_id
+        if self._rng.bernoulli(spec.branch_fraction):
+            site = self._rng.choice(parent._conditional_sites)
+            taken = self._rng.bernoulli(0.55)
+            static = site.static
+            pc = static.pc + 0x8  # a nearby, but distinct, wrong-path PC
+            target = static.taken_target if taken else static.fallthrough
+            return Instruction(
+                seq=seq,
+                pc=pc,
+                iclass=InstructionClass.BRANCH,
+                branch_kind=BranchKind.CONDITIONAL,
+                outcome=BranchOutcome(taken=taken, target=target),
+                dep_distance=self._rng.randint(0, 8),
+                latency_class=DEFAULT_LATENCY_BY_CLASS[InstructionClass.BRANCH],
+                thread_id=thread_id,
+                on_goodpath=False,
+                static_branch_id=static.branch_id,
+            )
+        iclass = self._rng.weighted_choice(self._mix_classes, self._mix_weights)
+        address = None
+        if iclass in (InstructionClass.LOAD, InstructionClass.STORE):
+            address = self._polluting_address()
+        return Instruction(
+            seq=seq,
+            pc=_WRONGPATH_CODE_BASE + (seq % 4096) * 4,
+            iclass=iclass,
+            address=address,
+            dep_distance=self._rng.randint(0, 8),
+            latency_class=DEFAULT_LATENCY_BY_CLASS[iclass],
+            thread_id=thread_id,
+            on_goodpath=False,
+        )
+
+    def _polluting_address(self) -> int:
+        spec = self._parent.spec.memory
+        rng = self._rng_memory
+        if rng.bernoulli(0.4):
+            # Sometimes touch the real working set (harmless prefetch effect).
+            line = rng.randint(0, spec.working_set_lines - 1)
+        else:
+            # Mostly touch lines beyond the hot set (pollution).
+            line = spec.working_set_lines + rng.randint(0, 4 * spec.working_set_lines)
+        return (0x1000_0000 + line * spec.line_bytes
+                + self._parent.thread_id * 0x4000_0000)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng, RngPool
+from repro.pipeline.config import MachineConfig
+from repro.workloads.spec import BenchmarkSpec, MemorySpec, PhaseSpec
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(12345)
+
+
+@pytest.fixture
+def rng_pool() -> RngPool:
+    return RngPool(master_seed=7)
+
+
+@pytest.fixture
+def tiny_spec() -> BenchmarkSpec:
+    """A small synthetic benchmark for fast simulation tests."""
+    return BenchmarkSpec(
+        name="tiny",
+        branch_fraction=0.20,
+        num_static_conditionals=16,
+        hard_fraction=0.25,
+        hard_taken_bias=0.70,
+        loop_fraction=0.25,
+        pattern_fraction=0.30,
+        loop_trip_range=(8, 16),
+        memory=MemorySpec(working_set_lines=256),
+        description="test workload",
+    )
+
+
+@pytest.fixture
+def phased_spec() -> BenchmarkSpec:
+    """A small benchmark with two phases, for phase-aware tests."""
+    return BenchmarkSpec(
+        name="tiny-phased",
+        branch_fraction=0.20,
+        num_static_conditionals=16,
+        hard_fraction=0.10,
+        hard_taken_bias=0.75,
+        loop_fraction=0.25,
+        pattern_fraction=0.35,
+        phases=[
+            PhaseSpec(length_instructions=2_000, hard_fraction=0.05, label="easy"),
+            PhaseSpec(length_instructions=2_000, hard_fraction=0.30, label="hard"),
+        ],
+        memory=MemorySpec(working_set_lines=256),
+    )
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """A scaled-down machine configuration for fast pipeline tests."""
+    return MachineConfig(
+        width=4,
+        rob_size=64,
+        scheduler_size=32,
+        num_functional_units=4,
+        frontend_depth=4,
+        redirect_penalty=2,
+        direction_index_bits=12,
+        jrs_index_bits=10,
+        btb_sets=128,
+    )

@@ -1,0 +1,112 @@
+"""Tests for the pipeline-gating and SMT-prioritization application drivers."""
+
+import pytest
+
+from repro.applications.pipeline_gating import (
+    GatingSweepConfig,
+    average_curves,
+    run_gating_sweep,
+)
+from repro.applications.smt_prioritization import (
+    SMT_PAIRS,
+    SMTStudyConfig,
+    run_smt_study,
+)
+from repro.workloads.suite import benchmark_names
+
+
+class TestSMTPairList:
+    def test_sixteen_pairs(self):
+        assert len(SMT_PAIRS) == 16
+
+    def test_parser_is_excluded(self):
+        names = {name for pair in SMT_PAIRS for name in pair}
+        assert "parser" not in names
+
+    def test_every_benchmark_appears_three_times_except_gzip(self):
+        counts = {}
+        for pair in SMT_PAIRS:
+            for name in pair:
+                counts[name] = counts.get(name, 0) + 1
+        assert counts.pop("gzip") == 2
+        assert all(count == 3 for count in counts.values())
+
+    def test_gap_mcf_pair_from_paper_discussion_is_included(self):
+        assert ("gap", "mcf") in SMT_PAIRS
+
+    def test_all_pair_members_are_known_benchmarks(self):
+        known = set(benchmark_names())
+        for pair in SMT_PAIRS:
+            assert set(pair) <= known
+
+
+class TestGatingSweep:
+    @pytest.fixture(scope="class")
+    def tiny_sweep(self):
+        config = GatingSweepConfig(
+            benchmarks=("twolf",),
+            paco_probabilities=(0.2, 0.6),
+            jrs_thresholds=(3,),
+            gate_counts=(1, 4),
+            instructions=8_000,
+            warmup_instructions=3_000,
+        )
+        return run_gating_sweep(config)
+
+    def test_produces_one_curve_per_policy(self, tiny_sweep):
+        assert set(tiny_sweep) == {"paco", "jrs-t3"}
+
+    def test_curve_point_counts_match_sweep(self, tiny_sweep):
+        assert len(tiny_sweep["paco"]) == 2
+        assert len(tiny_sweep["jrs-t3"]) == 2
+
+    def test_count_curve_is_ordered_least_to_most_aggressive(self, tiny_sweep):
+        parameters = [p.parameter for p in tiny_sweep["jrs-t3"]]
+        assert parameters == sorted(parameters, reverse=True)
+
+    def test_more_aggressive_paco_gating_removes_more_badpath(self, tiny_sweep):
+        points = tiny_sweep["paco"]
+        assert points[-1].badpath_fetch_reduction >= points[0].badpath_fetch_reduction
+
+    def test_average_curves_selects_best_low_loss_point(self, tiny_sweep):
+        best = average_curves(tiny_sweep)
+        assert set(best) == set(tiny_sweep)
+        for name, point in best.items():
+            reductions = [p.badpath_reduction for p in tiny_sweep[name]
+                          if p.performance_loss <= 0.01]
+            if reductions:
+                assert point.badpath_reduction == max(reductions)
+
+
+class TestSMTStudy:
+    @pytest.fixture(scope="class")
+    def tiny_study(self):
+        config = SMTStudyConfig(
+            pairs=[("gzip", "twolf")],
+            jrs_thresholds=(3,),
+            include_icount=True,
+            instructions=12_000,
+            warmup_instructions=4_000,
+            single_thread_instructions=6_000,
+        )
+        return run_smt_study(config)
+
+    def test_one_result_per_pair(self, tiny_study):
+        assert len(tiny_study) == 1
+        assert tiny_study[0].pair == ("gzip", "twolf")
+
+    def test_every_policy_is_evaluated(self, tiny_study):
+        assert set(tiny_study[0].hmwipc_by_policy) == {"icount", "jrs-t3", "paco"}
+
+    def test_hmwipc_values_are_sane(self, tiny_study):
+        for value in tiny_study[0].hmwipc_by_policy.values():
+            assert 0.0 < value < 1.5
+
+    def test_best_counter_policy_helper(self, tiny_study):
+        name, value = tiny_study[0].best_counter_policy()
+        assert name == "jrs-t3"
+        assert value == tiny_study[0].hmwipc_by_policy["jrs-t3"]
+
+    def test_paco_improvement_helper_is_finite(self, tiny_study):
+        improvement = tiny_study[0].paco_improvement_over_best_counter()
+        assert -1.0 < improvement < 1.0

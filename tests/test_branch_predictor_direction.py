@@ -1,0 +1,168 @@
+"""Unit tests for the direction predictors (bimodal, gshare, tournament)."""
+
+import pytest
+
+from repro.branch_predictor.bimodal import BimodalPredictor
+from repro.branch_predictor.gshare import GSharePredictor
+from repro.branch_predictor.tournament import TournamentPredictor
+from repro.common.rng import DeterministicRng
+
+
+def _train(predictor, pc, history, taken, times=1):
+    for _ in range(times):
+        result = predictor.predict(pc, history)
+        predictor.update(pc, history, taken, result)
+
+
+class TestBimodalPredictor:
+    def test_initially_weakly_taken(self):
+        assert BimodalPredictor(index_bits=8).predict(0x400000).taken
+
+    def test_learns_not_taken_branch(self):
+        predictor = BimodalPredictor(index_bits=8)
+        _train(predictor, 0x400000, 0, taken=False, times=4)
+        assert not predictor.predict(0x400000).taken
+
+    def test_learns_taken_branch(self):
+        predictor = BimodalPredictor(index_bits=8)
+        _train(predictor, 0x400000, 0, taken=False, times=4)
+        _train(predictor, 0x400000, 0, taken=True, times=4)
+        assert predictor.predict(0x400000).taken
+
+    def test_hysteresis_survives_single_flip(self):
+        predictor = BimodalPredictor(index_bits=8)
+        _train(predictor, 0x400000, 0, taken=True, times=4)
+        _train(predictor, 0x400000, 0, taken=False, times=1)
+        assert predictor.predict(0x400000).taken
+
+    def test_distinct_pcs_use_distinct_entries(self):
+        predictor = BimodalPredictor(index_bits=8)
+        _train(predictor, 0x400000, 0, taken=False, times=4)
+        assert predictor.predict(0x400404).taken
+
+    def test_update_without_result_recomputes_index(self):
+        predictor = BimodalPredictor(index_bits=8)
+        for _ in range(4):
+            predictor.update(0x400000, 0, taken=False)
+        assert not predictor.predict(0x400000).taken
+
+    def test_reset_restores_initial_state(self):
+        predictor = BimodalPredictor(index_bits=8)
+        _train(predictor, 0x400000, 0, taken=False, times=4)
+        predictor.reset()
+        assert predictor.predict(0x400000).taken
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(index_bits=0)
+
+    def test_accuracy_on_biased_stream(self):
+        predictor = BimodalPredictor(index_bits=10)
+        rng = DeterministicRng(1)
+        correct = 0
+        for _ in range(4000):
+            taken = rng.bernoulli(0.9)
+            result = predictor.predict(0x400100, 0)
+            correct += (result.taken == taken)
+            predictor.update(0x400100, 0, taken, result)
+        assert correct / 4000 > 0.85
+
+
+class TestGSharePredictor:
+    def test_history_disambiguates_contexts(self):
+        predictor = GSharePredictor(index_bits=10, history_bits=4)
+        # Same PC, different history: branch is taken in context A, not in B.
+        _train(predictor, 0x400000, 0b0000, taken=True, times=4)
+        _train(predictor, 0x400000, 0b1111, taken=False, times=4)
+        assert predictor.predict(0x400000, 0b0000).taken
+        assert not predictor.predict(0x400000, 0b1111).taken
+
+    def test_learns_alternating_pattern_with_history(self):
+        predictor = GSharePredictor(index_bits=10, history_bits=4)
+        history = 0
+        correct = 0
+        total = 2000
+        for i in range(total):
+            taken = (i % 2 == 0)
+            result = predictor.predict(0x400040, history)
+            correct += (result.taken == taken)
+            predictor.update(0x400040, history, taken, result)
+            history = ((history << 1) | taken) & 0xF
+        assert correct / total > 0.9
+
+    def test_rejects_history_wider_than_index(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(index_bits=4, history_bits=8)
+
+    def test_reset(self):
+        predictor = GSharePredictor(index_bits=8)
+        _train(predictor, 0x400000, 0, taken=False, times=4)
+        predictor.reset()
+        assert predictor.predict(0x400000, 0).taken
+
+    def test_update_without_result(self):
+        predictor = GSharePredictor(index_bits=8)
+        for _ in range(4):
+            predictor.update(0x400000, 0b1010, taken=False)
+        assert not predictor.predict(0x400000, 0b1010).taken
+
+
+class TestTournamentPredictor:
+    def test_prediction_comes_from_a_component(self):
+        predictor = TournamentPredictor(index_bits=10)
+        result = predictor.predict(0x400000, 0)
+        assert result.taken in (True, False)
+        assert result.meta is not None
+
+    def test_chooser_learns_to_prefer_bimodal(self):
+        predictor = TournamentPredictor(index_bits=10, history_bits=4)
+        rng = DeterministicRng(2)
+        # A strongly biased branch seen under rapidly varying histories:
+        # bimodal is reliable, gshare contexts stay cold, so the chooser
+        # should shift towards bimodal and overall accuracy should be high.
+        correct = 0
+        total = 4000
+        for _ in range(total):
+            history = rng.randint(0, 15)
+            taken = rng.bernoulli(0.95)
+            result = predictor.predict(0x400200, history)
+            correct += (result.taken == taken)
+            predictor.update(0x400200, history, taken, result)
+        assert correct / total > 0.85
+
+    def test_chooser_prefers_gshare_for_history_correlated_branch(self):
+        predictor = TournamentPredictor(index_bits=10, history_bits=4)
+        history = 0
+        correct = 0
+        total = 3000
+        for i in range(total):
+            taken = (i % 2 == 0)  # pure alternation: bimodal dithers, gshare nails it
+            result = predictor.predict(0x400300, history)
+            correct += (result.taken == taken)
+            predictor.update(0x400300, history, taken, result)
+            history = ((history << 1) | taken) & 0xF
+        assert correct / total > 0.85
+
+    def test_update_trains_both_components(self):
+        predictor = TournamentPredictor(index_bits=8)
+        result = predictor.predict(0x400000, 0)
+        predictor.update(0x400000, 0, taken=False, result=result)
+        # After enough not-taken updates both components agree on not-taken.
+        for _ in range(4):
+            result = predictor.predict(0x400000, 0)
+            predictor.update(0x400000, 0, taken=False, result=result)
+        assert not predictor.gshare.predict(0x400000, 0).taken
+        assert not predictor.bimodal.predict(0x400000, 0).taken
+
+    def test_update_without_result_object(self):
+        predictor = TournamentPredictor(index_bits=8)
+        for _ in range(4):
+            predictor.update(0x400000, 0, taken=False)
+        assert not predictor.predict(0x400000, 0).taken
+
+    def test_reset(self):
+        predictor = TournamentPredictor(index_bits=8)
+        for _ in range(4):
+            predictor.update(0x400000, 0, taken=False)
+        predictor.reset()
+        assert predictor.predict(0x400000, 0).taken

@@ -1,0 +1,255 @@
+"""Unit tests for BTB, RAS, indirect predictor, history and the front end."""
+
+import pytest
+
+from repro.branch_predictor.btb import BranchTargetBuffer
+from repro.branch_predictor.frontend import FrontEndPredictor
+from repro.branch_predictor.history import GlobalHistory
+from repro.branch_predictor.indirect import IndirectTargetPredictor
+from repro.branch_predictor.ras import ReturnAddressStack
+from repro.isa.instruction import BranchOutcome, Instruction
+from repro.isa.types import BranchKind, InstructionClass
+
+
+def _branch(seq, pc, kind, taken, target):
+    return Instruction(
+        seq=seq, pc=pc, iclass=InstructionClass.BRANCH, branch_kind=kind,
+        outcome=BranchOutcome(taken=taken, target=target),
+    )
+
+
+class TestGlobalHistory:
+    def test_push_and_snapshot(self):
+        history = GlobalHistory(bits=4)
+        history.push(True)
+        history.push(False)
+        assert history.snapshot() == 0b10
+
+    def test_restore(self):
+        history = GlobalHistory(bits=4)
+        history.push(True)
+        snap = history.snapshot()
+        history.push(True)
+        history.restore(snap)
+        assert history.snapshot() == snap
+
+    def test_repair_and_push(self):
+        history = GlobalHistory(bits=4)
+        history.push(True)
+        snap = history.snapshot()
+        history.push(True)   # speculative, wrong
+        history.repair_and_push(snap, False)
+        assert history.snapshot() == 0b10
+
+    def test_width_mask(self):
+        history = GlobalHistory(bits=2)
+        for _ in range(5):
+            history.push(True)
+        assert history.snapshot() == 0b11
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(bits=0)
+
+
+class TestBranchTargetBuffer:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        assert btb.predict_target(0x400000) is None
+        btb.update(0x400000, 0x400100)
+        assert btb.predict_target(0x400000) == 0x400100
+
+    def test_update_overwrites_target(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        btb.update(0x400000, 0x400100)
+        btb.update(0x400000, 0x400200)
+        assert btb.predict_target(0x400000) == 0x400200
+
+    def test_lru_eviction_within_a_set(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.update(0x4, 0x100)
+        btb.update(0x8, 0x200)
+        btb.predict_target(0x4)       # make 0x4 most recently used
+        btb.update(0xC, 0x300)        # evicts 0x8
+        assert btb.predict_target(0x8) is None
+        assert btb.predict_target(0x4) == 0x100
+        assert btb.evictions >= 1
+
+    def test_hit_rate_statistics(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        btb.predict_target(0x400000)
+        btb.update(0x400000, 0x400100)
+        btb.predict_target(0x400000)
+        assert btb.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=12, ways=2)
+
+    def test_reset_stats(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        btb.predict_target(0x400000)
+        btb.reset_stats()
+        assert btb.lookups == 0
+
+
+class TestReturnAddressStack:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(depth=4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x100)
+        ras.push(0x200)
+        ras.push(0x300)
+        assert ras.pop() == 0x300
+        assert ras.pop() == 0x200
+        assert ras.pop() is None
+
+    def test_peek_does_not_pop(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x100)
+        assert ras.peek() == 0x100
+        assert len(ras) == 1
+
+    def test_reset(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x100)
+        ras.reset()
+        assert len(ras) == 0
+
+
+class TestIndirectTargetPredictor:
+    def test_learns_last_target(self):
+        predictor = IndirectTargetPredictor()
+        assert predictor.predict_target(0x400000) is None
+        predictor.update(0x400000, 0x800000)
+        assert predictor.predict_target(0x400000) == 0x800000
+
+    def test_polymorphic_target_defeats_predictor(self):
+        predictor = IndirectTargetPredictor()
+        predictor.update(0x400000, 0x800000)
+        predictor.update(0x400000, 0x810000)
+        assert predictor.predict_target(0x400000) == 0x810000  # only remembers last
+
+    def test_history_hashing_separates_contexts(self):
+        predictor = IndirectTargetPredictor(index_bits=8, use_history=True)
+        predictor.update(0x400000, 0x800000, history=0b0001)
+        predictor.update(0x400000, 0x810000, history=0b1000)
+        assert predictor.predict_target(0x400000, history=0b0001) == 0x800000
+        assert predictor.predict_target(0x400000, history=0b1000) == 0x810000
+
+    def test_reset(self):
+        predictor = IndirectTargetPredictor()
+        predictor.update(0x400000, 0x800000)
+        predictor.reset()
+        assert predictor.predict_target(0x400000) is None
+
+
+class TestFrontEndPredictor:
+    def test_conditional_prediction_updates_history_speculatively(self):
+        frontend = FrontEndPredictor(history_bits=4, direction_index_bits=10)
+        before = frontend.history.snapshot()
+        instr = _branch(0, 0x400000, BranchKind.CONDITIONAL, taken=True,
+                        target=0x400100)
+        prediction = frontend.predict(instr)
+        assert frontend.history.snapshot() != before or prediction.taken == (before & 1)
+        assert prediction.history_at_predict == before
+
+    def test_resolve_trains_direction_predictor(self):
+        frontend = FrontEndPredictor(history_bits=4, direction_index_bits=10)
+        instr = _branch(0, 0x400000, BranchKind.CONDITIONAL, taken=False,
+                        target=0x400100)
+        for _ in range(6):
+            prediction = frontend.predict(instr)
+            prediction.mispredicted = prediction.taken != instr.outcome.taken
+            instr.mispredicted = prediction.mispredicted
+            frontend.resolve(instr, prediction, train=True)
+        final = frontend.predict(instr)
+        assert not final.taken
+
+    def test_mispredicted_conditional_repairs_history(self):
+        frontend = FrontEndPredictor(history_bits=4, direction_index_bits=10)
+        instr = _branch(0, 0x400000, BranchKind.CONDITIONAL, taken=False,
+                        target=0x400100)
+        prediction = frontend.predict(instr)
+        if prediction.taken == instr.outcome.taken:
+            # Force a mispredict scenario by flipping the outcome.
+            instr = _branch(0, 0x400000, BranchKind.CONDITIONAL,
+                            taken=not prediction.taken, target=0x400100)
+        prediction.mispredicted = True
+        instr.mispredicted = True
+        frontend.resolve(instr, prediction, train=True)
+        expected = ((prediction.history_at_predict << 1)
+                    | (1 if instr.outcome.taken else 0)) & 0xF
+        assert frontend.history.snapshot() == expected
+
+    def test_call_pushes_return_address(self):
+        frontend = FrontEndPredictor()
+        call = _branch(0, 0x400000, BranchKind.CALL, taken=True, target=0x401000)
+        frontend.predict(call)
+        ret = _branch(1, 0x401010, BranchKind.RETURN, taken=True, target=0x400004)
+        prediction = frontend.predict(ret)
+        assert prediction.target == 0x400004
+
+    def test_return_without_call_is_a_miss(self):
+        frontend = FrontEndPredictor()
+        ret = _branch(0, 0x401010, BranchKind.RETURN, taken=True, target=0x400004)
+        prediction = frontend.predict(ret)
+        assert prediction.target is None
+
+    def test_indirect_call_learns_target_after_resolve(self):
+        frontend = FrontEndPredictor()
+        instr = _branch(0, 0x400000, BranchKind.INDIRECT_CALL, taken=True,
+                        target=0x800000)
+        prediction = frontend.predict(instr)
+        assert prediction.target is None
+        frontend.resolve(instr, prediction, train=True)
+        prediction2 = frontend.predict(
+            _branch(1, 0x400000, BranchKind.INDIRECT_CALL, taken=True,
+                    target=0x800000)
+        )
+        assert prediction2.target == 0x800000
+
+    def test_unconditional_uses_btb(self):
+        frontend = FrontEndPredictor()
+        instr = _branch(0, 0x400000, BranchKind.UNCONDITIONAL, taken=True,
+                        target=0x400200)
+        prediction = frontend.predict(instr)
+        assert prediction.target is None
+        frontend.resolve(instr, prediction, train=True)
+        assert frontend.predict(instr).target == 0x400200
+
+    def test_wrongpath_resolve_does_not_train(self):
+        frontend = FrontEndPredictor()
+        instr = _branch(0, 0x400000, BranchKind.UNCONDITIONAL, taken=True,
+                        target=0x400200)
+        prediction = frontend.predict(instr)
+        frontend.resolve(instr, prediction, train=False)
+        assert frontend.predict(instr).target is None
+
+    def test_prediction_statistics(self):
+        frontend = FrontEndPredictor()
+        instr = _branch(0, 0x400000, BranchKind.CONDITIONAL, taken=True,
+                        target=0x400100)
+        prediction = frontend.predict(instr)
+        frontend.note_prediction_outcome(instr, prediction, mispredicted=True)
+        frontend.note_prediction_outcome(instr, prediction, mispredicted=False)
+        assert frontend.conditional_predictions == 2
+        assert frontend.conditional_mispredict_rate == pytest.approx(0.5)
+        assert frontend.overall_mispredict_rate == pytest.approx(0.5)
+
+    def test_predict_rejects_non_branch(self):
+        frontend = FrontEndPredictor()
+        with pytest.raises(ValueError):
+            frontend.predict(Instruction(seq=0, pc=0x400000,
+                                         iclass=InstructionClass.ALU))

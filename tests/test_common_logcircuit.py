@@ -1,0 +1,142 @@
+"""Unit tests for repro.common.logcircuit."""
+
+import math
+
+import pytest
+
+from repro.common.logcircuit import (
+    ENCODED_PROBABILITY_MAX,
+    ENCODED_PROBABILITY_SCALE,
+    MitchellLogCircuit,
+    decode_probability,
+    encode_probability,
+    encode_probability_exact,
+    encode_threshold,
+)
+
+
+class TestMitchellLogCircuit:
+    def test_exact_at_powers_of_two(self):
+        circuit = MitchellLogCircuit(input_bits=10)
+        for power in range(10):
+            assert circuit.log2(1 << power) == pytest.approx(power)
+
+    def test_approximation_error_is_bounded(self):
+        circuit = MitchellLogCircuit(input_bits=10)
+        worst = 0.0
+        for value in range(1, 1024):
+            worst = max(worst, abs(circuit.log2(value) - math.log2(max(value, 1))))
+        # Mitchell's method has a worst-case absolute error of ~0.086 bits.
+        assert worst < 0.09
+
+    def test_rejects_zero_input(self):
+        with pytest.raises(ValueError):
+            MitchellLogCircuit().log2_fixed(0)
+
+    def test_rejects_oversized_input(self):
+        with pytest.raises(ValueError):
+            MitchellLogCircuit(input_bits=4).log2_fixed(16)
+
+    def test_encode_rate_zero_misses_encodes_to_zero(self):
+        circuit = MitchellLogCircuit()
+        assert circuit.encode_rate(100, 100) == 0
+
+    def test_encode_rate_no_samples_clamps(self):
+        circuit = MitchellLogCircuit()
+        assert circuit.encode_rate(0, 0) == ENCODED_PROBABILITY_MAX
+
+    def test_encode_rate_all_misses_clamps(self):
+        circuit = MitchellLogCircuit()
+        assert circuit.encode_rate(0, 50) == ENCODED_PROBABILITY_MAX
+
+    def test_encode_rate_matches_exact_encoding_closely(self):
+        circuit = MitchellLogCircuit()
+        for correct, total in [(900, 1000), (700, 1000), (500, 1000), (50, 64)]:
+            approx = circuit.encode_rate(correct, total)
+            exact = encode_probability_exact(correct / total)
+            assert abs(approx - exact) <= 150  # within ~0.15 in log2 space
+
+    def test_encode_rate_downscales_large_counts(self):
+        circuit = MitchellLogCircuit(input_bits=10)
+        encoded = circuit.encode_rate(3000, 4000)
+        exact = encode_probability_exact(0.75)
+        assert abs(encoded - exact) <= 150
+
+    def test_higher_mispredict_rate_gives_larger_encoding(self):
+        circuit = MitchellLogCircuit()
+        low = circuit.encode_rate(95, 100)
+        high = circuit.encode_rate(60, 100)
+        assert high > low
+
+    def test_rejects_nonpositive_widths(self):
+        with pytest.raises(ValueError):
+            MitchellLogCircuit(input_bits=0)
+
+
+class TestExactEncoding:
+    def test_probability_one_encodes_to_zero(self):
+        assert encode_probability_exact(1.0) == 0
+
+    def test_probability_zero_clamps(self):
+        assert encode_probability_exact(0.0) == ENCODED_PROBABILITY_MAX
+
+    def test_half_encodes_to_scale(self):
+        assert encode_probability_exact(0.5) == ENCODED_PROBABILITY_SCALE
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_probability_exact(1.5)
+        with pytest.raises(ValueError):
+            encode_probability_exact(-0.1)
+
+    def test_monotone_decreasing_in_probability(self):
+        previous = None
+        for prob in [0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99]:
+            encoded = encode_probability_exact(prob)
+            if previous is not None:
+                assert encoded <= previous
+            previous = encoded
+
+    def test_alias_matches_exact(self):
+        assert encode_probability(0.8) == encode_probability_exact(0.8)
+
+    def test_clamp_for_extreme_mispredict_rates(self):
+        # The paper: encodings above 2^12 correspond to mispredict rates
+        # above ~93.5% and are clamped.
+        assert encode_probability_exact(0.05) == ENCODED_PROBABILITY_MAX
+
+
+class TestDecodeAndThresholds:
+    def test_decode_inverts_encode(self):
+        for prob in [0.1, 0.25, 0.5, 0.8, 0.95]:
+            encoded = encode_probability_exact(prob)
+            assert decode_probability(encoded) == pytest.approx(prob, rel=0.01)
+
+    def test_decode_zero_is_one(self):
+        assert decode_probability(0) == 1.0
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            decode_probability(-1)
+
+    def test_threshold_for_ten_percent_matches_paper_ballpark(self):
+        # The paper quotes ~3321 for 10%; with round-to-nearest the value is
+        # 3402.  Anything in that neighbourhood is the same hardware constant.
+        encoded = encode_threshold(0.10)
+        assert 3300 <= encoded <= 3450
+
+    def test_threshold_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            encode_threshold(0.0)
+        with pytest.raises(ValueError):
+            encode_threshold(1.5)
+
+    def test_threshold_monotone(self):
+        assert encode_threshold(0.05) > encode_threshold(0.2) > encode_threshold(0.9)
+
+    def test_sum_of_encodings_is_product_of_probabilities(self):
+        # The core PaCo identity: adding encoded probabilities multiplies
+        # real probabilities.
+        a, b = 0.9, 0.7
+        summed = encode_probability_exact(a) + encode_probability_exact(b)
+        assert decode_probability(summed) == pytest.approx(a * b, rel=0.01)

@@ -1,0 +1,153 @@
+"""Unit tests for repro.common.stats."""
+
+import math
+
+import pytest
+
+from repro.common.stats import (
+    ReliabilityDiagram,
+    RunningMean,
+    harmonic_mean,
+    rms_error,
+    weighted_rms_error,
+)
+
+
+class TestRunningMean:
+    def test_mean_of_values(self):
+        acc = RunningMean()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            acc.add(v)
+        assert acc.mean == pytest.approx(2.5)
+
+    def test_variance_and_std(self):
+        acc = RunningMean()
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            acc.add(v)
+        assert acc.variance == pytest.approx(4.0)
+        assert acc.std == pytest.approx(2.0)
+
+    def test_variance_of_single_value_is_zero(self):
+        acc = RunningMean()
+        acc.add(3.0)
+        assert acc.variance == 0.0
+
+    def test_merge_matches_combined_stream(self):
+        a, b, combined = RunningMean(), RunningMean(), RunningMean()
+        for v in [1.0, 2.0, 3.0]:
+            a.add(v)
+            combined.add(v)
+        for v in [10.0, 20.0]:
+            b.add(v)
+            combined.add(v)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+
+    def test_merge_into_empty(self):
+        a, b = RunningMean(), RunningMean()
+        b.add(5.0)
+        a.merge(b)
+        assert a.mean == pytest.approx(5.0)
+        assert a.count == 1
+
+
+class TestReliabilityDiagram:
+    def test_perfect_predictions_give_zero_rms(self):
+        diagram = ReliabilityDiagram(num_bins=10)
+        # Predicted 0.8, observed 80% on-goodpath.
+        for i in range(100):
+            diagram.record(0.8, on_goodpath=(i % 10) < 8)
+        assert diagram.rms_error() < 0.02
+
+    def test_systematic_error_is_measured(self):
+        diagram = ReliabilityDiagram(num_bins=10)
+        # Predicted 0.9 but only 50% observed.
+        for i in range(100):
+            diagram.record(0.9, on_goodpath=(i % 2 == 0))
+        assert diagram.rms_error() == pytest.approx(0.4, abs=0.02)
+
+    def test_record_clamps_out_of_range_predictions(self):
+        diagram = ReliabilityDiagram(num_bins=10)
+        diagram.record(1.3, True)
+        diagram.record(-0.2, False)
+        assert diagram.total_instances == 2
+
+    def test_weights_accumulate(self):
+        diagram = ReliabilityDiagram(num_bins=4)
+        diagram.record(0.6, True, weight=5)
+        assert diagram.total_instances == 5
+        assert diagram.total_goodpath == 5
+
+    def test_points_filter_by_min_instances(self):
+        diagram = ReliabilityDiagram(num_bins=10)
+        diagram.record(0.05, True)
+        for _ in range(50):
+            diagram.record(0.95, True)
+        assert len(diagram.points(min_instances=10)) == 1
+
+    def test_histogram_covers_all_bins(self):
+        diagram = ReliabilityDiagram(num_bins=5)
+        assert len(diagram.histogram()) == 5
+
+    def test_merge_requires_same_binning(self):
+        with pytest.raises(ValueError):
+            ReliabilityDiagram(10).merge(ReliabilityDiagram(20))
+
+    def test_merge_combines_counts(self):
+        a, b = ReliabilityDiagram(10), ReliabilityDiagram(10)
+        a.record(0.5, True)
+        b.record(0.5, False)
+        a.merge(b)
+        assert a.total_instances == 2
+        assert a.observed_goodpath_fraction() == pytest.approx(0.5)
+
+    def test_empty_diagram_has_zero_rms(self):
+        assert ReliabilityDiagram().rms_error() == 0.0
+
+    def test_format_table_contains_rows(self):
+        diagram = ReliabilityDiagram(num_bins=10)
+        for _ in range(20):
+            diagram.record(0.75, True)
+        text = diagram.format_table()
+        assert "predicted%" in text
+        assert len(text.splitlines()) == 2
+
+    def test_rejects_nonpositive_bins(self):
+        with pytest.raises(ValueError):
+            ReliabilityDiagram(num_bins=0)
+
+
+class TestErrorFunctions:
+    def test_rms_error_basic(self):
+        assert rms_error([1.0, 0.0], [0.0, 0.0]) == pytest.approx(math.sqrt(0.5))
+
+    def test_rms_error_empty(self):
+        assert rms_error([], []) == 0.0
+
+    def test_rms_error_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rms_error([1.0], [1.0, 2.0])
+
+    def test_weighted_rms_error(self):
+        points = [(0.5, 0.5, 10.0), (0.9, 0.7, 10.0)]
+        assert weighted_rms_error(points) == pytest.approx(
+            math.sqrt(0.5 * 0.2 ** 2)
+        )
+
+    def test_weighted_rms_error_empty(self):
+        assert weighted_rms_error([]) == 0.0
+
+
+class TestHarmonicMean:
+    def test_matches_definition(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])

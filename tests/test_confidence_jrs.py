@@ -1,0 +1,101 @@
+"""Unit tests for the JRS confidence predictor."""
+
+import pytest
+
+from repro.confidence.jrs import ConfidenceLookup, JRSConfidencePredictor
+
+
+class TestConfidenceLookup:
+    def test_threshold_classification(self):
+        lookup = ConfidenceLookup(index=3, mdc_value=5)
+        assert lookup.is_high_confidence(threshold=3)
+        assert lookup.is_high_confidence(threshold=5)
+        assert not lookup.is_high_confidence(threshold=6)
+
+
+class TestJRSConfidencePredictor:
+    def test_initial_mdc_is_zero(self):
+        jrs = JRSConfidencePredictor(index_bits=8)
+        assert jrs.lookup(0x400000, 0, True).mdc_value == 0
+
+    def test_mdc_counts_consecutive_correct_predictions(self):
+        jrs = JRSConfidencePredictor(index_bits=8)
+        lookup = jrs.lookup(0x400000, 0b1010, True)
+        for _ in range(5):
+            jrs.update(lookup, was_correct=True)
+        assert jrs.lookup(0x400000, 0b1010, True).mdc_value == 5
+
+    def test_mdc_resets_on_mispredict(self):
+        jrs = JRSConfidencePredictor(index_bits=8)
+        lookup = jrs.lookup(0x400000, 0b1010, True)
+        for _ in range(5):
+            jrs.update(lookup, was_correct=True)
+        jrs.update(lookup, was_correct=False)
+        assert jrs.lookup(0x400000, 0b1010, True).mdc_value == 0
+        assert jrs.resets == 1
+
+    def test_mdc_saturates_at_maximum(self):
+        jrs = JRSConfidencePredictor(index_bits=8, mdc_bits=4)
+        lookup = jrs.lookup(0x400000, 0, True)
+        for _ in range(40):
+            jrs.update(lookup, was_correct=True)
+        assert jrs.lookup(0x400000, 0, True).mdc_value == 15
+
+    def test_history_affects_index(self):
+        jrs = JRSConfidencePredictor(index_bits=10, history_bits=8)
+        a = jrs.lookup(0x400000, 0b0000_0001, True)
+        b = jrs.lookup(0x400000, 0b1000_0000, True)
+        assert a.index != b.index
+
+    def test_enhanced_variant_folds_predicted_direction(self):
+        enhanced = JRSConfidencePredictor(index_bits=10, enhanced=True)
+        taken = enhanced.lookup(0x400000, 0b1010, True)
+        not_taken = enhanced.lookup(0x400000, 0b1010, False)
+        assert taken.index != not_taken.index
+
+    def test_basic_variant_ignores_predicted_direction(self):
+        basic = JRSConfidencePredictor(index_bits=10, enhanced=False)
+        taken = basic.lookup(0x400000, 0b1010, True)
+        not_taken = basic.lookup(0x400000, 0b1010, False)
+        assert taken.index == not_taken.index
+
+    def test_update_targets_the_fetched_index(self):
+        jrs = JRSConfidencePredictor(index_bits=10)
+        lookup = jrs.lookup(0x400000, 0b0011, True)
+        # The history moves on before the update; the stored index must win.
+        jrs.update(lookup, was_correct=True)
+        assert jrs.lookup(0x400000, 0b0011, True).mdc_value == 1
+
+    def test_paper_table_geometry(self):
+        jrs = JRSConfidencePredictor(index_bits=14, mdc_bits=4)
+        # 2^14 entries of 4 bits = 8 KB.
+        assert jrs.storage_bits() == 8 * 1024 * 8
+        assert jrs.num_mdc_values == 16
+
+    def test_lookup_statistics(self):
+        jrs = JRSConfidencePredictor(index_bits=8)
+        jrs.lookup(0x400000, 0, True)
+        jrs.lookup(0x400004, 0, True)
+        assert jrs.lookups == 2
+
+    def test_reset(self):
+        jrs = JRSConfidencePredictor(index_bits=8)
+        lookup = jrs.lookup(0x400000, 0, True)
+        jrs.update(lookup, was_correct=True)
+        jrs.reset()
+        assert jrs.lookup(0x400000, 0, True).mdc_value == 0
+        assert jrs.lookups == 1  # stats were reset, then one new lookup
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            JRSConfidencePredictor(index_bits=0)
+        with pytest.raises(ValueError):
+            JRSConfidencePredictor(mdc_bits=0)
+
+    def test_distinct_branches_do_not_interfere_in_large_table(self):
+        jrs = JRSConfidencePredictor(index_bits=14)
+        a = jrs.lookup(0x400000, 0, True)
+        for _ in range(5):
+            jrs.update(a, was_correct=True)
+        b = jrs.lookup(0x700010, 0, True)
+        assert b.mdc_value == 0

@@ -1,0 +1,182 @@
+"""Tests for the experiment harnesses (accuracy, gating, SMT)."""
+
+import pytest
+
+from repro.eval.harness import (
+    build_single_core,
+    default_accuracy_predictors,
+    run_accuracy_experiment,
+    run_gating_experiment,
+    run_single_thread_ipc,
+    run_smt_experiment,
+)
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.pipeline.config import MachineConfig
+from repro.workloads.suite import get_benchmark
+
+# Shared small budgets so the whole file stays fast.
+_INSTR = 6_000
+_WARMUP = 4_000
+
+
+@pytest.fixture(scope="module")
+def parser_accuracy():
+    return run_accuracy_experiment("parser", instructions=_INSTR,
+                                   warmup_instructions=_WARMUP, seed=3)
+
+
+class TestBuildSingleCore:
+    def test_accepts_spec_and_name(self, tiny_spec):
+        core, engine, generator = build_single_core(tiny_spec, PaCoPredictor())
+        assert generator.spec.name == "tiny"
+        core, engine, generator = build_single_core("gzip", PaCoPredictor())
+        assert generator.spec.name == "gzip"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            build_single_core("not-a-benchmark", PaCoPredictor())
+
+    def test_uses_requested_machine_config(self, tiny_spec, small_machine):
+        core, _, _ = build_single_core(tiny_spec, PaCoPredictor(),
+                                       config=small_machine)
+        assert core.config is small_machine
+
+
+class TestDefaultPredictors:
+    def test_contains_paco_and_baselines(self):
+        names = {p.name for p in default_accuracy_predictors()}
+        assert "paco" in names
+        assert "static-mrt" in names
+        assert "per-branch-mrt" in names
+        assert any(name.startswith("jrs-count") for name in names)
+
+
+class TestAccuracyExperiment:
+    def test_produces_all_outputs(self, parser_accuracy):
+        result = parser_accuracy
+        assert result.benchmark == "parser"
+        assert result.stats.retired_instructions >= _INSTR
+        assert {"paco", "static-mrt", "per-branch-mrt"} <= set(result.rms_errors)
+        assert result.mdc_mispredict_rates
+        assert result.counter_occupancy
+        assert 0.0 < result.conditional_mispredict_rate < 0.4
+
+    def test_rms_errors_are_probability_scaled(self, parser_accuracy):
+        for error in parser_accuracy.rms_errors.values():
+            assert 0.0 <= error <= 1.0
+
+    def test_counter_goodpath_decreases_with_count(self, parser_accuracy):
+        goodpath = parser_accuracy.counter_goodpath
+        populated = [c for c in sorted(goodpath)
+                     if parser_accuracy.counter_occupancy.get(c, 0) >= 200]
+        if len(populated) >= 3:
+            assert goodpath[populated[0]] > goodpath[populated[-1]]
+
+    def test_phase_results_only_for_phased_benchmarks(self, parser_accuracy):
+        assert parser_accuracy.phase_counter_goodpath == {}
+        phased = run_accuracy_experiment("gcc", instructions=_INSTR,
+                                         warmup_instructions=2_000, seed=3)
+        assert phased.phase_counter_goodpath
+
+    def test_custom_predictor_list(self, tiny_spec):
+        paco = PaCoPredictor(relog_period_cycles=5_000)
+        result = run_accuracy_experiment(tiny_spec, instructions=4_000,
+                                         warmup_instructions=1_000,
+                                         predictors=[paco])
+        assert set(result.rms_errors) == {"paco"}
+
+    def test_rms_accessor(self, parser_accuracy):
+        assert parser_accuracy.rms_error("paco") == \
+            parser_accuracy.rms_errors["paco"]
+
+
+class TestGatingExperiment:
+    def test_baseline_has_no_gated_cycles(self, tiny_spec):
+        result = run_gating_experiment(tiny_spec, mode="none",
+                                       instructions=_INSTR,
+                                       warmup_instructions=2_000)
+        assert result.gated_cycles == 0
+        assert result.policy == "no-gating"
+        assert result.ipc > 0.0
+
+    def test_paco_gating_gates_and_reduces_badpath(self, tiny_spec):
+        baseline = run_gating_experiment(tiny_spec, mode="none",
+                                         instructions=_INSTR,
+                                         warmup_instructions=2_000)
+        gated = run_gating_experiment(tiny_spec, mode="paco",
+                                      gating_probability=0.7,
+                                      instructions=_INSTR,
+                                      warmup_instructions=2_000)
+        assert gated.gated_cycles > 0
+        assert gated.badpath_fetch_reduction_vs(baseline) > 0.0
+
+    def test_count_gating_mode(self, tiny_spec):
+        result = run_gating_experiment(tiny_spec, mode="count", gate_count=1,
+                                       jrs_threshold=3,
+                                       instructions=_INSTR,
+                                       warmup_instructions=2_000)
+        assert result.gated_cycles > 0
+        assert "count-gating" in result.policy
+
+    def test_unknown_mode_rejected(self, tiny_spec):
+        with pytest.raises(ValueError):
+            run_gating_experiment(tiny_spec, mode="bogus")
+
+    def test_reduction_helpers_handle_zero_baseline(self, tiny_spec):
+        result = run_gating_experiment(tiny_spec, mode="none",
+                                       instructions=3_000,
+                                       warmup_instructions=0)
+        fake_baseline = run_gating_experiment(tiny_spec, mode="none",
+                                              instructions=3_000,
+                                              warmup_instructions=0)
+        fake_baseline.badpath_executed = 0
+        fake_baseline.badpath_fetched = 0
+        fake_baseline.ipc = 0.0
+        assert result.badpath_reduction_vs(fake_baseline) == 0.0
+        assert result.badpath_fetch_reduction_vs(fake_baseline) == 0.0
+        assert result.performance_loss_vs(fake_baseline) == 0.0
+
+
+class TestSMTExperiment:
+    def test_single_thread_ipc_positive(self, tiny_spec):
+        ipc = run_single_thread_ipc(tiny_spec, instructions=4_000,
+                                    warmup_instructions=1_000)
+        assert 0.0 < ipc <= MachineConfig.smt_8wide().width
+
+    def test_smt_run_produces_hmwipc(self, tiny_spec):
+        result = run_smt_experiment(tiny_spec, tiny_spec, policy="icount",
+                                    instructions=8_000,
+                                    warmup_instructions=2_000,
+                                    single_ipcs=(1.0, 1.0))
+        assert result.policy == "icount"
+        assert result.hmwipc > 0.0
+        assert len(result.smt_ipcs) == 2
+
+    def test_paco_policy_smt_run(self, tiny_spec):
+        result = run_smt_experiment(tiny_spec, tiny_spec, policy="paco",
+                                    instructions=8_000,
+                                    warmup_instructions=2_000,
+                                    single_ipcs=(1.0, 1.0))
+        assert result.policy == "paco-confidence"
+        assert result.hmwipc > 0.0
+
+    def test_count_policy_uses_threshold(self, tiny_spec):
+        result = run_smt_experiment(tiny_spec, tiny_spec, policy="count",
+                                    jrs_threshold=7,
+                                    instructions=8_000,
+                                    warmup_instructions=2_000,
+                                    single_ipcs=(1.0, 1.0))
+        assert "7" in result.policy
+
+    def test_unknown_policy_rejected(self, tiny_spec):
+        with pytest.raises(ValueError):
+            run_smt_experiment(tiny_spec, tiny_spec, policy="bogus",
+                               single_ipcs=(1.0, 1.0))
+
+    def test_real_benchmarks_resolve_by_name(self):
+        result = run_smt_experiment("gzip", "twolf", policy="icount",
+                                    instructions=6_000,
+                                    warmup_instructions=1_000,
+                                    single_ipcs=(1.0, 1.0))
+        assert result.benchmarks == ("gzip", "twolf")

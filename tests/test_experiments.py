@@ -1,0 +1,171 @@
+"""Tests for the per-figure experiment drivers (small budgets)."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig2_mdc_rates,
+    fig3_counter_goodpath,
+    fig8_9_reliability,
+    table7_rms,
+    tableA1_mrt_variants,
+)
+
+_INSTR = 6_000
+_WARMUP = 4_000
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_mdc_rates.run(benchmarks=["twolf", "gzip"],
+                                  instructions=_INSTR,
+                                  warmup_instructions=_WARMUP)
+
+    def test_rates_for_each_benchmark(self, result):
+        assert set(result.rates) == {"twolf", "gzip"}
+        assert result.rates["twolf"]
+
+    def test_rates_are_probabilities(self, result):
+        for by_mdc in result.rates.values():
+            for rate in by_mdc.values():
+                assert 0.0 <= rate <= 1.0
+
+    def test_low_buckets_mispredict_more(self, result):
+        assert result.is_monotone_decreasing_overall()
+
+    def test_rows_have_17_columns(self, result):
+        for row in result.rows():
+            assert len(row) == 17
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_counter_goodpath.run(
+            counter_value=3,
+            benchmarks=["twolf", "gzip"],
+            phase_benchmarks=["gcc"],
+            instructions=_INSTR,
+            warmup_instructions=_WARMUP,
+        )
+
+    def test_probabilities_for_each_benchmark(self, result):
+        assert set(result.across_benchmarks) == {"twolf", "gzip"}
+        for value in result.across_benchmarks.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_spread_is_nonnegative(self, result):
+        assert result.spread() >= 0.0
+
+    def test_phase_results_present(self, result):
+        assert any(bench == "gcc" for bench, _phase in result.across_phases)
+
+    def test_row_helpers(self, result):
+        assert len(result.rows_benchmarks()) == 2
+        assert all(len(row) == 3 for row in result.rows_benchmarks())
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table7_rms.run(benchmarks=["twolf", "vortex"],
+                              instructions=_INSTR,
+                              warmup_instructions=_WARMUP)
+
+    def test_row_per_benchmark(self, result):
+        assert [row.benchmark for row in result.rows] == ["twolf", "vortex"]
+
+    def test_mean_rms_is_average(self, result):
+        values = [row.paco_rms_error for row in result.rows]
+        assert result.mean_rms_error == pytest.approx(sum(values) / len(values))
+
+    def test_paper_reference_values_attached(self, result):
+        twolf = result.rows[0]
+        assert twolf.paper_conditional_rate == pytest.approx(14.8)
+
+    def test_vortex_is_more_predictable_than_twolf(self, result):
+        by_name = {row.benchmark: row for row in result.rows}
+        assert (by_name["vortex"].conditional_mispredict_rate
+                < by_name["twolf"].conditional_mispredict_rate)
+
+    def test_table_rows_include_mean(self, result):
+        assert result.as_table_rows()[-1][0] == "mean"
+
+
+class TestFig8and9:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return fig8_9_reliability.run(benchmarks=["twolf", "gzip"],
+                                      instructions=_INSTR,
+                                      warmup_instructions=_WARMUP)
+
+    def test_diagram_per_benchmark_plus_cumulative(self, study):
+        assert set(study.diagrams) == {"twolf", "gzip"}
+        assert study.cumulative.total_instances == sum(
+            d.total_instances for d in study.diagrams.values()
+        )
+
+    def test_rms_errors_reported(self, study):
+        assert set(study.rms_errors) == {"twolf", "gzip"}
+
+    def test_rows_are_percentages(self, study):
+        for row in study.rows("twolf", min_instances=1):
+            assert 0.0 <= row[0] <= 100.0
+            assert 0.0 <= row[1] <= 100.0
+
+    def test_parser_diagram_helper(self):
+        diagram = fig8_9_reliability.run_parser_diagram(
+            instructions=_INSTR, warmup_instructions=_WARMUP
+        )
+        assert diagram.total_instances > 0
+
+
+class TestTableA1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tableA1_mrt_variants.run(benchmarks=["twolf", "parser"],
+                                        instructions=_INSTR,
+                                        warmup_instructions=_WARMUP)
+
+    def test_three_designs_per_benchmark(self, result):
+        for row in result.rows:
+            assert row.mrt_rms >= 0.0
+            assert row.static_mrt_rms >= 0.0
+            assert row.per_branch_mrt_rms >= 0.0
+
+    def test_means(self, result):
+        assert result.mean_mrt_rms == pytest.approx(
+            sum(r.mrt_rms for r in result.rows) / len(result.rows)
+        )
+
+    def test_table_rows_include_paper_columns(self, result):
+        assert len(result.as_table_rows()[0]) == 7
+
+
+class TestAblations:
+    def test_relog_period_ablation_structure(self):
+        result = ablations.run_relog_period_ablation(
+            periods=(5_000, 50_000), benchmarks=("twolf",),
+            instructions=5_000, warmup_instructions=2_000,
+        )
+        assert set(result.rms_by_variant) == {"relog=5000", "relog=50000"}
+        assert result.mean_rms("relog=5000") >= 0.0
+
+    def test_log_circuit_ablation_runs(self):
+        result = ablations.run_log_circuit_ablation(
+            benchmarks=("gzip",), instructions=5_000, warmup_instructions=2_000,
+        )
+        assert set(result.rms_by_variant) == {"mitchell-log", "exact-log"}
+        # The Mitchell approximation must not be dramatically worse than the
+        # exact logarithm.
+        assert (result.mean_rms("mitchell-log")
+                <= result.mean_rms("exact-log") + 0.05)
+
+    def test_rows_include_mean_column(self):
+        result = ablations.run_scale_ablation(
+            scales=(512, 1024), benchmarks=("gzip",),
+            instructions=5_000, warmup_instructions=2_000,
+        )
+        for row in result.rows():
+            assert len(row) == 3  # variant, one benchmark, mean

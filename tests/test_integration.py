@@ -1,0 +1,147 @@
+"""End-to-end integration tests reproducing the paper's comparative claims
+at reduced scale.
+
+These run real simulations (tens of thousands of instructions), so they are
+the slowest tests in the suite; each one checks a *shape* claim from the
+paper rather than an absolute number.
+"""
+
+import pytest
+
+from repro.eval.harness import (
+    run_accuracy_experiment,
+    run_gating_experiment,
+    run_smt_experiment,
+)
+from repro.workloads.suite import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def twolf_accuracy():
+    return run_accuracy_experiment("twolf", instructions=15_000,
+                                   warmup_instructions=10_000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def vortex_accuracy():
+    return run_accuracy_experiment("vortex", instructions=15_000,
+                                   warmup_instructions=10_000, seed=1)
+
+
+class TestWorkloadCalibrationShape:
+    def test_twolf_is_much_harder_than_vortex(self, twolf_accuracy,
+                                              vortex_accuracy):
+        """Table 7 shape: twolf ~15% conditional mispredicts, vortex <1%."""
+        assert twolf_accuracy.conditional_mispredict_rate > 0.08
+        assert vortex_accuracy.conditional_mispredict_rate < 0.05
+        assert (twolf_accuracy.conditional_mispredict_rate
+                > 3 * vortex_accuracy.conditional_mispredict_rate)
+
+    def test_perlbmk_mispredicts_come_from_indirect_branches(self):
+        """Section 4.4: perlbmk's conditional branches are nearly perfect but
+        the overall mispredict rate is high because of one indirect call."""
+        result = run_accuracy_experiment("perlbmk", instructions=15_000,
+                                         warmup_instructions=10_000, seed=1)
+        assert result.conditional_mispredict_rate < 0.03
+        assert result.overall_mispredict_rate > 2 * result.conditional_mispredict_rate
+
+
+class TestMDCStratification:
+    def test_mdc_zero_mispredicts_most(self, twolf_accuracy):
+        """Fig. 2 shape: the MDC-0 bucket has the highest mispredict rate."""
+        rates = twolf_accuracy.mdc_mispredict_rates
+        sampled = {mdc: rate for mdc, rate in rates.items()
+                   if twolf_accuracy.counter_occupancy is not None}
+        assert 0 in sampled
+        high_buckets = [rate for mdc, rate in sampled.items() if mdc >= 6]
+        if high_buckets:
+            assert sampled[0] > max(high_buckets) * 0.9
+
+    def test_counter_value_means_different_probability_across_benchmarks(
+            self, twolf_accuracy, vortex_accuracy):
+        """Fig. 3(a) shape: the same low-confidence count corresponds to very
+        different good-path probabilities on different benchmarks."""
+        count = 2
+        if (twolf_accuracy.counter_occupancy.get(count, 0) > 100
+                and vortex_accuracy.counter_occupancy.get(count, 0) > 100):
+            assert (vortex_accuracy.counter_goodpath[count]
+                    > twolf_accuracy.counter_goodpath[count])
+
+
+class TestPaCoAccuracyClaims:
+    def test_paco_reliability_diagram_tracks_observed_probability(
+            self, twolf_accuracy):
+        """Fig. 9(a) shape: predicted and observed probabilities correlate."""
+        diagram = twolf_accuracy.diagrams["paco"]
+        points = [p for p in diagram.points(min_instances=200)]
+        assert len(points) >= 3
+        # Predicted and observed should be positively correlated.
+        n = len(points)
+        mean_p = sum(p.predicted for p in points) / n
+        mean_o = sum(p.observed for p in points) / n
+        cov = sum((p.predicted - mean_p) * (p.observed - mean_o) for p in points)
+        assert cov > 0
+
+    def test_paco_beats_appendix_alternatives_on_average(self):
+        """Appendix Table 1 shape: dynamic MRT <= static MRT and per-branch
+        MRT in mean RMS error (measured over a small benchmark subset)."""
+        benchmarks = ["twolf", "gzip", "parser", "vortex"]
+        totals = {"paco": 0.0, "static-mrt": 0.0, "per-branch-mrt": 0.0}
+        for name in benchmarks:
+            result = run_accuracy_experiment(name, instructions=12_000,
+                                             warmup_instructions=8_000, seed=2)
+            for key in totals:
+                totals[key] += result.rms_errors[key]
+        assert totals["paco"] <= totals["static-mrt"]
+        assert totals["paco"] <= totals["per-branch-mrt"]
+
+
+class TestGatingClaims:
+    def test_paco_gating_removes_badpath_without_large_perf_loss(self):
+        """Fig. 10 shape: PaCo gating at a moderate probability removes a
+        sizeable fraction of wrong-path fetch at ~no performance cost."""
+        benchmark = get_benchmark("twolf")
+        baseline = run_gating_experiment(benchmark, mode="none",
+                                         instructions=20_000,
+                                         warmup_instructions=10_000)
+        gated = run_gating_experiment(benchmark, mode="paco",
+                                      gating_probability=0.3,
+                                      instructions=20_000,
+                                      warmup_instructions=10_000)
+        assert gated.badpath_fetch_reduction_vs(baseline) > 0.05
+        assert gated.performance_loss_vs(baseline) < 0.05
+
+    def test_aggressive_count_gating_costs_more_performance_than_paco(self):
+        """Fig. 10 shape: pushing the conventional predictor to large badpath
+        reductions (gate-count 1) costs clearly more performance than a
+        moderate PaCo operating point."""
+        benchmark = get_benchmark("twolf")
+        baseline = run_gating_experiment(benchmark, mode="none",
+                                         instructions=20_000,
+                                         warmup_instructions=10_000)
+        aggressive_count = run_gating_experiment(benchmark, mode="count",
+                                                 gate_count=1, jrs_threshold=3,
+                                                 instructions=20_000,
+                                                 warmup_instructions=10_000)
+        paco = run_gating_experiment(benchmark, mode="paco",
+                                     gating_probability=0.3,
+                                     instructions=20_000,
+                                     warmup_instructions=10_000)
+        assert (aggressive_count.performance_loss_vs(baseline)
+                > paco.performance_loss_vs(baseline))
+
+
+class TestSMTClaims:
+    def test_confidence_policies_produce_valid_hmwipc(self):
+        singles = (1.0, 1.0)
+        outcomes = {}
+        for policy in ("icount", "count", "paco"):
+            result = run_smt_experiment("gap", "mcf", policy=policy,
+                                        instructions=20_000,
+                                        warmup_instructions=8_000,
+                                        single_ipcs=singles, seed=5)
+            outcomes[policy] = result.hmwipc
+        assert all(value > 0.0 for value in outcomes.values())
+        # All policies land in the same ballpark (no policy collapses).
+        values = list(outcomes.values())
+        assert max(values) < 2.5 * min(values)

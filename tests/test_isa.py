@@ -1,0 +1,109 @@
+"""Unit tests for repro.isa."""
+
+import pytest
+
+from repro.isa.instruction import BranchOutcome, Instruction
+from repro.isa.program import (
+    DEFAULT_LATENCY_BY_CLASS,
+    StaticBranch,
+    StaticInstructionMix,
+)
+from repro.isa.types import BranchKind, InstructionClass
+
+
+class TestBranchKind:
+    def test_conditional_flag(self):
+        assert BranchKind.CONDITIONAL.is_conditional
+        assert not BranchKind.CALL.is_conditional
+
+    def test_indirect_flag(self):
+        assert BranchKind.INDIRECT.is_indirect
+        assert BranchKind.INDIRECT_CALL.is_indirect
+        assert not BranchKind.RETURN.is_indirect
+
+    def test_call_flag(self):
+        assert BranchKind.CALL.is_call
+        assert BranchKind.INDIRECT_CALL.is_call
+        assert not BranchKind.UNCONDITIONAL.is_call
+
+    def test_btb_target_users(self):
+        assert BranchKind.UNCONDITIONAL.uses_btb_target
+        assert BranchKind.INDIRECT.uses_btb_target
+        assert not BranchKind.CONDITIONAL.uses_btb_target
+        assert not BranchKind.RETURN.uses_btb_target
+
+
+class TestInstruction:
+    def test_default_non_branch(self):
+        instr = Instruction(seq=1, pc=0x400000, iclass=InstructionClass.ALU)
+        assert not instr.is_branch
+        assert not instr.is_memory
+        assert instr.on_goodpath
+
+    def test_branch_properties(self):
+        instr = Instruction(
+            seq=2, pc=0x400010, iclass=InstructionClass.BRANCH,
+            branch_kind=BranchKind.CONDITIONAL,
+            outcome=BranchOutcome(taken=True, target=0x400100),
+        )
+        assert instr.is_branch
+        assert instr.is_conditional_branch
+        assert instr.outcome.taken
+
+    def test_memory_instruction(self):
+        instr = Instruction(seq=3, pc=0x400020, iclass=InstructionClass.LOAD,
+                            address=0x1000_0000)
+        assert instr.is_memory
+        assert instr.address == 0x1000_0000
+
+    def test_pipeline_fields_start_unset(self):
+        instr = Instruction(seq=4, pc=0x400030, iclass=InstructionClass.ALU)
+        assert instr.fetch_cycle == -1
+        assert instr.complete_cycle == -1
+        assert not instr.retired
+        assert not instr.squashed
+        assert instr.producer is None
+
+    def test_repr_mentions_path(self):
+        instr = Instruction(seq=5, pc=0x400040, iclass=InstructionClass.ALU,
+                            on_goodpath=False)
+        assert "badpath" in repr(instr)
+
+
+class TestStaticBranch:
+    def test_requires_branch_kind(self):
+        with pytest.raises(ValueError):
+            StaticBranch(branch_id=0, pc=0x400000, kind=BranchKind.NOT_A_BRANCH,
+                         taken_target=0x400100, fallthrough=0x400004)
+
+    def test_valid_construction(self):
+        branch = StaticBranch(branch_id=1, pc=0x400000, kind=BranchKind.CONDITIONAL,
+                              taken_target=0x400100, fallthrough=0x400004)
+        assert branch.taken_target != branch.fallthrough
+
+
+class TestStaticInstructionMix:
+    def test_weights_normalise_to_one(self):
+        weights = StaticInstructionMix().as_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_custom_mix(self):
+        mix = StaticInstructionMix(alu=1.0, load=1.0, store=0.0, mul=0.0,
+                                   div=0.0, nop=0.0)
+        weights = mix.as_weights()
+        assert weights[InstructionClass.ALU] == pytest.approx(0.5)
+        assert weights[InstructionClass.STORE] == 0.0
+
+    def test_rejects_zero_total(self):
+        mix = StaticInstructionMix(alu=0, load=0, store=0, mul=0, div=0, nop=0)
+        with pytest.raises(ValueError):
+            mix.as_weights()
+
+    def test_default_latencies_cover_all_classes(self):
+        for klass in InstructionClass:
+            assert klass in DEFAULT_LATENCY_BY_CLASS
+            assert DEFAULT_LATENCY_BY_CLASS[klass] >= 1
+
+    def test_div_is_longest_latency(self):
+        assert (DEFAULT_LATENCY_BY_CLASS[InstructionClass.DIV]
+                == max(DEFAULT_LATENCY_BY_CLASS.values()))

@@ -1,0 +1,117 @@
+"""Unit tests for the Mispredict Rate Table."""
+
+import pytest
+
+from repro.common.logcircuit import ENCODED_PROBABILITY_MAX, encode_probability_exact
+from repro.pathconf.mrt import DEFAULT_STATIC_MISPREDICT_RATES, MispredictRateTable
+
+
+class TestDefaultProfile:
+    def test_profile_is_monotone_decreasing(self):
+        rates = DEFAULT_STATIC_MISPREDICT_RATES
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_profile_covers_16_buckets(self):
+        assert len(DEFAULT_STATIC_MISPREDICT_RATES) == 16
+
+
+class TestMispredictRateTable:
+    def test_initial_encodings_follow_prior_profile(self):
+        mrt = MispredictRateTable()
+        assert (mrt.encoded_probability(0)
+                == encode_probability_exact(1.0 - DEFAULT_STATIC_MISPREDICT_RATES[0]))
+        assert mrt.encoded_probability(0) > mrt.encoded_probability(15)
+
+    def test_record_and_measured_rate(self):
+        mrt = MispredictRateTable()
+        for _ in range(8):
+            mrt.record(2, was_correct=True)
+        for _ in range(2):
+            mrt.record(2, was_correct=False)
+        assert mrt.measured_mispredict_rate(2) == pytest.approx(0.2)
+
+    def test_record_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            MispredictRateTable().record(16, was_correct=True)
+        with pytest.raises(ValueError):
+            MispredictRateTable().encoded_probability(-1)
+
+    def test_relogarithmize_updates_encoding_and_resets_counters(self):
+        mrt = MispredictRateTable()
+        for _ in range(90):
+            mrt.record(0, was_correct=True)
+        for _ in range(10):
+            mrt.record(0, was_correct=False)
+        mrt.relogarithmize()
+        # 90% correct → encoded ≈ -1024*log2(0.9) ≈ 156.
+        assert 100 <= mrt.encoded_probability(0) <= 220
+        assert mrt.counters[0].total == 0
+
+    def test_relogarithmize_keeps_unsampled_buckets(self):
+        mrt = MispredictRateTable()
+        before = mrt.encoded_probability(7)
+        mrt.relogarithmize()
+        assert mrt.encoded_probability(7) == before
+
+    def test_maybe_relog_respects_period(self):
+        mrt = MispredictRateTable(relog_period_cycles=1000)
+        mrt.record(0, was_correct=False)
+        assert not mrt.maybe_relog(cycle=500)
+        assert mrt.maybe_relog(cycle=1000)
+        assert mrt.relog_passes == 1
+        assert not mrt.maybe_relog(cycle=1500)
+        assert mrt.maybe_relog(cycle=2000)
+
+    def test_all_mispredicted_bucket_clamps(self):
+        mrt = MispredictRateTable()
+        for _ in range(20):
+            mrt.record(1, was_correct=False)
+        mrt.relogarithmize()
+        assert mrt.encoded_probability(1) == ENCODED_PROBABILITY_MAX
+
+    def test_exact_log_option(self):
+        mrt = MispredictRateTable(use_mitchell_log=False)
+        for _ in range(3):
+            mrt.record(0, was_correct=True)
+        mrt.record(0, was_correct=False)
+        mrt.relogarithmize()
+        assert mrt.encoded_probability(0) == encode_probability_exact(0.75)
+
+    def test_mitchell_and_exact_agree_closely(self):
+        approx = MispredictRateTable(use_mitchell_log=True)
+        exact = MispredictRateTable(use_mitchell_log=False)
+        for table in (approx, exact):
+            for _ in range(80):
+                table.record(3, was_correct=True)
+            for _ in range(20):
+                table.record(3, was_correct=False)
+            table.relogarithmize()
+        assert abs(approx.encoded_probability(3)
+                   - exact.encoded_probability(3)) < 150
+
+    def test_snapshot_rates_only_includes_sampled_buckets(self):
+        mrt = MispredictRateTable()
+        mrt.record(4, was_correct=True)
+        rates = mrt.snapshot_rates()
+        assert set(rates) == {4}
+
+    def test_storage_budget_matches_paper(self):
+        mrt = MispredictRateTable()
+        # 16 buckets * (10 + 6) counter bits = 32 bytes of counters, plus
+        # 16 * 12 bits of encoded-probability registers = 24 bytes.
+        assert mrt.storage_bits() == 16 * 16 + 16 * 12
+        assert mrt.storage_bits() // 8 <= 60  # "less than 60 bytes"
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            MispredictRateTable(num_buckets=0)
+        with pytest.raises(ValueError):
+            MispredictRateTable(relog_period_cycles=0)
+
+    def test_custom_prior(self):
+        mrt = MispredictRateTable(initial_mispredict_rates=[0.5] * 16)
+        assert mrt.encoded_probability(0) == encode_probability_exact(0.5)
+
+    def test_short_prior_is_extended(self):
+        mrt = MispredictRateTable(initial_mispredict_rates=[0.4, 0.2])
+        assert mrt.encoded_probability(15) == encode_probability_exact(0.8)

@@ -1,0 +1,149 @@
+"""Unit tests for the PaCo path confidence predictor."""
+
+import pytest
+
+from repro.common.logcircuit import decode_probability, encode_threshold
+from repro.pathconf.base import BranchFetchInfo
+from repro.pathconf.paco import PaCoPredictor
+
+
+def _info(mdc_value, pc=0x400000):
+    return BranchFetchInfo(pc=pc, mdc_value=mdc_value, mdc_index=0,
+                           predicted_taken=True, history=0)
+
+
+class TestPaCoRegister:
+    def test_empty_window_means_certain_goodpath(self):
+        paco = PaCoPredictor()
+        assert paco.path_confidence_register == 0
+        assert paco.goodpath_probability() == 1.0
+
+    def test_fetch_adds_encoded_probability(self):
+        paco = PaCoPredictor()
+        token = paco.on_branch_fetch(_info(mdc_value=0))
+        assert paco.path_confidence_register == token.encoded_added
+        assert paco.path_confidence_register > 0
+
+    def test_low_mdc_branch_lowers_probability_more(self):
+        paco_low = PaCoPredictor()
+        paco_high = PaCoPredictor()
+        paco_low.on_branch_fetch(_info(mdc_value=0))
+        paco_high.on_branch_fetch(_info(mdc_value=15))
+        assert (paco_low.goodpath_probability()
+                < paco_high.goodpath_probability())
+
+    def test_probability_is_product_of_contributions(self):
+        paco = PaCoPredictor()
+        paco.on_branch_fetch(_info(mdc_value=0))
+        p1 = paco.goodpath_probability()
+        paco.on_branch_fetch(_info(mdc_value=0))
+        p2 = paco.goodpath_probability()
+        assert p2 == pytest.approx(p1 * p1, rel=0.01)
+
+    def test_resolve_removes_contribution(self):
+        paco = PaCoPredictor()
+        token = paco.on_branch_fetch(_info(mdc_value=2))
+        paco.on_branch_resolve(token, mispredicted=False)
+        assert paco.path_confidence_register == 0
+        assert paco.outstanding_branches() == 0
+
+    def test_squash_removes_contribution_without_training(self):
+        paco = PaCoPredictor()
+        token = paco.on_branch_fetch(_info(mdc_value=2))
+        paco.on_branch_squash(token)
+        assert paco.path_confidence_register == 0
+        assert paco.mrt.counters[2].total == 0
+
+    def test_resolve_trains_the_mrt_bucket(self):
+        paco = PaCoPredictor()
+        token = paco.on_branch_fetch(_info(mdc_value=5))
+        paco.on_branch_resolve(token, mispredicted=True)
+        assert paco.mrt.counters[5].mispredicted == 1
+
+    def test_double_removal_is_idempotent(self):
+        paco = PaCoPredictor()
+        token = paco.on_branch_fetch(_info(mdc_value=0))
+        paco.on_branch_resolve(token, mispredicted=False)
+        paco.on_branch_squash(token)
+        assert paco.path_confidence_register == 0
+
+    def test_register_never_goes_negative(self):
+        paco = PaCoPredictor()
+        token = paco.on_branch_fetch(_info(mdc_value=3))
+        # A re-logarithmizing pass between fetch and resolve changes the
+        # table, but the stored token keeps the subtraction consistent.
+        for _ in range(50):
+            paco.mrt.record(3, was_correct=False)
+        paco.mrt.relogarithmize()
+        paco.on_branch_resolve(token, mispredicted=False)
+        assert paco.path_confidence_register >= 0
+
+    def test_window_reset(self):
+        paco = PaCoPredictor()
+        paco.on_branch_fetch(_info(mdc_value=0))
+        paco.reset_window()
+        assert paco.path_confidence_register == 0
+        assert paco.outstanding_branches() == 0
+
+
+class TestPaCoAdaptation:
+    def test_learns_bucket_rates_through_relog(self):
+        paco = PaCoPredictor(relog_period_cycles=100)
+        # Bucket 0 mispredicts half the time in this program.
+        for _ in range(50):
+            token = paco.on_branch_fetch(_info(mdc_value=0))
+            paco.on_branch_resolve(token, mispredicted=True)
+            token = paco.on_branch_fetch(_info(mdc_value=0))
+            paco.on_branch_resolve(token, mispredicted=False)
+        paco.on_cycle(cycle=200)
+        encoded = paco.mrt.encoded_probability(0)
+        # Should be near encode(0.5) = 1024.
+        assert 850 <= encoded <= 1250
+
+    def test_on_cycle_respects_period(self):
+        paco = PaCoPredictor(relog_period_cycles=1_000)
+        token = paco.on_branch_fetch(_info(mdc_value=0))
+        paco.on_branch_resolve(token, mispredicted=False)
+        paco.on_cycle(cycle=10)
+        assert paco.mrt.relog_passes == 0
+        paco.on_cycle(cycle=1_000)
+        assert paco.mrt.relog_passes == 1
+
+    def test_statistics(self):
+        paco = PaCoPredictor()
+        t1 = paco.on_branch_fetch(_info(mdc_value=0))
+        t2 = paco.on_branch_fetch(_info(mdc_value=1))
+        paco.on_branch_resolve(t1, mispredicted=False)
+        paco.on_branch_squash(t2)
+        assert paco.fetched_branches == 2
+        assert paco.resolved_branches == 1
+        assert paco.squashed_branches == 1
+
+
+class TestPaCoGatingInterface:
+    def test_should_gate_compares_in_encoded_space(self):
+        paco = PaCoPredictor()
+        # Pile on low-confidence branches until the probability is tiny.
+        for _ in range(12):
+            paco.on_branch_fetch(_info(mdc_value=0))
+        assert paco.goodpath_probability() < 0.10
+        assert paco.should_gate(0.10)
+        assert not PaCoPredictor().should_gate(0.10)
+
+    def test_encoded_threshold_matches_module_function(self):
+        paco = PaCoPredictor()
+        assert paco.encoded_threshold(0.10) == encode_threshold(0.10)
+
+    def test_gate_boundary_consistency(self):
+        paco = PaCoPredictor()
+        threshold = 0.25
+        for _ in range(20):
+            paco.on_branch_fetch(_info(mdc_value=1))
+            decoded = decode_probability(paco.path_confidence_register)
+            assert paco.should_gate(threshold) == (
+                paco.path_confidence_register > paco.encoded_threshold(threshold)
+            )
+            # Decoded probability and encoded comparison agree to within
+            # one rounding step.
+            if decoded < threshold * 0.98:
+                assert paco.should_gate(threshold)

@@ -1,0 +1,100 @@
+"""Unit tests for the conventional threshold-and-count path confidence predictor."""
+
+import pytest
+
+from repro.pathconf.base import BranchFetchInfo
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+
+
+def _info(mdc_value, pc=0x400000):
+    return BranchFetchInfo(pc=pc, mdc_value=mdc_value, mdc_index=0,
+                           predicted_taken=True, history=0)
+
+
+class TestThresholdAndCount:
+    def test_low_confidence_branch_increments_counter(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        predictor.on_branch_fetch(_info(mdc_value=0))
+        assert predictor.low_confidence_count == 1
+
+    def test_high_confidence_branch_does_not_count(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        predictor.on_branch_fetch(_info(mdc_value=3))
+        assert predictor.low_confidence_count == 0
+        assert predictor.outstanding_branches() == 1
+
+    def test_threshold_boundary(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        predictor.on_branch_fetch(_info(mdc_value=2))
+        predictor.on_branch_fetch(_info(mdc_value=3))
+        assert predictor.low_confidence_count == 1
+
+    def test_resolve_decrements_counter(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        token = predictor.on_branch_fetch(_info(mdc_value=0))
+        predictor.on_branch_resolve(token, mispredicted=False)
+        assert predictor.low_confidence_count == 0
+        assert predictor.outstanding_branches() == 0
+
+    def test_squash_decrements_counter(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        token = predictor.on_branch_fetch(_info(mdc_value=1))
+        predictor.on_branch_squash(token)
+        assert predictor.low_confidence_count == 0
+
+    def test_double_resolution_is_idempotent(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        token = predictor.on_branch_fetch(_info(mdc_value=0))
+        predictor.on_branch_resolve(token, mispredicted=True)
+        predictor.on_branch_squash(token)
+        assert predictor.low_confidence_count == 0
+        assert predictor.outstanding_branches() == 0
+
+    def test_counter_never_goes_negative(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        token = predictor.on_branch_fetch(_info(mdc_value=0))
+        predictor.on_branch_resolve(token, mispredicted=False)
+        other = predictor.on_branch_fetch(_info(mdc_value=5))
+        predictor.on_branch_resolve(other, mispredicted=False)
+        assert predictor.low_confidence_count == 0
+
+    def test_reset_window_clears_counts(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        predictor.on_branch_fetch(_info(mdc_value=0))
+        predictor.on_branch_fetch(_info(mdc_value=0))
+        predictor.reset_window()
+        assert predictor.low_confidence_count == 0
+        assert predictor.outstanding_branches() == 0
+
+    def test_gate_decision_uses_gate_count(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        for _ in range(3):
+            predictor.on_branch_fetch(_info(mdc_value=0))
+        assert predictor.should_gate(0.0, gate_count=3)
+        assert not predictor.should_gate(0.0, gate_count=4)
+
+    def test_probability_mapping_decreases_with_count(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        p0 = predictor.goodpath_probability()
+        predictor.on_branch_fetch(_info(mdc_value=0))
+        p1 = predictor.goodpath_probability()
+        predictor.on_branch_fetch(_info(mdc_value=0))
+        p2 = predictor.goodpath_probability()
+        assert p0 > p1 > p2
+
+    def test_statistics(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        predictor.on_branch_fetch(_info(mdc_value=0))
+        predictor.on_branch_fetch(_info(mdc_value=7))
+        assert predictor.fetched_branches == 2
+        assert predictor.low_confidence_branches == 1
+
+    def test_name_identifies_threshold(self):
+        assert "3" in ThresholdAndCountPredictor(threshold=3).name
+        assert "15" in ThresholdAndCountPredictor(threshold=15).name
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ThresholdAndCountPredictor(threshold=-1)
+        with pytest.raises(ValueError):
+            ThresholdAndCountPredictor(assumed_low_confidence_correct_rate=0.0)

@@ -1,0 +1,213 @@
+"""Unit tests for Static-MRT, Per-branch-MRT, Oracle and Composite predictors."""
+
+import pytest
+
+from repro.pathconf.base import BranchFetchInfo
+from repro.pathconf.composite import CompositePathConfidence
+from repro.pathconf.oracle import OraclePathConfidence
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.per_branch_mrt import PerBranchMRTPredictor
+from repro.pathconf.static_mrt import StaticMRTPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+
+
+def _info(mdc_value, pc=0x400000, history=0):
+    return BranchFetchInfo(pc=pc, mdc_value=mdc_value, mdc_index=0,
+                           predicted_taken=True, history=history)
+
+
+class TestStaticMRT:
+    def test_uses_fixed_profile(self):
+        predictor = StaticMRTPredictor(mispredict_rates=[0.5] + [0.01] * 15)
+        predictor.on_branch_fetch(_info(mdc_value=0))
+        low_mdc_probability = predictor.goodpath_probability()
+        predictor.reset_window()
+        predictor.on_branch_fetch(_info(mdc_value=5))
+        high_mdc_probability = predictor.goodpath_probability()
+        assert low_mdc_probability == pytest.approx(0.5, rel=0.02)
+        assert high_mdc_probability == pytest.approx(0.99, rel=0.02)
+
+    def test_resolution_does_not_adapt(self):
+        predictor = StaticMRTPredictor()
+        baseline = predictor.encoded_probabilities[0]
+        for _ in range(50):
+            token = predictor.on_branch_fetch(_info(mdc_value=0))
+            predictor.on_branch_resolve(token, mispredicted=True)
+        assert predictor.encoded_probabilities[0] == baseline
+
+    def test_squash_and_double_removal(self):
+        predictor = StaticMRTPredictor()
+        token = predictor.on_branch_fetch(_info(mdc_value=1))
+        predictor.on_branch_squash(token)
+        predictor.on_branch_resolve(token, mispredicted=False)
+        assert predictor.path_confidence_register == 0
+
+    def test_gating_decision(self):
+        predictor = StaticMRTPredictor(mispredict_rates=[0.4] * 16)
+        for _ in range(6):
+            predictor.on_branch_fetch(_info(mdc_value=0))
+        assert predictor.should_gate(0.2)
+
+    def test_rejects_invalid_profile(self):
+        with pytest.raises(ValueError):
+            StaticMRTPredictor(mispredict_rates=[1.5])
+
+    def test_out_of_range_mdc_rejected(self):
+        with pytest.raises(ValueError):
+            StaticMRTPredictor().on_branch_fetch(_info(mdc_value=99))
+
+
+class TestPerBranchMRT:
+    def test_adapts_per_branch_context(self):
+        predictor = PerBranchMRTPredictor(index_bits=10)
+        bad_pc, good_pc = 0x400000, 0x400040
+        for _ in range(40):
+            token = predictor.on_branch_fetch(_info(0, pc=bad_pc))
+            predictor.on_branch_resolve(token, mispredicted=True)
+            token = predictor.on_branch_fetch(_info(0, pc=good_pc))
+            predictor.on_branch_resolve(token, mispredicted=False)
+        predictor.reset_window()
+        predictor.on_branch_fetch(_info(0, pc=bad_pc))
+        bad_probability = predictor.goodpath_probability()
+        predictor.reset_window()
+        predictor.on_branch_fetch(_info(0, pc=good_pc))
+        good_probability = predictor.goodpath_probability()
+        assert bad_probability < good_probability
+
+    def test_no_recency_weighting(self):
+        """The design flaw the paper points out: a recent mispredict does not
+        make the branch look worse than an old one."""
+        predictor = PerBranchMRTPredictor(index_bits=10)
+        pc = 0x400000
+        # 1 mispredict followed by 100 correct...
+        token = predictor.on_branch_fetch(_info(0, pc=pc))
+        predictor.on_branch_resolve(token, mispredicted=True)
+        for _ in range(100):
+            token = predictor.on_branch_fetch(_info(0, pc=pc))
+            predictor.on_branch_resolve(token, mispredicted=False)
+        predictor.reset_window()
+        predictor.on_branch_fetch(_info(0, pc=pc))
+        probability_after_old_miss = predictor.goodpath_probability()
+
+        fresh = PerBranchMRTPredictor(index_bits=10)
+        # ...versus 100 correct followed by 1 mispredict.
+        for _ in range(100):
+            token = fresh.on_branch_fetch(_info(0, pc=pc))
+            fresh.on_branch_resolve(token, mispredicted=False)
+        token = fresh.on_branch_fetch(_info(0, pc=pc))
+        fresh.on_branch_resolve(token, mispredicted=True)
+        fresh.reset_window()
+        fresh.on_branch_fetch(_info(0, pc=pc))
+        probability_after_recent_miss = fresh.goodpath_probability()
+
+        assert probability_after_old_miss == pytest.approx(
+            probability_after_recent_miss, rel=1e-6
+        )
+
+    def test_history_separates_contexts(self):
+        predictor = PerBranchMRTPredictor(index_bits=10, history_bits=4)
+        a = predictor.on_branch_fetch(_info(0, history=0b0001))
+        b = predictor.on_branch_fetch(_info(0, history=0b1000))
+        assert a.table_index != b.table_index
+
+    def test_prior_gives_optimistic_start(self):
+        predictor = PerBranchMRTPredictor(prior_correct=3, prior_total=4)
+        predictor.on_branch_fetch(_info(0))
+        assert predictor.goodpath_probability() == pytest.approx(0.75, rel=0.02)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            PerBranchMRTPredictor(index_bits=0)
+        with pytest.raises(ValueError):
+            PerBranchMRTPredictor(prior_correct=5, prior_total=4)
+
+    def test_squash_does_not_update_counts(self):
+        predictor = PerBranchMRTPredictor(index_bits=10)
+        token = predictor.on_branch_fetch(_info(0))
+        before = predictor._total[token.table_index]
+        predictor.on_branch_squash(token)
+        assert predictor._total[token.table_index] == before
+
+
+class TestOracle:
+    def test_perfect_knowledge(self):
+        oracle = OraclePathConfidence()
+        good = oracle.on_branch_fetch(_info(0), will_mispredict=False)
+        assert oracle.goodpath_probability() == 1.0
+        bad = oracle.on_branch_fetch(_info(0), will_mispredict=True)
+        assert oracle.goodpath_probability() == 0.0
+        oracle.on_branch_resolve(bad, mispredicted=True)
+        assert oracle.goodpath_probability() == 1.0
+        oracle.on_branch_resolve(good, mispredicted=False)
+        assert oracle.outstanding_branches() == 0
+
+    def test_squash_restores_certainty(self):
+        oracle = OraclePathConfidence()
+        token = oracle.on_branch_fetch(_info(0), will_mispredict=True)
+        oracle.on_branch_squash(token)
+        assert oracle.goodpath_probability() == 1.0
+
+    def test_reset_window(self):
+        oracle = OraclePathConfidence()
+        oracle.on_branch_fetch(_info(0), will_mispredict=True)
+        oracle.reset_window()
+        assert oracle.goodpath_probability() == 1.0
+
+
+class TestComposite:
+    def _composite(self):
+        paco = PaCoPredictor()
+        count = ThresholdAndCountPredictor(threshold=3)
+        static = StaticMRTPredictor()
+        return CompositePathConfidence([paco, count, static], primary=paco), \
+            paco, count, static
+
+    def test_fans_out_fetch_and_resolve(self):
+        composite, paco, count, static = self._composite()
+        token = composite.on_branch_fetch(_info(mdc_value=0))
+        assert paco.outstanding_branches() == 1
+        assert count.low_confidence_count == 1
+        assert static.outstanding_branches() == 1
+        composite.on_branch_resolve(token, mispredicted=True)
+        assert paco.outstanding_branches() == 0
+        assert count.low_confidence_count == 0
+
+    def test_squash_fans_out(self):
+        composite, paco, count, _static = self._composite()
+        token = composite.on_branch_fetch(_info(mdc_value=0))
+        composite.on_branch_squash(token)
+        assert paco.outstanding_branches() == 0
+        assert count.low_confidence_count == 0
+
+    def test_primary_drives_probability_and_gating(self):
+        composite, paco, _count, _static = self._composite()
+        composite.on_branch_fetch(_info(mdc_value=0))
+        assert composite.goodpath_probability() == paco.goodpath_probability()
+
+    def test_on_cycle_propagates(self):
+        paco = PaCoPredictor(relog_period_cycles=10)
+        composite = CompositePathConfidence([paco])
+        token = composite.on_branch_fetch(_info(mdc_value=0))
+        composite.on_branch_resolve(token, mispredicted=False)
+        composite.on_cycle(100)
+        assert paco.mrt.relog_passes == 1
+
+    def test_by_name(self):
+        composite, paco, count, static = self._composite()
+        names = composite.by_name()
+        assert names["paco"] is paco
+        assert names[count.name] is count
+
+    def test_requires_predictors_and_valid_primary(self):
+        with pytest.raises(ValueError):
+            CompositePathConfidence([])
+        with pytest.raises(ValueError):
+            CompositePathConfidence([PaCoPredictor()],
+                                    primary=ThresholdAndCountPredictor())
+
+    def test_reset_window_fans_out(self):
+        composite, paco, count, static = self._composite()
+        composite.on_branch_fetch(_info(mdc_value=0))
+        composite.reset_window()
+        assert paco.outstanding_branches() == 0
+        assert static.outstanding_branches() == 0

@@ -1,0 +1,137 @@
+"""Unit tests for machine configuration and the cache hierarchy."""
+
+import pytest
+
+from repro.pipeline.caches import Cache, CacheHierarchy
+from repro.pipeline.config import CacheConfig, MachineConfig, SMTConfig
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size_bytes=32 * 1024, ways=4, line_bytes=64,
+                             miss_latency=10)
+        assert config.num_sets == 128
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, ways=4, line_bytes=64, miss_latency=10)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3, line_bytes=64, miss_latency=10)
+
+
+class TestMachineConfig:
+    def test_paper_4wide_matches_table6(self):
+        config = MachineConfig.paper_4wide()
+        assert config.width == 4
+        assert config.rob_size == 256
+        assert config.scheduler_size == 64
+        assert config.num_functional_units == 4
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l2.size_bytes == 512 * 1024
+        assert config.l2.miss_latency == 100
+
+    def test_minimum_mispredict_penalty_at_least_ten(self):
+        assert MachineConfig.paper_4wide().min_mispredict_penalty >= 10
+
+    def test_smt_8wide_matches_table11(self):
+        config = MachineConfig.smt_8wide()
+        assert config.width == 8
+        assert config.rob_size == 512
+        assert config.num_functional_units == 8
+        assert config.min_mispredict_penalty >= 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(width=0)
+        with pytest.raises(ValueError):
+            MachineConfig(frontend_depth=0)
+
+    def test_smt_config_default_two_threads(self):
+        smt = SMTConfig()
+        assert smt.num_threads == 2
+        with pytest.raises(ValueError):
+            SMTConfig(num_threads=1)
+
+
+class TestCache:
+    def _tiny(self, ways=2, sets_bytes=4 * 64 * 2):
+        return Cache(CacheConfig(size_bytes=sets_bytes, ways=ways, line_bytes=64,
+                                 miss_latency=10))
+
+    def test_miss_then_hit(self):
+        cache = self._tiny()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_line_different_offset_hits(self):
+        cache = self._tiny()
+        cache.access(0x1000)
+        assert cache.access(0x1020)
+
+    def test_lru_eviction(self):
+        cache = Cache(CacheConfig(size_bytes=2 * 64, ways=2, line_bytes=64,
+                                  miss_latency=10))
+        # Single set, two ways.
+        cache.access(0x0)
+        cache.access(0x40 * 1)   # same set? num_sets = 1, so yes
+        cache.access(0x40 * 2)   # evicts 0x0
+        assert not cache.access(0x0)
+        assert cache.evictions >= 1
+
+    def test_probe_does_not_allocate(self):
+        cache = self._tiny()
+        assert not cache.probe(0x1000)
+        assert not cache.probe(0x1000)
+
+    def test_miss_rate(self):
+        cache = self._tiny()
+        cache.access(0x1000)
+        cache.access(0x1000)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_rejects_non_power_of_two_lines(self):
+        with pytest.raises(ValueError):
+            Cache(CacheConfig(size_bytes=120 * 2, ways=2, line_bytes=120,
+                              miss_latency=5))
+
+    def test_reset_stats(self):
+        cache = self._tiny()
+        cache.access(0x1000)
+        cache.reset_stats()
+        assert cache.accesses == 0
+
+
+class TestCacheHierarchy:
+    def test_l1_hit_has_zero_penalty(self):
+        hierarchy = CacheHierarchy(MachineConfig.paper_4wide())
+        hierarchy.access_data(0x1000)
+        assert hierarchy.access_data(0x1000) == 0
+
+    def test_first_access_misses_all_levels(self):
+        hierarchy = CacheHierarchy(MachineConfig.paper_4wide())
+        penalty = hierarchy.access_data(0x1000)
+        assert penalty == 10 + 100
+
+    def test_l2_hit_after_l1_eviction(self):
+        config = MachineConfig.paper_4wide()
+        hierarchy = CacheHierarchy(config)
+        hierarchy.access_data(0x1000)
+        # Evict 0x1000 from L1 by filling its set with conflicting lines.
+        sets = config.l1d.num_sets
+        for way in range(config.l1d.ways + 1):
+            hierarchy.access_data(0x1000 + (way + 1) * sets * config.l1d.line_bytes)
+        penalty = hierarchy.access_data(0x1000)
+        assert penalty in (0, 10)  # L1 hit if not evicted, else L2 hit
+
+    def test_instruction_and_data_sides_are_separate(self):
+        hierarchy = CacheHierarchy(MachineConfig.paper_4wide())
+        hierarchy.access_instruction(0x400000)
+        assert hierarchy.access_instruction(0x400000) == 0
+        assert hierarchy.l1d.accesses == 0
+
+    def test_reset_stats(self):
+        hierarchy = CacheHierarchy(MachineConfig.paper_4wide())
+        hierarchy.access_data(0x1000)
+        hierarchy.reset_stats()
+        assert hierarchy.l1d.accesses == 0
+        assert hierarchy.l2.accesses == 0

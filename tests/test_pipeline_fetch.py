@@ -1,0 +1,145 @@
+"""Unit tests for the speculative fetch engine."""
+
+import pytest
+
+from repro.branch_predictor.frontend import FrontEndPredictor
+from repro.confidence.jrs import JRSConfidencePredictor
+from repro.isa.types import BranchKind
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.pipeline.fetch import FetchEngine
+from repro.workloads.generator import WorkloadGenerator
+
+
+def _engine(spec, path_confidence=None, seed=1):
+    generator = WorkloadGenerator(spec, seed=seed)
+    frontend = FrontEndPredictor(history_bits=8, direction_index_bits=12,
+                                 btb_sets=128)
+    confidence = JRSConfidencePredictor(index_bits=10)
+    predictor = path_confidence if path_confidence is not None else PaCoPredictor()
+    return FetchEngine(generator=generator, frontend=frontend,
+                       confidence=confidence, path_confidence=predictor), predictor
+
+
+def _fetch_until_mispredict(engine, limit=50_000):
+    """Fetch until a good-path mispredict flips the engine onto the wrong path."""
+    seq = 0
+    while not engine.on_wrong_path and seq < limit:
+        instr = engine.fetch_one(seq, cycle=seq)
+        seq += 1
+        if instr.is_branch and instr.mispredicted and instr.on_goodpath:
+            return instr, seq
+    raise AssertionError("no mispredicted good-path branch found")
+
+
+class TestFetchEngine:
+    def test_starts_on_goodpath(self, tiny_spec):
+        engine, _ = _engine(tiny_spec)
+        assert engine.fetching_goodpath
+        instr = engine.fetch_one(0, cycle=0)
+        assert instr.on_goodpath
+
+    def test_goodpath_mispredict_switches_to_wrongpath(self, tiny_spec):
+        engine, _ = _engine(tiny_spec)
+        mispredicted, seq = _fetch_until_mispredict(engine)
+        assert engine.on_wrong_path
+        follower = engine.fetch_one(seq, cycle=seq)
+        assert not follower.on_goodpath
+
+    def test_recover_resumes_goodpath(self, tiny_spec):
+        engine, _ = _engine(tiny_spec)
+        mispredicted, seq = _fetch_until_mispredict(engine)
+        # Fetch a few wrong-path instructions, then resolve and recover.
+        for offset in range(5):
+            engine.fetch_one(seq + offset, cycle=seq + offset)
+        engine.resolve_branch(mispredicted)
+        engine.recover(mispredicted)
+        assert engine.fetching_goodpath
+        resumed = engine.fetch_one(seq + 10, cycle=seq + 10)
+        assert resumed.on_goodpath
+
+    def test_recover_ignores_other_branches(self, tiny_spec):
+        engine, _ = _engine(tiny_spec)
+        mispredicted, seq = _fetch_until_mispredict(engine)
+        other = engine.fetch_one(seq, cycle=seq)
+        engine.recover(other)           # not the pending mispredict
+        assert engine.on_wrong_path
+        engine.recover(mispredicted)
+        assert not engine.on_wrong_path
+
+    def test_conditional_branches_register_with_path_confidence(self, tiny_spec):
+        engine, paco = _engine(tiny_spec)
+        fetched_conditionals = 0
+        for seq in range(400):
+            instr = engine.fetch_one(seq, cycle=seq)
+            if instr.branch_kind is BranchKind.CONDITIONAL:
+                fetched_conditionals += 1
+        assert fetched_conditionals > 0
+        assert paco.fetched_branches == fetched_conditionals
+        assert paco.outstanding_branches() == fetched_conditionals
+
+    def test_resolution_clears_outstanding_branches(self, tiny_spec):
+        engine, paco = _engine(tiny_spec)
+        branches = []
+        for seq in range(300):
+            instr = engine.fetch_one(seq, cycle=seq)
+            if instr.branch_kind is BranchKind.CONDITIONAL:
+                branches.append(instr)
+        for branch in branches:
+            engine.resolve_branch(branch)
+        assert paco.outstanding_branches() == 0
+
+    def test_squash_clears_outstanding_branches(self, tiny_spec):
+        engine, paco = _engine(tiny_spec)
+        branches = []
+        for seq in range(300):
+            instr = engine.fetch_one(seq, cycle=seq)
+            if instr.branch_kind is BranchKind.CONDITIONAL:
+                branches.append(instr)
+        for branch in branches:
+            engine.squash_branch(branch)
+        assert paco.outstanding_branches() == 0
+
+    def test_double_resolution_is_safe(self, tiny_spec):
+        engine, paco = _engine(tiny_spec)
+        branch = None
+        for seq in range(300):
+            instr = engine.fetch_one(seq, cycle=seq)
+            if instr.branch_kind is BranchKind.CONDITIONAL:
+                branch = instr
+                break
+        engine.resolve_branch(branch)
+        engine.resolve_branch(branch)
+        engine.squash_branch(branch)
+        assert paco.outstanding_branches() == 0
+
+    def test_non_branch_instructions_have_no_tokens(self, tiny_spec):
+        engine, _ = _engine(tiny_spec)
+        for seq in range(100):
+            instr = engine.fetch_one(seq, cycle=seq)
+            if not instr.is_branch:
+                assert instr.conf_token is None
+
+    def test_wrongpath_branches_do_not_train_confidence(self, tiny_spec):
+        engine, _ = _engine(tiny_spec, path_confidence=ThresholdAndCountPredictor())
+        mispredicted, seq = _fetch_until_mispredict(engine)
+        jrs_updates_before = engine.confidence.updates
+        wrong_branches = []
+        offset = 0
+        while len(wrong_branches) < 3 and offset < 2000:
+            instr = engine.fetch_one(seq + offset, cycle=seq + offset)
+            if instr.branch_kind is BranchKind.CONDITIONAL:
+                wrong_branches.append(instr)
+            offset += 1
+        for branch in wrong_branches:
+            engine.resolve_branch(branch)
+        assert engine.confidence.updates == jrs_updates_before
+
+    def test_statistics_split_by_path(self, tiny_spec):
+        engine, _ = _engine(tiny_spec)
+        _fetch_until_mispredict(engine)
+        seq = engine.goodpath_fetched + engine.badpath_fetched
+        for offset in range(10):
+            engine.fetch_one(seq + offset, cycle=seq + offset)
+        assert engine.badpath_fetched >= 10
+        assert engine.goodpath_fetched > 0

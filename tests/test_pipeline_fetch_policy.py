@@ -1,0 +1,113 @@
+"""Unit tests for SMT fetch policies."""
+
+import pytest
+
+from repro.pathconf.base import BranchFetchInfo
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.pipeline.fetch_policy import (
+    CountConfidencePolicy,
+    ICountPolicy,
+    PaCoConfidencePolicy,
+    RoundRobinPolicy,
+    ThreadView,
+)
+
+
+class _FakeThread(ThreadView):
+    def __init__(self, in_flight, predictor):
+        self._in_flight = in_flight
+        self._predictor = predictor
+
+    @property
+    def in_flight_instructions(self):
+        return self._in_flight
+
+    @property
+    def path_confidence(self):
+        return self._predictor
+
+
+def _info(mdc_value):
+    return BranchFetchInfo(pc=0x400000, mdc_value=mdc_value, mdc_index=0,
+                           predicted_taken=True, history=0)
+
+
+class TestRoundRobin:
+    def test_alternates(self):
+        policy = RoundRobinPolicy()
+        threads = [_FakeThread(0, None), _FakeThread(0, None)]
+        assert policy.select(0, threads) == 0
+        assert policy.select(1, threads) == 1
+        assert policy.select(2, threads) == 0
+
+
+class TestICount:
+    def test_prefers_emptier_thread(self):
+        policy = ICountPolicy()
+        threads = [_FakeThread(30, None), _FakeThread(10, None)]
+        assert policy.select(0, threads) == 1
+
+    def test_tie_breaks_alternate(self):
+        policy = ICountPolicy()
+        threads = [_FakeThread(5, None), _FakeThread(5, None)]
+        assert {policy.select(0, threads), policy.select(1, threads)} == {0, 1}
+
+
+class TestCountConfidencePolicy:
+    def test_prefers_thread_with_fewer_low_confidence_branches(self):
+        confident = ThresholdAndCountPredictor(threshold=3)
+        doubtful = ThresholdAndCountPredictor(threshold=3)
+        doubtful.on_branch_fetch(_info(0))
+        doubtful.on_branch_fetch(_info(0))
+        policy = CountConfidencePolicy(threshold=3)
+        threads = [_FakeThread(50, doubtful), _FakeThread(50, confident)]
+        assert policy.select(0, threads) == 1
+
+    def test_ties_fall_back_to_icount(self):
+        a = ThresholdAndCountPredictor(threshold=3)
+        b = ThresholdAndCountPredictor(threshold=3)
+        policy = CountConfidencePolicy(threshold=3)
+        threads = [_FakeThread(40, a), _FakeThread(10, b)]
+        assert policy.select(0, threads) == 1
+
+    def test_requires_count_predictors(self):
+        policy = CountConfidencePolicy()
+        threads = [_FakeThread(0, PaCoPredictor()),
+                   _FakeThread(0, PaCoPredictor())]
+        with pytest.raises(TypeError):
+            policy.select(0, threads)
+
+    def test_name_mentions_threshold(self):
+        assert "7" in CountConfidencePolicy(threshold=7).name
+
+
+class TestPaCoConfidencePolicy:
+    def test_prefers_higher_goodpath_probability(self):
+        confident = PaCoPredictor()
+        doubtful = PaCoPredictor()
+        for _ in range(4):
+            doubtful.on_branch_fetch(_info(0))
+        policy = PaCoConfidencePolicy()
+        threads = [_FakeThread(10, doubtful), _FakeThread(90, confident)]
+        assert policy.select(0, threads) == 1
+
+    def test_ties_fall_back_to_icount(self):
+        policy = PaCoConfidencePolicy()
+        threads = [_FakeThread(40, PaCoPredictor()), _FakeThread(5, PaCoPredictor())]
+        assert policy.select(0, threads) == 1
+
+    def test_requires_paco_predictors(self):
+        policy = PaCoConfidencePolicy()
+        threads = [_FakeThread(0, ThresholdAndCountPredictor()),
+                   _FakeThread(0, ThresholdAndCountPredictor())]
+        with pytest.raises(TypeError):
+            policy.select(0, threads)
+
+    def test_comparison_is_on_encoded_registers(self):
+        a, b = PaCoPredictor(), PaCoPredictor()
+        a.on_branch_fetch(_info(15))   # tiny encoded contribution
+        b.on_branch_fetch(_info(0))    # large encoded contribution
+        policy = PaCoConfidencePolicy()
+        threads = [_FakeThread(0, a), _FakeThread(0, b)]
+        assert policy.select(0, threads) == 0

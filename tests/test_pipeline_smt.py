@@ -1,0 +1,110 @@
+"""Tests for the SMT core model."""
+
+import pytest
+
+from repro.branch_predictor.frontend import FrontEndPredictor
+from repro.confidence.jrs import JRSConfidencePredictor
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.pipeline.config import MachineConfig, SMTConfig
+from repro.pipeline.fetch import FetchEngine
+from repro.pipeline.fetch_policy import ICountPolicy, PaCoConfidencePolicy
+from repro.pipeline.smt import SMTCore, SMTThread
+from repro.workloads.generator import WorkloadGenerator
+
+
+def _small_smt_config():
+    machine = MachineConfig(
+        width=4, rob_size=64, scheduler_size=32, num_functional_units=4,
+        frontend_depth=4, redirect_penalty=2,
+        direction_index_bits=12, jrs_index_bits=10, btb_sets=128,
+    )
+    return SMTConfig(machine=machine, num_threads=2)
+
+
+def _make_thread(spec, thread_id, predictor, seed=1):
+    generator = WorkloadGenerator(spec, seed=seed + thread_id, thread_id=thread_id)
+    frontend = FrontEndPredictor(history_bits=8, direction_index_bits=12,
+                                 btb_sets=128)
+    confidence = JRSConfidencePredictor(index_bits=10)
+    engine = FetchEngine(generator=generator, frontend=frontend,
+                         confidence=confidence, path_confidence=predictor,
+                         wrongpath_seed=seed + 10 + thread_id)
+    return SMTThread(thread_id=thread_id, fetch_engine=engine)
+
+
+def _build_smt(spec, policy=None, predictor_factory=None, seed=1):
+    config = _small_smt_config()
+    factory = predictor_factory or (lambda: ThresholdAndCountPredictor(threshold=3))
+    threads = [_make_thread(spec, tid, factory(), seed=seed) for tid in range(2)]
+    return SMTCore(config=config, threads=threads,
+                   fetch_policy=policy or ICountPolicy())
+
+
+class TestSMTCore:
+    def test_requires_matching_thread_count(self, tiny_spec):
+        config = _small_smt_config()
+        thread = _make_thread(tiny_spec, 0, ThresholdAndCountPredictor())
+        with pytest.raises(ValueError):
+            SMTCore(config=config, threads=[thread])
+
+    def test_both_threads_make_progress(self, tiny_spec):
+        core = _build_smt(tiny_spec)
+        stats = core.run(max_total_instructions=4000)
+        assert stats.threads[0].retired_instructions > 500
+        assert stats.threads[1].retired_instructions > 500
+        assert stats.total_retired >= 4000
+
+    def test_total_ipc_is_sum_of_thread_ipcs(self, tiny_spec):
+        core = _build_smt(tiny_spec)
+        stats = core.run(max_total_instructions=3000)
+        assert stats.total_ipc == pytest.approx(
+            stats.thread_ipc(0) + stats.thread_ipc(1), rel=1e-6
+        )
+
+    def test_rob_capacity_is_shared_and_respected(self, tiny_spec):
+        core = _build_smt(tiny_spec)
+        for _ in range(2000):
+            core.step()
+            assert core.rob_occupancy <= core.machine.rob_size
+
+    def test_rejects_nonpositive_budget(self, tiny_spec):
+        core = _build_smt(tiny_spec)
+        with pytest.raises(ValueError):
+            core.run(max_total_instructions=0)
+
+    def test_deterministic(self, tiny_spec):
+        stats_a = _build_smt(tiny_spec, seed=3).run(max_total_instructions=2000)
+        stats_b = _build_smt(tiny_spec, seed=3).run(max_total_instructions=2000)
+        assert stats_a.cycles == stats_b.cycles
+        assert (stats_a.threads[0].retired_instructions
+                == stats_b.threads[0].retired_instructions)
+
+    def test_badpath_work_tracked_per_thread(self, tiny_spec):
+        core = _build_smt(tiny_spec)
+        stats = core.run(max_total_instructions=5000)
+        assert stats.threads[0].badpath_fetched > 0
+        assert stats.threads[1].badpath_fetched > 0
+
+    def test_fetch_cycles_are_granted_to_both_threads(self, tiny_spec):
+        core = _build_smt(tiny_spec)
+        stats = core.run(max_total_instructions=4000)
+        assert stats.threads[0].fetch_cycles_granted > 0
+        assert stats.threads[1].fetch_cycles_granted > 0
+
+    def test_paco_policy_runs_end_to_end(self, tiny_spec):
+        core = _build_smt(
+            tiny_spec,
+            policy=PaCoConfidencePolicy(),
+            predictor_factory=lambda: PaCoPredictor(relog_period_cycles=5_000),
+        )
+        stats = core.run(max_total_instructions=3000)
+        assert stats.total_retired >= 3000
+
+    def test_mispredicted_thread_recovers_independently(self, tiny_spec):
+        """A thread's flush must not squash the other thread's instructions."""
+        core = _build_smt(tiny_spec)
+        core.run(max_total_instructions=4000)
+        for thread in core.threads:
+            for instr in thread.rob:
+                assert instr.thread_id == thread.thread_id

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.counters import HalvingRateCounter, SaturatingCounter, ShiftRegister
+from repro.common.logcircuit import (
+    ENCODED_PROBABILITY_MAX,
+    MitchellLogCircuit,
+    decode_probability,
+    encode_probability_exact,
+)
+from repro.common.rng import DeterministicRng
+from repro.common.stats import ReliabilityDiagram
+from repro.pathconf.base import BranchFetchInfo
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+
+
+def _info(mdc):
+    return BranchFetchInfo(pc=0x400000, mdc_value=mdc, mdc_index=0,
+                           predicted_taken=True, history=0)
+
+
+class TestCounterProperties:
+    @given(bits=st.integers(min_value=1, max_value=12),
+           operations=st.lists(st.sampled_from(["inc", "dec", "reset"]),
+                               max_size=200))
+    def test_saturating_counter_stays_in_range(self, bits, operations):
+        counter = SaturatingCounter(bits)
+        for op in operations:
+            if op == "inc":
+                counter.increment()
+            elif op == "dec":
+                counter.decrement()
+            else:
+                counter.reset()
+            assert 0 <= counter.value <= counter.max_value
+
+    @given(bits=st.integers(min_value=1, max_value=16),
+           pushes=st.lists(st.booleans(), max_size=100))
+    def test_shift_register_stays_in_range(self, bits, pushes):
+        register = ShiftRegister(bits)
+        for bit in pushes:
+            register.shift_in(bit)
+            assert 0 <= register.value < (1 << bits)
+
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=3000))
+    def test_halving_counter_rate_stays_in_unit_interval(self, outcomes):
+        counter = HalvingRateCounter()
+        for outcome in outcomes:
+            counter.record(outcome)
+            assert 0.0 <= counter.mispredict_rate <= 1.0
+            assert counter.correct <= (1 << counter.correct_bits) - 1
+            assert counter.mispredicted <= (1 << counter.mispredict_bits) - 1
+
+
+class TestEncodingProperties:
+    @given(probability=st.floats(min_value=0.001, max_value=1.0))
+    def test_encode_decode_roundtrip_bounds(self, probability):
+        encoded = encode_probability_exact(probability)
+        assert 0 <= encoded <= ENCODED_PROBABILITY_MAX
+        decoded = decode_probability(encoded)
+        if encoded < ENCODED_PROBABILITY_MAX:
+            # ceil() in the encoder rounds the probability down (or keeps it),
+            # by at most one encoding step.
+            assert decoded <= probability + 1e-9
+            assert decoded >= probability * (2 ** (-1.5 / 1024))
+        else:
+            # Probabilities below the clamp (mispredict rate > ~93.75%) all
+            # decode to the clamped value, which is an overestimate.
+            assert decoded >= probability - 1e-9
+
+    @given(a=st.floats(min_value=0.05, max_value=1.0),
+           b=st.floats(min_value=0.05, max_value=1.0))
+    def test_encoding_is_monotone(self, a, b):
+        if a <= b:
+            assert encode_probability_exact(a) >= encode_probability_exact(b)
+
+    @given(value=st.integers(min_value=1, max_value=1023))
+    def test_mitchell_log_error_bound(self, value):
+        circuit = MitchellLogCircuit(input_bits=10)
+        assert abs(circuit.log2(value) - math.log2(value)) <= 0.09
+
+    @given(correct=st.integers(min_value=0, max_value=1023),
+           mispredicted=st.integers(min_value=0, max_value=63))
+    def test_encode_rate_bounds(self, correct, mispredicted):
+        circuit = MitchellLogCircuit(input_bits=10)
+        encoded = circuit.encode_rate(correct, correct + mispredicted)
+        assert 0 <= encoded <= ENCODED_PROBABILITY_MAX
+
+
+class TestRngProperties:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 63),
+           low=st.integers(min_value=-1000, max_value=1000),
+           span=st.integers(min_value=0, max_value=500))
+    def test_randint_stays_in_bounds(self, seed, low, span):
+        rng = DeterministicRng(seed)
+        for _ in range(20):
+            value = rng.randint(low, low + span)
+            assert low <= value <= low + span
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 63))
+    def test_random_unit_interval(self, seed):
+        rng = DeterministicRng(seed)
+        for _ in range(50):
+            assert 0.0 <= rng.random() < 1.0
+
+
+class TestReliabilityDiagramProperties:
+    @given(samples=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=1.0), st.booleans()),
+        max_size=500,
+    ))
+    def test_counts_and_rms_bounds(self, samples):
+        diagram = ReliabilityDiagram(num_bins=20)
+        for predicted, on_goodpath in samples:
+            diagram.record(predicted, on_goodpath)
+        assert diagram.total_instances == len(samples)
+        assert diagram.total_goodpath == sum(1 for _, g in samples if g)
+        assert 0.0 <= diagram.rms_error() <= 1.0
+        assert sum(count for _, count in diagram.histogram()) == len(samples)
+
+
+class TestPathConfidenceInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(events=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=15),   # mdc value
+                  st.sampled_from(["resolve", "squash"]),    # how it leaves
+                  st.booleans()),                            # mispredicted?
+        max_size=200,
+    ))
+    def test_paco_register_returns_to_zero_when_window_drains(self, events):
+        paco = PaCoPredictor()
+        tokens = []
+        for mdc, leave_kind, mispredicted in events:
+            tokens.append((paco.on_branch_fetch(_info(mdc)), leave_kind,
+                           mispredicted))
+            assert paco.path_confidence_register >= 0
+            assert 0.0 <= paco.goodpath_probability() <= 1.0
+        for token, leave_kind, mispredicted in tokens:
+            if leave_kind == "resolve":
+                paco.on_branch_resolve(token, mispredicted=mispredicted)
+            else:
+                paco.on_branch_squash(token)
+        assert paco.path_confidence_register == 0
+        assert paco.outstanding_branches() == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(mdcs=st.lists(st.integers(min_value=0, max_value=15), max_size=100),
+           threshold=st.integers(min_value=0, max_value=16))
+    def test_count_predictor_counter_matches_definition(self, mdcs, threshold):
+        predictor = ThresholdAndCountPredictor(threshold=threshold)
+        tokens = [predictor.on_branch_fetch(_info(mdc)) for mdc in mdcs]
+        expected = sum(1 for mdc in mdcs if mdc < threshold)
+        assert predictor.low_confidence_count == expected
+        for token in tokens:
+            predictor.on_branch_resolve(token, mispredicted=False)
+        assert predictor.low_confidence_count == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(mdcs=st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                         max_size=40))
+    def test_paco_probability_equals_product_of_bucket_probabilities(self, mdcs):
+        paco = PaCoPredictor()
+        expected = 1.0
+        for mdc in mdcs:
+            encoded = paco.mrt.encoded_probability(mdc)
+            expected *= decode_probability(encoded)
+            paco.on_branch_fetch(_info(mdc))
+        assert paco.goodpath_probability() == (
+            __import__("pytest").approx(expected, rel=1e-9)
+        )

@@ -1,0 +1,185 @@
+"""Unit tests for repro.workloads.generator."""
+
+import pytest
+
+from repro.isa.types import BranchKind, InstructionClass
+from repro.workloads.generator import WorkloadGenerator, WrongPathGenerator
+from repro.workloads.spec import BenchmarkSpec, PhaseSpec
+from repro.workloads.suite import get_benchmark
+
+
+def _generate(generator, count):
+    return [generator.next_instruction(seq) for seq in range(count)]
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_for_same_seed(self, tiny_spec):
+        a = WorkloadGenerator(tiny_spec, seed=3)
+        b = WorkloadGenerator(tiny_spec, seed=3)
+        for seq in range(500):
+            ia, ib = a.next_instruction(seq), b.next_instruction(seq)
+            assert (ia.pc, ia.iclass, ia.branch_kind) == (ib.pc, ib.iclass,
+                                                          ib.branch_kind)
+            if ia.is_branch:
+                assert ia.outcome.taken == ib.outcome.taken
+                assert ia.outcome.target == ib.outcome.target
+
+    def test_different_seeds_differ(self, tiny_spec):
+        a = WorkloadGenerator(tiny_spec, seed=1)
+        b = WorkloadGenerator(tiny_spec, seed=2)
+        signature_a = [a.next_instruction(s).pc for s in range(300)]
+        signature_b = [b.next_instruction(s).pc for s in range(300)]
+        assert signature_a != signature_b
+
+    def test_branch_fraction_is_respected(self, tiny_spec):
+        generator = WorkloadGenerator(tiny_spec, seed=5)
+        instrs = _generate(generator, 5000)
+        fraction = sum(i.is_branch for i in instrs) / len(instrs)
+        assert abs(fraction - tiny_spec.branch_fraction) < 0.03
+
+    def test_all_goodpath_instructions_flagged(self, tiny_spec):
+        generator = WorkloadGenerator(tiny_spec, seed=5)
+        assert all(i.on_goodpath for i in _generate(generator, 500))
+
+    def test_conditional_branches_carry_static_ids(self, tiny_spec):
+        generator = WorkloadGenerator(tiny_spec, seed=5)
+        conditionals = [i for i in _generate(generator, 3000)
+                        if i.branch_kind is BranchKind.CONDITIONAL]
+        assert conditionals
+        assert all(i.static_branch_id is not None for i in conditionals)
+
+    def test_conditional_targets_differ_by_direction(self, tiny_spec):
+        generator = WorkloadGenerator(tiny_spec, seed=5)
+        for instr in _generate(generator, 3000):
+            if instr.branch_kind is BranchKind.CONDITIONAL:
+                if instr.outcome.taken:
+                    assert instr.outcome.target != instr.pc + 4
+                else:
+                    assert instr.outcome.target == instr.pc + 4
+
+    def test_returns_match_prior_calls(self, tiny_spec):
+        generator = WorkloadGenerator(tiny_spec, seed=9)
+        shadow_stack = []
+        default_target = 0x0040_0000  # returns with an empty stack land here
+        for instr in _generate(generator, 8000):
+            if instr.branch_kind in (BranchKind.CALL, BranchKind.INDIRECT_CALL):
+                shadow_stack.append(instr.pc + 4)
+            elif instr.branch_kind is BranchKind.RETURN:
+                if shadow_stack:
+                    assert instr.outcome.target == shadow_stack.pop()
+                else:
+                    assert instr.outcome.target == default_target
+
+    def test_memory_instructions_have_addresses(self, tiny_spec):
+        generator = WorkloadGenerator(tiny_spec, seed=5)
+        loads = [i for i in _generate(generator, 3000)
+                 if i.iclass in (InstructionClass.LOAD, InstructionClass.STORE)]
+        assert loads
+        assert all(i.address is not None for i in loads)
+
+    def test_addresses_stay_within_working_set_region(self, tiny_spec):
+        generator = WorkloadGenerator(tiny_spec, seed=5)
+        limit = (0x1000_0000
+                 + tiny_spec.memory.working_set_lines * tiny_spec.memory.line_bytes)
+        for instr in _generate(generator, 3000):
+            if instr.address is not None:
+                assert 0x1000_0000 <= instr.address < limit
+
+    def test_phase_schedule_advances_and_wraps(self):
+        spec = BenchmarkSpec(
+            name="phases", num_static_conditionals=8,
+            phases=[PhaseSpec(length_instructions=100, label="p0"),
+                    PhaseSpec(length_instructions=100, label="p1")],
+        )
+        generator = WorkloadGenerator(spec, seed=1)
+        labels = []
+        for seq in range(350):
+            generator.next_instruction(seq)
+            labels.append(generator.current_phase_label)
+        assert "p0" in labels and "p1" in labels
+        assert labels[-1] == "p1" or labels[-1] == "p0"  # wrapped at least once
+        assert labels[0] == "p0"
+
+    def test_phaseless_benchmark_has_empty_label(self, tiny_spec):
+        generator = WorkloadGenerator(tiny_spec, seed=1)
+        generator.next_instruction(0)
+        assert generator.current_phase_label == ""
+        assert generator.current_phase is None
+
+    def test_hard_phase_produces_more_minority_outcomes(self):
+        spec = BenchmarkSpec(
+            name="difficulty", num_static_conditionals=16,
+            hard_fraction=0.2, hard_taken_bias=0.7,
+            loop_fraction=0.0, pattern_fraction=0.6,
+            phases=[PhaseSpec(length_instructions=4000, hard_fraction=0.02,
+                              label="easy"),
+                    PhaseSpec(length_instructions=4000, hard_fraction=0.60,
+                              hard_taken_bias=0.60, label="hard")],
+        )
+        generator = WorkloadGenerator(spec, seed=2)
+        minority_by_phase = {"easy": [0, 0], "hard": [0, 0]}
+        for seq in range(16000):
+            instr = generator.next_instruction(seq)
+            label = generator.current_phase_label
+            if instr.branch_kind is BranchKind.CONDITIONAL:
+                minority_by_phase[label][0] += 1
+                if not instr.outcome.taken:
+                    minority_by_phase[label][1] += 1
+        easy_rate = minority_by_phase["easy"][1] / max(minority_by_phase["easy"][0], 1)
+        hard_rate = minority_by_phase["hard"][1] / max(minority_by_phase["hard"][0], 1)
+        assert hard_rate > easy_rate
+
+    def test_thread_id_is_stamped(self, tiny_spec):
+        generator = WorkloadGenerator(tiny_spec, seed=1, thread_id=1)
+        assert all(i.thread_id == 1 for i in _generate(generator, 100))
+
+    def test_real_suite_benchmark_generates(self):
+        generator = WorkloadGenerator(get_benchmark("perlbmk"), seed=1)
+        instrs = _generate(generator, 2000)
+        kinds = {i.branch_kind for i in instrs if i.is_branch}
+        assert BranchKind.INDIRECT_CALL in kinds
+
+
+class TestWrongPathGenerator:
+    def test_instructions_are_badpath(self, tiny_spec):
+        parent = WorkloadGenerator(tiny_spec, seed=1)
+        wrong = WrongPathGenerator(parent, seed=2)
+        instrs = [wrong.next_instruction(seq) for seq in range(500)]
+        assert all(not i.on_goodpath for i in instrs)
+
+    def test_does_not_advance_parent_state(self, tiny_spec):
+        parent = WorkloadGenerator(tiny_spec, seed=1)
+        wrong = WrongPathGenerator(parent, seed=2)
+        before = parent.instructions_generated
+        for seq in range(200):
+            wrong.next_instruction(seq)
+        assert parent.instructions_generated == before
+
+    def test_reuses_parent_branch_population(self, tiny_spec):
+        parent = WorkloadGenerator(tiny_spec, seed=1)
+        wrong = WrongPathGenerator(parent, seed=2)
+        branch_ids = {i.static_branch_id
+                      for i in (wrong.next_instruction(s) for s in range(2000))
+                      if i.branch_kind is BranchKind.CONDITIONAL}
+        parent_ids = {site.static.branch_id for site in parent._conditional_sites}
+        assert branch_ids <= parent_ids
+        assert branch_ids  # non-empty
+
+    def test_pollutes_beyond_working_set(self, tiny_spec):
+        parent = WorkloadGenerator(tiny_spec, seed=1)
+        wrong = WrongPathGenerator(parent, seed=2)
+        hot_limit = (0x1000_0000
+                     + tiny_spec.memory.working_set_lines
+                     * tiny_spec.memory.line_bytes)
+        addresses = [i.address for i in (wrong.next_instruction(s)
+                                         for s in range(3000))
+                     if i.address is not None]
+        assert any(address >= hot_limit for address in addresses)
+
+    def test_deterministic(self, tiny_spec):
+        parent = WorkloadGenerator(tiny_spec, seed=1)
+        a = WrongPathGenerator(parent, seed=7)
+        b = WrongPathGenerator(WorkloadGenerator(tiny_spec, seed=1), seed=7)
+        for seq in range(300):
+            ia, ib = a.next_instruction(seq), b.next_instruction(seq)
+            assert (ia.pc, ia.iclass) == (ib.pc, ib.iclass)
