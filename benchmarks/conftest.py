@@ -14,6 +14,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.runner import ResultCache, SweepRunner
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -27,6 +29,22 @@ def results_dir() -> Path:
 def full_mode() -> bool:
     """Set REPRO_BENCH_FULL=1 to run the paper-scale configurations."""
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def sweep_runner() -> SweepRunner:
+    """The sweep runner every benchmark enumerates its jobs through.
+
+    Serial and uncached by default so the timed numbers measure the
+    simulator; set ``REPRO_BENCH_WORKERS=N`` to shard each sweep across N
+    worker processes and ``REPRO_BENCH_CACHE_DIR=path`` to memoize results
+    on disk (results are identical either way — the determinism tests in
+    ``tests/test_runner.py`` hold the runner to that).
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1") or "1")
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
+    cache = ResultCache(Path(cache_dir)) if cache_dir else None
+    return SweepRunner(workers=workers, cache=cache)
 
 
 def write_result(results_dir: Path, name: str, text: str) -> None:

@@ -6,10 +6,11 @@ from repro.experiments import ablations
 from conftest import write_result
 
 
-def test_bench_relog_period_ablation(benchmark, results_dir, full_mode):
+def test_bench_relog_period_ablation(benchmark, results_dir, full_mode,
+                                     sweep_runner):
     result = benchmark.pedantic(
         ablations.run_relog_period_ablation,
-        kwargs={"quick": not full_mode},
+        kwargs={"quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     benchmarks = list(next(iter(result.rms_by_variant.values())).keys())
@@ -22,10 +23,11 @@ def test_bench_relog_period_ablation(benchmark, results_dir, full_mode):
     assert max(means) - min(means) < 0.08
 
 
-def test_bench_log_circuit_ablation(benchmark, results_dir, full_mode):
+def test_bench_log_circuit_ablation(benchmark, results_dir, full_mode,
+                                    sweep_runner):
     result = benchmark.pedantic(
         ablations.run_log_circuit_ablation,
-        kwargs={"quick": not full_mode},
+        kwargs={"quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     benchmarks = list(next(iter(result.rms_by_variant.values())).keys())

@@ -17,11 +17,12 @@ _QUICK = GatingSweepConfig(
 )
 
 
-def test_bench_fig10_pipeline_gating(benchmark, results_dir, full_mode):
+def test_bench_fig10_pipeline_gating(benchmark, results_dir, full_mode,
+                                     sweep_runner):
     result = benchmark.pedantic(
         fig10_gating.run,
         kwargs={"config": None if full_mode else _QUICK,
-                "quick": not full_mode},
+                "quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     text = format_table(

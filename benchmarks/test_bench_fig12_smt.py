@@ -17,11 +17,11 @@ _QUICK = SMTStudyConfig(
 )
 
 
-def test_bench_fig12_smt(benchmark, results_dir, full_mode):
+def test_bench_fig12_smt(benchmark, results_dir, full_mode, sweep_runner):
     result = benchmark.pedantic(
         fig12_smt.run,
         kwargs={"config": None if full_mode else _QUICK,
-                "quick": not full_mode},
+                "quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     text = format_table(result.headers(), result.rows(),

@@ -6,10 +6,10 @@ from repro.experiments import fig2_mdc_rates
 from conftest import write_result
 
 
-def test_bench_fig2_mdc_rates(benchmark, results_dir, full_mode):
+def test_bench_fig2_mdc_rates(benchmark, results_dir, full_mode, sweep_runner):
     result = benchmark.pedantic(
         fig2_mdc_rates.run,
-        kwargs={"quick": not full_mode},
+        kwargs={"quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     headers = ["benchmark"] + [f"mdc{m}" for m in range(16)]

@@ -6,11 +6,12 @@ from repro.experiments import fig3_counter_goodpath
 from conftest import write_result
 
 
-def test_bench_fig3_counter_goodpath(benchmark, results_dir, full_mode):
+def test_bench_fig3_counter_goodpath(benchmark, results_dir, full_mode,
+                                     sweep_runner):
     result = benchmark.pedantic(
         fig3_counter_goodpath.run,
         kwargs={"counter_value": 3 if not full_mode else 5,
-                "quick": not full_mode},
+                "quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     text = format_table(

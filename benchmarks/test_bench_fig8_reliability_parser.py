@@ -5,10 +5,11 @@ from repro.experiments import fig8_9_reliability
 from conftest import write_result
 
 
-def test_bench_fig8_reliability_parser(benchmark, results_dir, full_mode):
+def test_bench_fig8_reliability_parser(benchmark, results_dir, full_mode,
+                                       sweep_runner):
     diagram = benchmark.pedantic(
         fig8_9_reliability.run_parser_diagram,
-        kwargs={"quick": not full_mode},
+        kwargs={"quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     text = ("Fig. 8 — PaCo reliability diagram on parser\n"

@@ -6,10 +6,11 @@ from repro.experiments import fig8_9_reliability
 from conftest import write_result
 
 
-def test_bench_fig9_reliability_suite(benchmark, results_dir, full_mode):
+def test_bench_fig9_reliability_suite(benchmark, results_dir, full_mode,
+                                      sweep_runner):
     study = benchmark.pedantic(
         fig8_9_reliability.run,
-        kwargs={"quick": not full_mode},
+        kwargs={"quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     rows = [[name, round(err, 4)] for name, err in study.rms_errors.items()]

@@ -6,10 +6,10 @@ from repro.experiments import table7_rms
 from conftest import write_result
 
 
-def test_bench_table7_rms(benchmark, results_dir, full_mode):
+def test_bench_table7_rms(benchmark, results_dir, full_mode, sweep_runner):
     result = benchmark.pedantic(
         table7_rms.run,
-        kwargs={"quick": not full_mode},
+        kwargs={"quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     headers = ["benchmark", "rms", "rms(paper)", "overall%", "overall%(paper)",

@@ -6,10 +6,11 @@ from repro.experiments import tableA1_mrt_variants
 from conftest import write_result
 
 
-def test_bench_tableA1_mrt_variants(benchmark, results_dir, full_mode):
+def test_bench_tableA1_mrt_variants(benchmark, results_dir, full_mode,
+                                    sweep_runner):
     result = benchmark.pedantic(
         tableA1_mrt_variants.run,
-        kwargs={"quick": not full_mode},
+        kwargs={"quick": not full_mode, "runner": sweep_runner},
         rounds=1, iterations=1,
     )
     headers = ["benchmark", "MRT", "StaticMRT", "PerBranchMRT",

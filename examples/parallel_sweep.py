@@ -1,0 +1,58 @@
+"""Sharding a custom sweep across workers with result memoization.
+
+Enumerates a small PaCo accuracy sweep (benchmark x re-logarithmizing
+period) through :class:`repro.runner.SweepSpec`, runs it on a cached
+multi-worker :class:`repro.runner.SweepRunner`, and then re-runs it to
+show the warm cache short-circuiting execution.  The same mechanics back
+every driver in :mod:`repro.experiments` and the ``python -m repro`` CLI.
+
+Run with::
+
+    PYTHONPATH=src python examples/parallel_sweep.py
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.runner import ResultCache, SweepRunner, SweepSpec, available_workers
+
+SPEC = SweepSpec(
+    experiment="accuracy",
+    axes={
+        "benchmark": ["gzip", "twolf", "parser"],
+        "relog_period_cycles": [5_000, 20_000],
+    },
+    base={"instructions": 10_000, "warmup_instructions": 4_000},
+    seed=1,
+)
+
+
+def run_once(runner: SweepRunner) -> float:
+    start = time.perf_counter()
+    results = runner.run(SPEC)
+    elapsed = time.perf_counter() - start
+    for job, result in zip(SPEC.jobs(), results):
+        params = job.params
+        print(f"  {params['benchmark']:<8} relog={params['relog_period_cycles']:>6}"
+              f"  paco rms = {result.rms_errors['paco']:.4f}")
+    return elapsed
+
+
+def main() -> None:
+    with TemporaryDirectory() as tmp:
+        runner = SweepRunner(workers=min(4, available_workers()),
+                             cache=ResultCache(Path(tmp)))
+        print(f"cold sweep ({len(SPEC)} jobs, {runner.workers} workers):")
+        cold = run_once(runner)
+        print(f"  -> {cold:.2f}s, cache {runner.cache.stats.misses} miss(es)")
+
+        print("warm sweep (same jobs, same code):")
+        warm = run_once(runner)
+        print(f"  -> {warm:.2f}s, cache {runner.cache.stats.hits} hit(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,25 @@
 """Setuptools entry point.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-editable installs work in offline environments whose setuptools predates
-PEP 660 editable-wheel support (``pip install -e . --no-build-isolation``).
+Kept self-contained (no ``pyproject.toml`` required) so editable installs
+work in offline environments whose setuptools predates PEP 660
+editable-wheel support (``pip install -e . --no-build-isolation``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-paco",
+    version="1.0.0",
+    description=(
+        "Reproduction of PaCo: probability-based path confidence "
+        "prediction (HPCA 2008), with a parallel cached sweep runner"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-sweep = repro.__main__:main",
+        ],
+    },
+)

@@ -1,0 +1,178 @@
+"""``python -m repro`` — run the paper's experiment sweeps from the shell.
+
+Subcommands
+-----------
+``run <experiment>``
+    Run one experiment driver and print the paper-shaped table.  Workers
+    and the on-disk result cache come from ``--workers`` /
+    ``--cache-dir`` / ``--no-cache``.
+``sweep``
+    Run several experiments (default: all of them) sharing one runner and
+    one cache, and print a wall-clock summary.
+``cache``
+    Inspect (``info``) or delete (``clear``) the result cache.
+
+Examples::
+
+    python -m repro run table7 --workers 4
+    python -m repro run fig12 --quick --workers 2
+    python -m repro sweep --experiments table7,fig2 --workers 4
+    python -m repro cache info
+    python -m repro cache clear
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ablations,
+    fig2_mdc_rates,
+    fig3_counter_goodpath,
+    fig8_9_reliability,
+    fig10_gating,
+    fig12_smt,
+    table7_rms,
+    tableA1_mrt_variants,
+)
+from repro.runner import ResultCache, SweepRunner, default_cache_dir
+
+#: CLI name -> driver ``main(runner=..., quick=...) -> str``.
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
+    "fig2": fig2_mdc_rates.main,
+    "fig3": fig3_counter_goodpath.main,
+    "table7": table7_rms.main,
+    "fig8": fig8_9_reliability.main,
+    "fig9": fig8_9_reliability.main,
+    "fig10": fig10_gating.main,
+    "fig12": fig12_smt.main,
+    "tableA1": tableA1_mrt_variants.main,
+    "ablations": ablations.main,
+}
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep (default: 1)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced benchmark sets and instruction budgets")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="result cache directory "
+                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable result memoization")
+
+
+def _build_runner(args: argparse.Namespace) -> SweepRunner:
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    return SweepRunner(workers=args.workers, cache=cache)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = _build_runner(args)
+    start = time.perf_counter()
+    EXPERIMENTS[args.experiment](runner=runner, quick=args.quick)
+    elapsed = time.perf_counter() - start
+    print(f"\n[{args.experiment}] {elapsed:.1f}s with {args.workers} "
+          f"worker(s){_cache_suffix(runner)}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.experiments:
+        names: List[str] = []
+        for chunk in args.experiments.split(","):
+            name = chunk.strip()
+            if name not in EXPERIMENTS:
+                print(f"unknown experiment {name!r} "
+                      f"(known: {', '.join(sorted(EXPERIMENTS))})",
+                      file=sys.stderr)
+                return 2
+            names.append(name)
+    else:
+        names = [n for n in EXPERIMENTS if n != "fig9"]  # fig8 covers fig9
+    runner = _build_runner(args)
+    timings: List[tuple] = []
+    for name in names:
+        start = time.perf_counter()
+        EXPERIMENTS[name](runner=runner, quick=args.quick)
+        timings.append((name, time.perf_counter() - start))
+        print()
+    total = sum(elapsed for _, elapsed in timings)
+    print("sweep summary", file=sys.stderr)
+    for name, elapsed in timings:
+        print(f"  {name:<10} {elapsed:8.1f}s", file=sys.stderr)
+    print(f"  {'total':<10} {total:8.1f}s with {args.workers} "
+          f"worker(s){_cache_suffix(runner)}", file=sys.stderr)
+    return 0
+
+
+def _cache_suffix(runner: SweepRunner) -> str:
+    if runner.cache is None:
+        return ", cache disabled"
+    stats = runner.cache.stats
+    return (f", cache {stats.hits} hit(s) / {stats.misses} miss(es) "
+            f"at {runner.cache.directory}")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    entries = len(cache)
+    size = cache.size_bytes()
+    print(f"cache directory : {cache.directory}")
+    print(f"entries         : {entries}")
+    print(f"size            : {size / 1024:.1f} KiB")
+    print(f"code version    : {cache.version[:16]}…")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures as parallel, "
+                    "cached sweeps.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment and print its table")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_runner_arguments(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run several experiments with one shared runner")
+    sweep_parser.add_argument("--experiments", default="",
+                              help="comma-separated experiment names "
+                                   "(default: all)")
+    _add_runner_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the result cache")
+    cache_parser.add_argument("action", choices=("info", "clear"),
+                              nargs="?", default="info")
+    cache_parser.add_argument("--cache-dir", type=Path, default=None,
+                              help=f"cache directory "
+                                   f"(default: {default_cache_dir()})")
+    cache_parser.set_defaults(handler=_cmd_cache)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.eval.harness import GatingResult, run_gating_experiment
+from repro.eval.harness import GatingResult
+from repro.runner import SweepRunner, gating_job, resolve_runner
 from repro.workloads.suite import benchmark_names
 
 
@@ -51,7 +52,8 @@ def _average(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
-def run_gating_sweep(config: Optional[GatingSweepConfig] = None
+def run_gating_sweep(config: Optional[GatingSweepConfig] = None,
+                     runner: Optional[SweepRunner] = None
                      ) -> Dict[str, List[GatingCurvePoint]]:
     """Run the full gating design-space sweep.
 
@@ -60,65 +62,61 @@ def run_gating_sweep(config: Optional[GatingSweepConfig] = None
     aggressive gating.  Every configuration of every benchmark is compared
     against that benchmark's own no-gating baseline (same seed, same
     workload), exactly as the paper does.
+
+    The whole design space — the per-benchmark baselines and every
+    (policy, parameter, benchmark) point — is enumerated into one job list
+    so a parallel runner shards all of it at once.
     """
     cfg = config if config is not None else GatingSweepConfig()
 
-    baselines: Dict[str, GatingResult] = {}
-    for benchmark in cfg.benchmarks:
-        baselines[benchmark] = run_gating_experiment(
-            benchmark, mode="none",
-            instructions=cfg.instructions, seed=cfg.seed,
-            warmup_instructions=cfg.warmup_instructions,
+    def job(benchmark: str, mode: str, **extra) -> object:
+        return gating_job(benchmark, mode=mode,
+                          instructions=cfg.instructions,
+                          warmup_instructions=cfg.warmup_instructions,
+                          seed=cfg.seed, **extra)
+
+    # (curve name, reported parameter, mode, harness kwargs), ordered from
+    # least to most aggressive within each curve.
+    sweep_points: List[tuple] = [
+        ("paco", probability, "paco", {"gating_probability": probability})
+        for probability in cfg.paco_probabilities
+    ]
+    for threshold in cfg.jrs_thresholds:
+        sweep_points.extend(
+            (f"jrs-t{threshold}", float(gate_count), "count",
+             {"gate_count": gate_count, "jrs_threshold": threshold})
+            for gate_count in sorted(cfg.gate_counts, reverse=True)
         )
 
-    curves: Dict[str, List[GatingCurvePoint]] = {}
+    jobs = [job(benchmark, "none") for benchmark in cfg.benchmarks]
+    for _curve, _parameter, mode, extra in sweep_points:
+        jobs.extend(job(benchmark, mode, **extra)
+                    for benchmark in cfg.benchmarks)
+    results = resolve_runner(runner).map(jobs)
 
-    paco_points: List[GatingCurvePoint] = []
-    for probability in cfg.paco_probabilities:
+    baselines: Dict[str, GatingResult] = dict(
+        zip(cfg.benchmarks, results[:len(cfg.benchmarks)])
+    )
+    curves: Dict[str, List[GatingCurvePoint]] = {"paco": []}
+    for threshold in cfg.jrs_thresholds:
+        curves[f"jrs-t{threshold}"] = []
+    cursor = len(cfg.benchmarks)
+    for curve, parameter, _mode, _extra in sweep_points:
         losses, reductions, fetch_reductions = [], [], []
         for benchmark in cfg.benchmarks:
-            result = run_gating_experiment(
-                benchmark, mode="paco", gating_probability=probability,
-                instructions=cfg.instructions, seed=cfg.seed,
-                warmup_instructions=cfg.warmup_instructions,
-            )
+            result = results[cursor]
+            cursor += 1
             baseline = baselines[benchmark]
             losses.append(result.performance_loss_vs(baseline))
             reductions.append(result.badpath_reduction_vs(baseline))
             fetch_reductions.append(result.badpath_fetch_reduction_vs(baseline))
-        paco_points.append(GatingCurvePoint(
-            policy="paco",
-            parameter=probability,
+        curves[curve].append(GatingCurvePoint(
+            policy=curve,
+            parameter=parameter,
             performance_loss=_average(losses),
             badpath_reduction=_average(reductions),
             badpath_fetch_reduction=_average(fetch_reductions),
         ))
-    curves["paco"] = paco_points
-
-    for threshold in cfg.jrs_thresholds:
-        points: List[GatingCurvePoint] = []
-        for gate_count in sorted(cfg.gate_counts, reverse=True):
-            losses, reductions, fetch_reductions = [], [], []
-            for benchmark in cfg.benchmarks:
-                result = run_gating_experiment(
-                    benchmark, mode="count", gate_count=gate_count,
-                    jrs_threshold=threshold,
-                    instructions=cfg.instructions, seed=cfg.seed,
-                    warmup_instructions=cfg.warmup_instructions,
-                )
-                baseline = baselines[benchmark]
-                losses.append(result.performance_loss_vs(baseline))
-                reductions.append(result.badpath_reduction_vs(baseline))
-                fetch_reductions.append(result.badpath_fetch_reduction_vs(baseline))
-            points.append(GatingCurvePoint(
-                policy=f"jrs-t{threshold}",
-                parameter=float(gate_count),
-                performance_loss=_average(losses),
-                badpath_reduction=_average(reductions),
-                badpath_fetch_reduction=_average(fetch_reductions),
-            ))
-        curves[f"jrs-t{threshold}"] = points
-
     return curves
 
 

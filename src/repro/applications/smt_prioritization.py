@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.eval.harness import run_single_thread_ipc, run_smt_experiment
+from repro.runner import SweepRunner, resolve_runner, single_ipc_job, smt_job
 
 #: The 16 benchmark pairs: every benchmark appears three times except gzip
 #: (twice); parser is excluded, matching the paper's constraints.
@@ -80,49 +80,51 @@ class SMTStudyConfig:
     seed: int = 1
 
 
-def run_smt_study(config: Optional[SMTStudyConfig] = None) -> List[SMTPairResult]:
+def run_smt_study(config: Optional[SMTStudyConfig] = None,
+                  runner: Optional[SweepRunner] = None) -> List[SMTPairResult]:
     """Run every pair under every policy and return per-pair HMWIPC tables.
 
-    Single-thread IPCs (the HMWIPC weights) are measured once per benchmark
-    and reused across all pairs and policies.
+    The study is a two-stage sweep.  Stage one measures each benchmark's
+    single-thread IPC (the HMWIPC weight) exactly once, no matter how many
+    pairs and policies it appears in; stage two runs every
+    (pair, policy) combination with those weights injected, so no SMT job
+    ever re-measures a baseline.  Each stage is one job list, so a parallel
+    runner shards it across its worker pool.
     """
     cfg = config if config is not None else SMTStudyConfig()
+    sweep = resolve_runner(runner)
 
     benchmarks = sorted({name for pair in cfg.pairs for name in pair})
-    single_ipcs: Dict[str, float] = {}
-    for benchmark in benchmarks:
-        single_ipcs[benchmark] = run_single_thread_ipc(
-            benchmark,
-            instructions=cfg.single_thread_instructions,
-            seed=cfg.seed,
-        )
+    ipcs = sweep.map([
+        single_ipc_job(benchmark,
+                       instructions=cfg.single_thread_instructions,
+                       seed=cfg.seed)
+        for benchmark in benchmarks
+    ])
+    single_ipcs: Dict[str, float] = dict(zip(benchmarks, ipcs))
+
+    policies: List[Tuple[str, str, int]] = []   # (label, policy, threshold)
+    if cfg.include_icount:
+        policies.append(("icount", "icount", 3))
+    policies.extend((f"jrs-t{t}", "count", t) for t in cfg.jrs_thresholds)
+    policies.append(("paco", "paco", 3))
+
+    jobs = []
+    for pair in cfg.pairs:
+        singles = (single_ipcs[pair[0]], single_ipcs[pair[1]])
+        for _label, policy, threshold in policies:
+            jobs.append(smt_job(
+                pair[0], pair[1], policy=policy, jrs_threshold=threshold,
+                instructions=cfg.instructions,
+                warmup_instructions=cfg.warmup_instructions,
+                single_ipcs=singles, seed=cfg.seed,
+            ))
+    outcomes = iter(sweep.map(jobs))
 
     results: List[SMTPairResult] = []
     for pair in cfg.pairs:
-        singles = (single_ipcs[pair[0]], single_ipcs[pair[1]])
         by_policy: Dict[str, float] = {}
-        if cfg.include_icount:
-            outcome = run_smt_experiment(
-                pair[0], pair[1], policy="icount",
-                instructions=cfg.instructions, seed=cfg.seed,
-                warmup_instructions=cfg.warmup_instructions,
-                single_ipcs=singles,
-            )
-            by_policy["icount"] = outcome.hmwipc
-        for threshold in cfg.jrs_thresholds:
-            outcome = run_smt_experiment(
-                pair[0], pair[1], policy="count", jrs_threshold=threshold,
-                instructions=cfg.instructions, seed=cfg.seed,
-                warmup_instructions=cfg.warmup_instructions,
-                single_ipcs=singles,
-            )
-            by_policy[f"jrs-t{threshold}"] = outcome.hmwipc
-        outcome = run_smt_experiment(
-            pair[0], pair[1], policy="paco",
-            instructions=cfg.instructions, seed=cfg.seed,
-            warmup_instructions=cfg.warmup_instructions,
-            single_ipcs=singles,
-        )
-        by_policy["paco"] = outcome.hmwipc
+        for label, _policy, _threshold in policies:
+            by_policy[label] = next(outcomes).hmwipc
         results.append(SMTPairResult(pair=pair, hmwipc_by_policy=by_policy))
     return results

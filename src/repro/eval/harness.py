@@ -471,6 +471,17 @@ def run_smt_experiment(
                           warm.threads[1].retired_instructions)
         warmup_cycles = warm.cycles
     stats = core.run(max_total_instructions=warmup_instructions + instructions)
+    measured_cycles = stats.cycles - warmup_cycles
+    if measured_cycles <= 0:
+        # Warm-up consumed the whole run: the per-thread retirement deltas
+        # below would be divided by a clamped denominator and silently
+        # report garbage IPCs.  Fail loudly instead.
+        raise ValueError(
+            "empty SMT measurement window: warm-up used all "
+            f"{stats.cycles} cycles (warmup_instructions="
+            f"{warmup_instructions}, instructions={instructions}); "
+            "increase the instruction budget or shrink the warm-up"
+        )
 
     if single_ipcs is None:
         budget = (single_thread_instructions if single_thread_instructions is not None
@@ -480,7 +491,6 @@ def run_smt_experiment(
             run_single_thread_ipc(spec_b, instructions=budget, seed=seed + 1),
         )
 
-    measured_cycles = max(stats.cycles - warmup_cycles, 1)
     smt_ipcs = (
         (stats.threads[0].retired_instructions - warmup_retired[0]) / measured_cycles,
         (stats.threads[1].retired_instructions - warmup_retired[1]) / measured_cycles,

@@ -19,9 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.eval.harness import run_accuracy_experiment
 from repro.eval.reports import format_table
-from repro.pathconf.paco import PaCoPredictor
+from repro.runner import SweepRunner, accuracy_job, resolve_runner
 
 DEFAULT_BENCHMARKS = ("parser", "twolf", "gzip", "bzip2")
 
@@ -47,20 +46,19 @@ class AblationResult:
 
 
 def _measure(variants: Dict[str, dict], benchmarks: Sequence[str],
-             instructions: int, warmup_instructions: int,
-             seed: int) -> AblationResult:
+             instructions: int, warmup_instructions: int, seed: int,
+             runner: Optional[SweepRunner] = None) -> AblationResult:
+    points = [(label, benchmark)
+              for benchmark in benchmarks for label in variants]
+    results = resolve_runner(runner).map([
+        accuracy_job(benchmark, instructions=instructions,
+                     warmup_instructions=warmup_instructions, seed=seed,
+                     paco_variant=variants[label])
+        for label, benchmark in points
+    ])
     rms: Dict[str, Dict[str, float]] = {label: {} for label in variants}
-    for benchmark in benchmarks:
-        for label, kwargs in variants.items():
-            predictor = PaCoPredictor(**kwargs)
-            result = run_accuracy_experiment(
-                benchmark,
-                instructions=instructions,
-                warmup_instructions=warmup_instructions,
-                seed=seed,
-                predictors=[predictor],
-            )
-            rms[label][benchmark] = result.rms_errors["paco"]
+    for (label, benchmark), result in zip(points, results):
+        rms[label][benchmark] = result.rms_errors["paco"]
     return AblationResult(rms_by_variant=rms)
 
 
@@ -70,7 +68,8 @@ def run_relog_period_ablation(
         instructions: int = 30_000,
         warmup_instructions: int = 15_000,
         seed: int = 1,
-        quick: bool = False) -> AblationResult:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> AblationResult:
     """Sweep the MRT re-logarithmizing period."""
     if quick:
         periods = tuple(periods)[:3]
@@ -78,7 +77,8 @@ def run_relog_period_ablation(
         instructions = min(instructions, 20_000)
         warmup_instructions = min(warmup_instructions, 10_000)
     variants = {f"relog={p}": {"relog_period_cycles": p} for p in periods}
-    return _measure(variants, benchmarks, instructions, warmup_instructions, seed)
+    return _measure(variants, benchmarks, instructions, warmup_instructions,
+                    seed, runner)
 
 
 def run_scale_ablation(
@@ -87,7 +87,8 @@ def run_scale_ablation(
         instructions: int = 30_000,
         warmup_instructions: int = 15_000,
         seed: int = 1,
-        quick: bool = False) -> AblationResult:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> AblationResult:
     """Sweep the encoded-probability scale factor."""
     if quick:
         scales = tuple(scales)[:2]
@@ -97,7 +98,8 @@ def run_scale_ablation(
     variants = {
         f"scale={s}": {"scale": s, "relog_period_cycles": 20_000} for s in scales
     }
-    return _measure(variants, benchmarks, instructions, warmup_instructions, seed)
+    return _measure(variants, benchmarks, instructions, warmup_instructions,
+                    seed, runner)
 
 
 def run_log_circuit_ablation(
@@ -105,7 +107,8 @@ def run_log_circuit_ablation(
         instructions: int = 30_000,
         warmup_instructions: int = 15_000,
         seed: int = 1,
-        quick: bool = False) -> AblationResult:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> AblationResult:
     """Mitchell log circuit vs. exact floating-point logarithms."""
     if quick:
         benchmarks = tuple(benchmarks)[:2]
@@ -115,15 +118,19 @@ def run_log_circuit_ablation(
         "mitchell-log": {"use_mitchell_log": True, "relog_period_cycles": 20_000},
         "exact-log": {"use_mitchell_log": False, "relog_period_cycles": 20_000},
     }
-    return _measure(variants, benchmarks, instructions, warmup_instructions, seed)
+    return _measure(variants, benchmarks, instructions, warmup_instructions,
+                    seed, runner)
 
 
-def main() -> str:
+def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
     parts = []
     for title, result in [
-        ("Re-logarithmizing period", run_relog_period_ablation()),
-        ("Encoded-probability scale", run_scale_ablation()),
-        ("Log circuit", run_log_circuit_ablation()),
+        ("Re-logarithmizing period",
+         run_relog_period_ablation(quick=quick, runner=runner)),
+        ("Encoded-probability scale",
+         run_scale_ablation(quick=quick, runner=runner)),
+        ("Log circuit",
+         run_log_circuit_ablation(quick=quick, runner=runner)),
     ]:
         benchmarks = list(next(iter(result.rms_by_variant.values())).keys())
         headers = ["variant"] + benchmarks + ["mean"]

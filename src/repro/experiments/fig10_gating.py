@@ -19,6 +19,7 @@ from repro.applications.pipeline_gating import (
     run_gating_sweep,
 )
 from repro.eval.reports import format_table
+from repro.runner import SweepRunner
 
 #: Reduced sweep used by the quick (pytest-benchmark) configuration.
 QUICK_CONFIG = GatingSweepConfig(
@@ -74,16 +75,17 @@ class Fig10Result:
 
 
 def run(config: Optional[GatingSweepConfig] = None,
-        quick: bool = False) -> Fig10Result:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> Fig10Result:
     """Run the gating sweep and summarise it."""
     cfg = config if config is not None else (QUICK_CONFIG if quick
                                              else GatingSweepConfig())
-    curves = run_gating_sweep(cfg)
+    curves = run_gating_sweep(cfg, runner=runner)
     return Fig10Result(curves=curves, best_points=average_curves(curves))
 
 
-def main() -> str:
-    result = run()
+def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+    result = run(quick=quick, runner=runner)
     text = format_table(
         ["policy", "parameter", "perf loss %", "badpath exec red. %",
          "badpath fetch red. %"],

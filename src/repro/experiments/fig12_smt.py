@@ -19,6 +19,7 @@ from repro.applications.smt_prioritization import (
     run_smt_study,
 )
 from repro.eval.reports import format_table
+from repro.runner import SweepRunner
 
 #: Reduced pair list / budgets for the quick (pytest-benchmark) configuration.
 QUICK_CONFIG = SMTStudyConfig(
@@ -80,14 +81,15 @@ class Fig12Result:
 
 
 def run(config: Optional[SMTStudyConfig] = None,
-        quick: bool = False) -> Fig12Result:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> Fig12Result:
     cfg = config if config is not None else (QUICK_CONFIG if quick
                                              else SMTStudyConfig())
-    return Fig12Result(pairs=run_smt_study(cfg))
+    return Fig12Result(pairs=run_smt_study(cfg, runner=runner))
 
 
-def main() -> str:
-    result = run()
+def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+    result = run(quick=quick, runner=runner)
     text = format_table(result.headers(), result.rows(),
                         title="Fig. 12 — SMT fetch prioritization (HMWIPC)")
     text += (

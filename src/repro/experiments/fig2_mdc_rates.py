@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.eval.harness import run_accuracy_experiment
 from repro.eval.reports import format_table
+from repro.runner import SweepRunner, accuracy_job, resolve_runner
 from repro.workloads.suite import benchmark_names
 
 #: Benchmarks highlighted in the paper's Fig. 2 discussion.
@@ -56,7 +56,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         instructions: int = 30_000,
         warmup_instructions: int = 20_000,
         seed: int = 1,
-        quick: bool = False) -> Fig2Result:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> Fig2Result:
     """Measure per-MDC mispredict rates for the requested benchmarks."""
     names = list(benchmarks) if benchmarks is not None else (
         list(DEFAULT_BENCHMARKS) if quick else benchmark_names()
@@ -64,19 +65,21 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     if quick:
         instructions = min(instructions, 20_000)
         warmup_instructions = min(warmup_instructions, 10_000)
-    rates: Dict[str, Dict[int, float]] = {}
-    for name in names:
-        result = run_accuracy_experiment(
-            name, instructions=instructions, seed=seed,
-            warmup_instructions=warmup_instructions,
-        )
-        rates[name] = result.mdc_mispredict_rates
+    results = resolve_runner(runner).map([
+        accuracy_job(name, instructions=instructions,
+                     warmup_instructions=warmup_instructions, seed=seed)
+        for name in names
+    ])
+    rates: Dict[str, Dict[int, float]] = {
+        name: result.mdc_mispredict_rates
+        for name, result in zip(names, results)
+    }
     return Fig2Result(rates=rates)
 
 
-def main() -> str:
+def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
     """Run the experiment with paper-shaped defaults and return the table text."""
-    result = run()
+    result = run(quick=quick, runner=runner)
     headers = ["benchmark"] + [f"mdc{m}" for m in range(16)]
     text = format_table(headers, result.rows(),
                         title="Fig. 2 — mispredict rate (%) per MDC value")

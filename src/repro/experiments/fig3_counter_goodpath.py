@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.eval.harness import run_accuracy_experiment
 from repro.eval.reports import format_table
+from repro.runner import SweepRunner, accuracy_job, resolve_runner
 
 #: Benchmarks shown in the paper's Fig. 3(a).
 FIG3A_BENCHMARKS = ("crafty", "gzip", "bzip2", "vprRoute")
@@ -69,7 +69,8 @@ def run(counter_value: int = 5,
         instructions: int = 40_000,
         warmup_instructions: int = 15_000,
         seed: int = 1,
-        quick: bool = False) -> Fig3Result:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> Fig3Result:
     """Measure P(good path | low-confidence count == ``counter_value``)."""
     names = list(benchmarks) if benchmarks is not None else list(FIG3A_BENCHMARKS)
     phase_names = (list(phase_benchmarks) if phase_benchmarks is not None
@@ -79,13 +80,20 @@ def run(counter_value: int = 5,
         warmup_instructions = min(warmup_instructions, 10_000)
         phase_names = phase_names[:1]
 
+    # One job list for both figure panels: benchmarks appearing in both
+    # groups are deduplicated by the runner and simulated only once.
+    def job(name: str):
+        return accuracy_job(name, instructions=instructions,
+                            warmup_instructions=warmup_instructions,
+                            seed=seed)
+
+    results = resolve_runner(runner).map(
+        [job(name) for name in names] + [job(name) for name in phase_names]
+    )
+
     across: Dict[str, float] = {}
     occupancy: Dict[str, int] = {}
-    for name in names:
-        result = run_accuracy_experiment(
-            name, instructions=instructions, seed=seed,
-            warmup_instructions=warmup_instructions,
-        )
+    for name, result in zip(names, results[:len(names)]):
         probability, samples = _probability_near(
             result.counter_goodpath, result.counter_occupancy, counter_value
         )
@@ -93,11 +101,7 @@ def run(counter_value: int = 5,
         occupancy[name] = samples
 
     across_phases: Dict[Tuple[str, str], float] = {}
-    for name in phase_names:
-        result = run_accuracy_experiment(
-            name, instructions=instructions, seed=seed,
-            warmup_instructions=warmup_instructions,
-        )
+    for name, result in zip(phase_names, results[len(names):]):
         for phase, by_count in result.phase_counter_goodpath.items():
             if counter_value in by_count:
                 across_phases[(name, phase)] = by_count[counter_value]
@@ -113,8 +117,8 @@ def run(counter_value: int = 5,
     )
 
 
-def main() -> str:
-    result = run()
+def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+    result = run(quick=quick, runner=runner)
     text_a = format_table(
         ["benchmark", "P(goodpath)", "instances"],
         result.rows_benchmarks(),

@@ -16,8 +16,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.stats import ReliabilityDiagram
-from repro.eval.harness import run_accuracy_experiment
 from repro.eval.reports import format_table
+from repro.runner import SweepRunner, accuracy_job, resolve_runner
 from repro.workloads.suite import benchmark_names
 
 #: Benchmarks shown individually in the paper's Fig. 9.
@@ -46,7 +46,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         warmup_instructions: int = 20_000,
         seed: int = 1,
         num_bins: int = 100,
-        quick: bool = False) -> ReliabilityStudyResult:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> ReliabilityStudyResult:
     """Build PaCo reliability diagrams for the requested benchmarks."""
     names = list(benchmarks) if benchmarks is not None else (
         list(FIG9_BENCHMARKS) if quick else benchmark_names()
@@ -54,14 +55,15 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     if quick:
         instructions = min(instructions, 20_000)
         warmup_instructions = min(warmup_instructions, 10_000)
+    results = resolve_runner(runner).map([
+        accuracy_job(name, instructions=instructions,
+                     warmup_instructions=warmup_instructions, seed=seed)
+        for name in names
+    ])
     diagrams: Dict[str, ReliabilityDiagram] = {}
     rms_errors: Dict[str, float] = {}
     cumulative = ReliabilityDiagram(num_bins=num_bins)
-    for name in names:
-        result = run_accuracy_experiment(
-            name, instructions=instructions, seed=seed,
-            warmup_instructions=warmup_instructions,
-        )
+    for name, result in zip(names, results):
         diagram = result.diagrams["paco"]
         diagrams[name] = diagram
         rms_errors[name] = diagram.rms_error()
@@ -73,20 +75,22 @@ def run(benchmarks: Optional[Sequence[str]] = None,
 def run_parser_diagram(instructions: int = 60_000,
                        warmup_instructions: int = 20_000,
                        seed: int = 1,
-                       quick: bool = False) -> ReliabilityDiagram:
+                       quick: bool = False,
+                       runner: Optional[SweepRunner] = None
+                       ) -> ReliabilityDiagram:
     """Fig. 8: the reliability diagram of PaCo on parser alone."""
     if quick:
         instructions = min(instructions, 25_000)
         warmup_instructions = min(warmup_instructions, 10_000)
-    result = run_accuracy_experiment(
-        "parser", instructions=instructions, seed=seed,
-        warmup_instructions=warmup_instructions,
-    )
+    [result] = resolve_runner(runner).map([
+        accuracy_job("parser", instructions=instructions,
+                     warmup_instructions=warmup_instructions, seed=seed)
+    ])
     return result.diagrams["paco"]
 
 
-def main() -> str:
-    study = run()
+def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+    study = run(quick=quick, runner=runner)
     rows = [[name, round(err, 4)] for name, err in study.rms_errors.items()]
     rows.append(["cumulative", round(study.cumulative.rms_error(), 4)])
     text = format_table(["benchmark", "paco RMS error"], rows,

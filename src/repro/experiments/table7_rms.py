@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.eval.harness import run_accuracy_experiment
 from repro.eval.reports import format_table
+from repro.runner import SweepRunner, accuracy_job, resolve_runner
 from repro.workloads.suite import (
     PAPER_CONDITIONAL_MISPREDICT_RATES,
     PAPER_OVERALL_MISPREDICT_RATES,
@@ -69,19 +69,21 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         instructions: int = 40_000,
         warmup_instructions: int = 20_000,
         seed: int = 1,
-        quick: bool = False) -> Table7Result:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> Table7Result:
     """Measure PaCo's RMS error and the mispredict rates per benchmark."""
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     if quick:
         names = names[:6]
         instructions = min(instructions, 20_000)
         warmup_instructions = min(warmup_instructions, 10_000)
+    results = resolve_runner(runner).map([
+        accuracy_job(name, instructions=instructions,
+                     warmup_instructions=warmup_instructions, seed=seed)
+        for name in names
+    ])
     rows: List[Table7Row] = []
-    for name in names:
-        result = run_accuracy_experiment(
-            name, instructions=instructions, seed=seed,
-            warmup_instructions=warmup_instructions,
-        )
+    for name, result in zip(names, results):
         rows.append(Table7Row(
             benchmark=name,
             paco_rms_error=result.rms_errors["paco"],
@@ -94,8 +96,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return Table7Result(rows=rows)
 
 
-def main() -> str:
-    result = run()
+def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+    result = run(quick=quick, runner=runner)
     headers = ["benchmark", "rms", "rms(paper)", "overall%", "overall%(paper)",
                "cond%", "cond%(paper)"]
     text = format_table(headers, result.as_table_rows(),

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.eval.harness import run_accuracy_experiment
 from repro.eval.reports import format_table
+from repro.runner import SweepRunner, accuracy_job, resolve_runner
 from repro.workloads.suite import (
     PAPER_PACO_RMS_ERROR,
     PAPER_PER_BRANCH_MRT_RMS_ERROR,
@@ -81,19 +81,21 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         instructions: int = 40_000,
         warmup_instructions: int = 20_000,
         seed: int = 1,
-        quick: bool = False) -> TableA1Result:
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> TableA1Result:
     """Measure the three designs' RMS errors over identical executions."""
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     if quick:
         names = names[:6]
         instructions = min(instructions, 20_000)
         warmup_instructions = min(warmup_instructions, 10_000)
+    results = resolve_runner(runner).map([
+        accuracy_job(name, instructions=instructions,
+                     warmup_instructions=warmup_instructions, seed=seed)
+        for name in names
+    ])
     rows: List[TableA1Row] = []
-    for name in names:
-        result = run_accuracy_experiment(
-            name, instructions=instructions, seed=seed,
-            warmup_instructions=warmup_instructions,
-        )
+    for name, result in zip(names, results):
         rows.append(TableA1Row(
             benchmark=name,
             mrt_rms=result.rms_errors["paco"],
@@ -103,8 +105,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return TableA1Result(rows=rows)
 
 
-def main() -> str:
-    result = run()
+def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+    result = run(quick=quick, runner=runner)
     headers = ["benchmark", "MRT", "StaticMRT", "PerBranchMRT",
                "MRT(paper)", "Static(paper)", "PerBranch(paper)"]
     text = format_table(headers, result.as_table_rows(),

@@ -1,0 +1,71 @@
+"""Sweep-execution subsystem: declarative jobs, parallel sharding, caching.
+
+Every figure/table of the paper is a sweep (benchmark × predictor ×
+configuration).  This package owns *how* such sweeps execute — scheduling,
+determinism, memoization and aggregation — so the experiment drivers in
+:mod:`repro.experiments` only *enumerate* points:
+
+>>> from repro.runner import SweepRunner, accuracy_job
+>>> runner = SweepRunner(workers=4)
+>>> jobs = [accuracy_job(name, instructions=40_000,
+...                      warmup_instructions=20_000) for name in names]
+>>> results = runner.map(jobs)          # AccuracyResult per job, in order
+
+Layers
+------
+:mod:`repro.runner.jobs`
+    The :class:`Job` content-addressed job model and the experiment-kind
+    registry.
+:mod:`repro.runner.library`
+    Standard kinds (``accuracy`` / ``gating`` / ``single-ipc`` / ``smt``)
+    wrapping :mod:`repro.eval.harness`, plus job builder helpers.
+:mod:`repro.runner.cache`
+    :class:`ResultCache`, the on-disk memo keyed by content hash of
+    (experiment, parameters, seed, code version).
+:mod:`repro.runner.sweep`
+    :class:`SweepSpec` enumeration and the :class:`SweepRunner` pool.
+"""
+
+from repro.runner.cache import (
+    ResultCache,
+    code_version,
+    default_cache_dir,
+)
+from repro.runner.jobs import (
+    Job,
+    UnknownExperimentError,
+    execute_job,
+    register_experiment,
+    registered_experiments,
+)
+from repro.runner.library import (
+    accuracy_job,
+    gating_job,
+    single_ipc_job,
+    smt_job,
+)
+from repro.runner.sweep import (
+    SweepRunner,
+    SweepSpec,
+    available_workers,
+    resolve_runner,
+)
+
+__all__ = [
+    "Job",
+    "ResultCache",
+    "SweepRunner",
+    "SweepSpec",
+    "UnknownExperimentError",
+    "accuracy_job",
+    "available_workers",
+    "code_version",
+    "default_cache_dir",
+    "execute_job",
+    "gating_job",
+    "register_experiment",
+    "registered_experiments",
+    "resolve_runner",
+    "single_ipc_job",
+    "smt_job",
+]

@@ -1,0 +1,155 @@
+"""On-disk memoization of experiment-job results.
+
+Cache key recipe
+----------------
+The key of a job is ``sha256(canonical_job_json + "\\n" + code_version)``
+where
+
+* ``canonical_job_json`` is the job's sorted-key JSON identity —
+  experiment kind, seed and every parameter (see :meth:`Job.canonical
+  <repro.runner.jobs.Job.canonical>`), and
+* ``code_version`` is a content hash over every ``*.py`` file of the
+  installed :mod:`repro` package.
+
+Any change to an experiment parameter, the seed, or the simulator source
+therefore produces a different key — a cache *miss* — while re-running the
+same sweep on unchanged code hits.  Entries are stored as pickles under
+``<cache-dir>/<key[:2]>/<key>.pkl`` together with the job payload, and are
+written atomically (temp file + :func:`os.replace`) so concurrent writers
+can never expose a torn entry.
+
+The default cache directory is ``$REPRO_CACHE_DIR`` or ``.repro-cache``
+under the current working directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.runner.jobs import Job
+
+_SENTINEL = object()
+_code_version_cache: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` in the cwd."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+def code_version() -> str:
+    """Content hash of the :mod:`repro` package sources (memoized)."""
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).resolve().parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Content-addressed on-disk store of job results.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created lazily on the first store.
+    version:
+        Code-version string mixed into every key.  Defaults to
+        :func:`code_version`; tests override it to model code changes.
+    """
+
+    def __init__(self, directory: Optional[Path] = None,
+                 version: Optional[str] = None) -> None:
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_dir()
+        self._version = version
+        self.stats = CacheStats()
+
+    @property
+    def version(self) -> str:
+        if self._version is None:
+            self._version = code_version()
+        return self._version
+
+    def key(self, job: Job) -> str:
+        """The job's cache key (content hash of identity + code version)."""
+        material = job.canonical() + "\n" + self.version
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, job: Job) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; bumps the hit/miss counters."""
+        path = self._path(self.key(job))
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            # Missing, torn, or written by an incompatible code state —
+            # all count as a miss and will be overwritten by the next put.
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, entry["value"]
+
+    def put(self, job: Job, value: Any) -> None:
+        """Store one result atomically (temp file + rename)."""
+        path = self._path(self.key(job))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"payload": job.payload(), "value": value,
+                 "code_version": self.version}
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, prefix=path.name, suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        self.stats.stores += 1
+
+    def entries(self) -> Iterator[Path]:
+        """Paths of every stored entry (empty if the dir does not exist)."""
+        if not self.directory.is_dir():
+            return iter(())
+        return self.directory.glob("*/*.pkl")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

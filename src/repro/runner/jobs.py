@@ -1,0 +1,137 @@
+"""Declarative job model for experiment sweeps.
+
+A :class:`Job` names a registered *experiment kind* (``"accuracy"``,
+``"gating"``, ``"single-ipc"``, ``"smt"``, …) plus the keyword parameters
+and the seed of one concrete experiment point.  Jobs are deliberately
+plain data — every parameter must be JSON-serializable — so that they can
+be
+
+* hashed into a stable content key (the memoization cache key),
+* pickled across :mod:`multiprocessing` worker boundaries, and
+* re-created identically from their canonical form (determinism).
+
+Experiment kinds are registered with :func:`register_experiment`; the
+standard kinds wrapping :mod:`repro.eval.harness` live in
+:mod:`repro.runner.library` and are imported lazily by
+:func:`execute_job`.  Worker pools do not rely on registrations being
+re-run in the child: :class:`~repro.runner.sweep.SweepRunner` resolves
+each job's executor in the parent and ships it to workers by reference
+(so custom kinds only need their defining module to be importable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+
+class UnknownExperimentError(KeyError):
+    """Raised when a job names an experiment kind nobody registered."""
+
+
+#: Registered experiment kind -> callable(seed=..., **params).
+_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_experiment(name: str) -> Callable[[Callable[..., Any]],
+                                               Callable[..., Any]]:
+    """Class the decorated callable as the executor of experiment ``name``.
+
+    The callable receives the job's ``params`` as keyword arguments plus
+    ``seed``; whatever it returns becomes the job's result (and, when a
+    cache is attached, the cached value).
+    """
+    def decorator(function: Callable[..., Any]) -> Callable[..., Any]:
+        _REGISTRY[name] = function
+        return function
+    return decorator
+
+
+def experiment_function(name: str) -> Callable[..., Any]:
+    """Look up the executor of experiment kind ``name``."""
+    if name not in _REGISTRY:
+        # The standard library of kinds registers itself on import; give it
+        # a chance before failing (covers freshly spawned workers).
+        from repro.runner import library  # noqa: F401  (import side effect)
+    if name not in _REGISTRY:
+        raise UnknownExperimentError(
+            f"no experiment kind {name!r} registered "
+            f"(known: {sorted(_REGISTRY)})"
+        )
+    return _REGISTRY[name]
+
+
+def registered_experiments() -> Tuple[str, ...]:
+    """Names of every registered experiment kind (standard kinds included)."""
+    from repro.runner import library  # noqa: F401  (import side effect)
+    return tuple(sorted(_REGISTRY))
+
+
+def _jsonable(value: Any) -> Any:
+    """Return ``value`` converted to plain JSON-serializable structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"job parameter of type {type(value).__name__} is not "
+        f"JSON-serializable: {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class Job:
+    """One experiment point: kind + JSON-serializable parameters + seed.
+
+    Construct through :meth:`make` (which canonicalizes the parameters) or
+    through the builder helpers in :mod:`repro.runner.library`.
+    """
+
+    experiment: str
+    params_json: str = "{}"          #: canonical JSON of the parameters
+    seed: int = 1
+    label: str = field(default="", compare=False)   #: display only
+
+    @classmethod
+    def make(cls, experiment: str, seed: int = 1, label: str = "",
+             **params: Any) -> "Job":
+        canonical = json.dumps(_jsonable(params), sort_keys=True,
+                               separators=(",", ":"))
+        return cls(experiment=experiment, params_json=canonical, seed=seed,
+                   label=label or experiment)
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        """The job's parameters (tuples come back as lists)."""
+        return json.loads(self.params_json)
+
+    def payload(self) -> Dict[str, Any]:
+        """The identity of this job, as fed into the cache key."""
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "params": json.loads(self.params_json),
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON identity string (stable across processes/runs)."""
+        return json.dumps(self.payload(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Content hash of the job identity (no code version mixed in)."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+
+def execute_job(job: Job) -> Any:
+    """Run one job to completion in the current process.
+
+    This is the unit of work shipped to pool workers; it must stay a
+    module-level function so it pickles under every start method.
+    """
+    function = experiment_function(job.experiment)
+    return function(seed=job.seed, **job.params)

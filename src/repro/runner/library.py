@@ -1,0 +1,172 @@
+"""The standard experiment kinds and their job builders.
+
+Each kind is a thin, picklable wrapper around one
+:mod:`repro.eval.harness` entry point, taking only JSON-serializable
+parameters (benchmark *names*, not spec objects; predictor *kwargs*, not
+predictor objects) so jobs hash and ship across process boundaries.
+
+=============  ========================================================
+Kind           Harness call
+=============  ========================================================
+``accuracy``   :func:`repro.eval.harness.run_accuracy_experiment`
+``gating``     :func:`repro.eval.harness.run_gating_experiment`
+``single-ipc`` :func:`repro.eval.harness.run_single_thread_ipc`
+``smt``        :func:`repro.eval.harness.run_smt_experiment`
+=============  ========================================================
+
+To add a new experiment kind: write a module-level wrapper taking
+``seed`` plus JSON-serializable keyword arguments, decorate it with
+:func:`~repro.runner.jobs.register_experiment`, and (conventionally) add
+a ``<kind>_job`` builder so drivers never spell parameter dicts by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.eval.harness import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_RELOG_PERIOD,
+    run_accuracy_experiment,
+    run_gating_experiment,
+    run_single_thread_ipc,
+    run_smt_experiment,
+)
+from repro.pathconf.paco import PaCoPredictor
+from repro.runner.jobs import Job, register_experiment
+
+
+@register_experiment("accuracy")
+def _accuracy(benchmark: str,
+              instructions: int = DEFAULT_INSTRUCTIONS,
+              warmup_instructions: int = 20_000,
+              relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
+              count_threshold: int = 3,
+              paco_variant: Optional[Dict[str, Any]] = None,
+              seed: int = 1):
+    predictors = None
+    if paco_variant is not None:
+        predictors = [PaCoPredictor(**paco_variant)]
+    return run_accuracy_experiment(
+        benchmark,
+        instructions=instructions,
+        warmup_instructions=warmup_instructions,
+        relog_period_cycles=relog_period_cycles,
+        count_threshold=count_threshold,
+        predictors=predictors,
+        seed=seed,
+    )
+
+
+@register_experiment("gating")
+def _gating(benchmark: str,
+            mode: str = "none",
+            gate_count: int = 0,
+            gating_probability: float = 0.0,
+            jrs_threshold: int = 3,
+            instructions: int = DEFAULT_INSTRUCTIONS,
+            warmup_instructions: int = 15_000,
+            relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
+            seed: int = 1):
+    return run_gating_experiment(
+        benchmark,
+        mode=mode,
+        gate_count=gate_count,
+        gating_probability=gating_probability,
+        jrs_threshold=jrs_threshold,
+        instructions=instructions,
+        warmup_instructions=warmup_instructions,
+        relog_period_cycles=relog_period_cycles,
+        seed=seed,
+    )
+
+
+@register_experiment("single-ipc")
+def _single_ipc(benchmark: str,
+                instructions: int = DEFAULT_INSTRUCTIONS,
+                warmup_instructions: int = 15_000,
+                seed: int = 1):
+    return run_single_thread_ipc(
+        benchmark,
+        instructions=instructions,
+        warmup_instructions=warmup_instructions,
+        seed=seed,
+    )
+
+
+@register_experiment("smt")
+def _smt(benchmark_a: str,
+         benchmark_b: str,
+         policy: str = "paco",
+         jrs_threshold: int = 3,
+         instructions: int = 2 * DEFAULT_INSTRUCTIONS,
+         warmup_instructions: int = 30_000,
+         relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
+         single_ipcs: Optional[Sequence[float]] = None,
+         seed: int = 1):
+    singles: Optional[Tuple[float, float]] = None
+    if single_ipcs is not None:
+        singles = (float(single_ipcs[0]), float(single_ipcs[1]))
+    return run_smt_experiment(
+        benchmark_a,
+        benchmark_b,
+        policy=policy,
+        jrs_threshold=jrs_threshold,
+        instructions=instructions,
+        warmup_instructions=warmup_instructions,
+        relog_period_cycles=relog_period_cycles,
+        single_ipcs=singles,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# job builders — the vocabulary experiment drivers enumerate sweeps with
+# ---------------------------------------------------------------------- #
+
+
+def accuracy_job(benchmark: str, *, instructions: int,
+                 warmup_instructions: int, seed: int = 1,
+                 paco_variant: Optional[Dict[str, Any]] = None,
+                 **extra: Any) -> Job:
+    params: Dict[str, Any] = dict(
+        benchmark=benchmark,
+        instructions=instructions,
+        warmup_instructions=warmup_instructions,
+        **extra,
+    )
+    if paco_variant is not None:
+        params["paco_variant"] = paco_variant
+    return Job.make("accuracy", seed=seed, label=f"accuracy[{benchmark}]",
+                    **params)
+
+
+def gating_job(benchmark: str, *, mode: str, instructions: int,
+               warmup_instructions: int, seed: int = 1,
+               **extra: Any) -> Job:
+    return Job.make("gating", seed=seed,
+                    label=f"gating[{benchmark},{mode}]",
+                    benchmark=benchmark, mode=mode,
+                    instructions=instructions,
+                    warmup_instructions=warmup_instructions, **extra)
+
+
+def single_ipc_job(benchmark: str, *, instructions: int,
+                   warmup_instructions: int = 15_000, seed: int = 1) -> Job:
+    return Job.make("single-ipc", seed=seed,
+                    label=f"single-ipc[{benchmark}]",
+                    benchmark=benchmark, instructions=instructions,
+                    warmup_instructions=warmup_instructions)
+
+
+def smt_job(benchmark_a: str, benchmark_b: str, *, policy: str,
+            instructions: int, warmup_instructions: int,
+            single_ipcs: Sequence[float], jrs_threshold: int = 3,
+            seed: int = 1) -> Job:
+    return Job.make("smt", seed=seed,
+                    label=f"smt[{benchmark_a}-{benchmark_b},{policy}]",
+                    benchmark_a=benchmark_a, benchmark_b=benchmark_b,
+                    policy=policy, jrs_threshold=jrs_threshold,
+                    instructions=instructions,
+                    warmup_instructions=warmup_instructions,
+                    single_ipcs=[float(v) for v in single_ipcs])

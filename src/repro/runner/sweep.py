@@ -1,0 +1,164 @@
+"""Sweep execution: declarative specs, worker-pool sharding, memoization.
+
+:class:`SweepSpec` enumerates the cartesian product of parameter axes into
+:class:`~repro.runner.jobs.Job` objects; :class:`SweepRunner` executes any
+job list — serially or sharded across a :mod:`multiprocessing` pool — with
+optional on-disk memoization through a
+:class:`~repro.runner.cache.ResultCache`.
+
+Determinism contract
+--------------------
+Every job carries its own seed and reconstructs all simulator state from
+scratch, so results are independent of scheduling: ``map()`` returns
+byte-identical values whether it ran serially, with N workers, or from a
+warm cache (the determinism tests assert exactly this).  Duplicate jobs
+inside one ``map()`` call are detected by content hash and executed once —
+this is how, e.g., single-thread IPC baselines are shared across SMT fetch
+policies instead of being re-measured per policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import Job, execute_job, experiment_function
+
+
+def _invoke(payload: Tuple[Any, Job]) -> Any:
+    """Pool worker body: run one pre-resolved (function, job) payload."""
+    function, job = payload
+    return function(seed=job.seed, **job.params)
+
+
+def available_workers() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@dataclass
+class SweepSpec:
+    """Declarative enumeration of one experiment sweep.
+
+    ``axes`` maps parameter names to the values to sweep; ``base`` holds
+    parameters shared by every point.  ``jobs()`` yields the cartesian
+    product in a deterministic order (axes sorted by name, values in the
+    order given).
+    """
+
+    experiment: str
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    base: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 1
+
+    def jobs(self) -> List[Job]:
+        names = sorted(self.axes)
+        jobs: List[Job] = []
+        for values in itertools.product(*(self.axes[name] for name in names)):
+            params = dict(self.base)
+            params.update(zip(names, values))
+            point = ",".join(f"{n}={v}" for n, v in zip(names, values))
+            jobs.append(Job.make(self.experiment, seed=self.seed,
+                                 label=f"{self.experiment}[{point}]",
+                                 **params))
+        return jobs
+
+    def __len__(self) -> int:
+        product = 1
+        for values in self.axes.values():
+            product *= len(values)
+        return product
+
+
+class SweepRunner:
+    """Executes job lists with optional parallelism and memoization.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for ``map()``.  ``<= 1`` runs in-process (no pool
+        is spawned); higher values shard cache misses across a pool.
+    cache:
+        Optional :class:`ResultCache`.  Hits skip execution entirely;
+        misses are stored after execution (by the parent process, so no
+        two writers race on one entry within a run).
+    start_method:
+        Forced :mod:`multiprocessing` start method; ``None`` (the
+        default) uses the platform's default method — ``fork`` on Linux,
+        ``spawn`` on macOS/Windows, where forking is unsafe or absent.
+    """
+
+    def __init__(self, workers: int = 1, cache: Optional[ResultCache] = None,
+                 start_method: Optional[str] = None) -> None:
+        self.workers = max(int(workers), 1)
+        self.cache = cache
+        self.start_method = start_method
+
+    def map(self, jobs: Sequence[Job]) -> List[Any]:
+        """Execute ``jobs`` and return their results in input order.
+
+        Identical jobs (same experiment, parameters and seed) are executed
+        once and their result fanned out to every position.
+        """
+        jobs = list(jobs)
+        results: List[Any] = [None] * len(jobs)
+
+        # Deduplicate by content hash; remember every position of each job.
+        positions: Dict[str, List[int]] = {}
+        unique: Dict[str, Job] = {}
+        for index, job in enumerate(jobs):
+            digest = job.digest()
+            positions.setdefault(digest, []).append(index)
+            unique.setdefault(digest, job)
+
+        pending: List[Tuple[str, Job]] = []
+        for digest, job in unique.items():
+            if self.cache is not None:
+                hit, value = self.cache.get(job)
+                if hit:
+                    for index in positions[digest]:
+                        results[index] = value
+                    continue
+            pending.append((digest, job))
+
+        for digest, value in self._execute(pending):
+            if self.cache is not None:
+                self.cache.put(unique[digest], value)
+            for index in positions[digest]:
+                results[index] = value
+        return results
+
+    def run(self, spec: SweepSpec) -> List[Any]:
+        """Enumerate and execute a :class:`SweepSpec`."""
+        return self.map(spec.jobs())
+
+    def _execute(self, pending: Sequence[Tuple[str, Job]]
+                 ) -> List[Tuple[str, Any]]:
+        if not pending:
+            return []
+        if self.workers <= 1 or len(pending) == 1:
+            return [(digest, execute_job(job)) for digest, job in pending]
+        # Resolve each executor in the parent (where custom kinds were
+        # registered) and ship it by reference alongside the job, so
+        # spawn-started workers don't depend on re-running registrations —
+        # they only need the defining module to be importable.
+        payloads = [(experiment_function(job.experiment), job)
+                    for _, job in pending]
+        context = multiprocessing.get_context(self.start_method)
+        processes = min(self.workers, len(pending))
+        with context.Pool(processes=processes) as pool:
+            values = pool.map(_invoke, payloads, chunksize=1)
+        return [(digest, value)
+                for (digest, _), value in zip(pending, values)]
+
+
+def resolve_runner(runner: Optional[SweepRunner]) -> SweepRunner:
+    """The runner to use: the caller's, or a serial uncached default."""
+    return runner if runner is not None else SweepRunner()

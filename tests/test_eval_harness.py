@@ -174,6 +174,16 @@ class TestSMTExperiment:
             run_smt_experiment(tiny_spec, tiny_spec, policy="bogus",
                                single_ipcs=(1.0, 1.0))
 
+    def test_empty_measurement_window_raises(self, tiny_spec):
+        # A zero instruction budget means warm-up consumes the entire run;
+        # the harness must refuse rather than clamp the cycle denominator
+        # and report garbage IPCs.
+        with pytest.raises(ValueError, match="empty SMT measurement window"):
+            run_smt_experiment(tiny_spec, tiny_spec, policy="icount",
+                               instructions=0,
+                               warmup_instructions=2_000,
+                               single_ipcs=(1.0, 1.0))
+
     def test_real_benchmarks_resolve_by_name(self):
         result = run_smt_experiment("gzip", "twolf", policy="icount",
                                     instructions=6_000,

@@ -1,0 +1,172 @@
+"""Golden regression tests against the checked-in benchmark snapshots.
+
+``benchmarks/results/*.txt`` are the rendered tables the quick benchmark
+configurations produced on the seed code.  These tests re-run a *subset*
+of each snapshot's experiment points at the exact same settings and
+assert the freshly measured numbers still match the snapshot within a
+small tolerance — so a refactor of the simulator, harness or runner
+cannot silently drift the reproduced numbers.
+
+Each experiment point is independent of its neighbours (same seed, own
+workload), so re-running two or three rows of a table reproduces those
+rows exactly; the subsets keep the suite's runtime bounded.
+
+The expected settings mirror the quick configurations in
+``repro.experiments`` (the ``quick=True`` budget clamps) and, for
+Fig. 12, the ``_QUICK`` study config in
+``benchmarks/test_bench_fig12_smt.py``.  If a quick configuration
+changes, regenerate the snapshots (run the benchmark suite) and update
+the mirrored settings here.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.applications.smt_prioritization import SMTStudyConfig
+from repro.experiments import (
+    ablations,
+    fig2_mdc_rates,
+    fig12_smt,
+    table7_rms,
+    tableA1_mrt_variants,
+)
+
+RESULTS_DIR = Path(__file__).parent.parent / "benchmarks" / "results"
+
+#: Snapshot columns are rounded (2–4 decimals); tolerances sit well above
+#: the rounding noise and well below any real behavioral drift.
+RMS_TOLERANCE = 0.01
+PERCENT_TOLERANCE = 0.5
+HMWIPC_TOLERANCE = 0.01
+
+
+def parse_table(text: str) -> List[Dict[str, str]]:
+    """Parse one ``format_table`` rendering back into row dicts.
+
+    Finds the dashed separator line, reads the headers right above it and
+    the rows below it (until the first blank line); cells are split on
+    runs of two or more spaces.
+    """
+    lines = text.splitlines()
+    separator = next(
+        i for i, line in enumerate(lines)
+        if line.strip() and set(line.strip()) <= {"-", " "} and i > 0
+    )
+    headers = re.split(r"\s{2,}", lines[separator - 1].strip())
+    rows = []
+    for line in lines[separator + 1:]:
+        if not line.strip():
+            break
+        cells = re.split(r"\s{2,}", line.strip())
+        rows.append(dict(zip(headers, cells)))
+    return rows
+
+
+def load_snapshot(name: str) -> List[Dict[str, str]]:
+    path = RESULTS_DIR / f"{name}.txt"
+    if not path.is_file():
+        pytest.skip(f"snapshot {path} not present")
+    return parse_table(path.read_text(encoding="utf-8"))
+
+
+def rows_by_first_column(rows: List[Dict[str, str]]) -> Dict[str, Dict[str, str]]:
+    return {next(iter(row.values())): row for row in rows}
+
+
+class TestSnapshotParser:
+    def test_parses_headers_and_rows(self):
+        from repro.eval.reports import format_table
+
+        text = format_table(["name", "x"], [["a", 1.5], ["b", 2.0]],
+                            title="demo")
+        rows = parse_table(text)
+        assert rows == [{"name": "a", "x": "1.5000"},
+                        {"name": "b", "x": "2.0000"}]
+
+
+class TestTable7Golden:
+    BENCHMARKS = ("bzip2", "gcc", "mcf")
+
+    @pytest.fixture(scope="class")
+    def fresh(self):
+        return table7_rms.run(benchmarks=list(self.BENCHMARKS), quick=True)
+
+    def test_rows_match_snapshot(self, fresh):
+        golden = rows_by_first_column(load_snapshot("table7_rms"))
+        for row in fresh.rows:
+            expected = golden[row.benchmark]
+            assert row.paco_rms_error == pytest.approx(
+                float(expected["rms"]), abs=RMS_TOLERANCE), row.benchmark
+            assert 100 * row.overall_mispredict_rate == pytest.approx(
+                float(expected["overall%"]), abs=PERCENT_TOLERANCE), row.benchmark
+            assert 100 * row.conditional_mispredict_rate == pytest.approx(
+                float(expected["cond%"]), abs=PERCENT_TOLERANCE), row.benchmark
+
+
+class TestFig2Golden:
+    BENCHMARKS = ("twolf", "gzip")
+
+    def test_mdc_rates_match_snapshot(self):
+        golden = rows_by_first_column(load_snapshot("fig2_mdc_rates"))
+        fresh = fig2_mdc_rates.run(benchmarks=list(self.BENCHMARKS), quick=True)
+        for name, by_mdc in fresh.rates.items():
+            expected = golden[name]
+            for mdc in range(16):
+                assert 100 * by_mdc.get(mdc, 0.0) == pytest.approx(
+                    float(expected[f"mdc{mdc}"]), abs=PERCENT_TOLERANCE
+                ), (name, mdc)
+
+
+class TestTableA1Golden:
+    BENCHMARKS = ("crafty", "gzip")
+
+    def test_mrt_variants_match_snapshot(self):
+        golden = rows_by_first_column(load_snapshot("tableA1_mrt_variants"))
+        fresh = tableA1_mrt_variants.run(benchmarks=list(self.BENCHMARKS),
+                                         quick=True)
+        for row in fresh.rows:
+            expected = golden[row.benchmark]
+            assert row.mrt_rms == pytest.approx(
+                float(expected["MRT"]), abs=RMS_TOLERANCE), row.benchmark
+            assert row.static_mrt_rms == pytest.approx(
+                float(expected["StaticMRT"]), abs=RMS_TOLERANCE), row.benchmark
+            assert row.per_branch_mrt_rms == pytest.approx(
+                float(expected["PerBranchMRT"]), abs=RMS_TOLERANCE), row.benchmark
+
+
+class TestAblationGolden:
+    def test_log_circuit_matches_snapshot(self):
+        golden = rows_by_first_column(load_snapshot("ablation_log_circuit"))
+        fresh = ablations.run_log_circuit_ablation(benchmarks=("parser",),
+                                                   quick=True)
+        for variant, by_benchmark in fresh.rms_by_variant.items():
+            expected = golden[variant]
+            assert by_benchmark["parser"] == pytest.approx(
+                float(expected["parser"]), abs=RMS_TOLERANCE), variant
+
+
+class TestFig12Golden:
+    #: Mirrors ``_QUICK`` in benchmarks/test_bench_fig12_smt.py, restricted
+    #: to the snapshot's first pair.
+    CONFIG = SMTStudyConfig(
+        pairs=[("gap", "mcf")],
+        jrs_thresholds=(3,),
+        include_icount=True,
+        instructions=40_000,
+        warmup_instructions=16_000,
+        single_thread_instructions=20_000,
+    )
+
+    def test_hmwipc_matches_snapshot(self):
+        golden = rows_by_first_column(load_snapshot("fig12_smt"))
+        fresh = fig12_smt.run(config=self.CONFIG)
+        [pair] = fresh.pairs
+        expected = golden["-".join(pair.pair)]
+        for policy in ("icount", "jrs-t3", "paco"):
+            assert pair.hmwipc_by_policy[policy] == pytest.approx(
+                float(expected[policy]), abs=HMWIPC_TOLERANCE), policy

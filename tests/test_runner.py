@@ -1,0 +1,253 @@
+"""Tests for the sweep runner: jobs, caching, sharding, determinism.
+
+The determinism tests pin the runner's core contract: the same job list
+produces byte-identical results whether it executes serially, sharded
+across a worker pool, or from a warm on-disk cache.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.runner import (
+    Job,
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    UnknownExperimentError,
+    accuracy_job,
+    execute_job,
+    register_experiment,
+    registered_experiments,
+    resolve_runner,
+    single_ipc_job,
+    smt_job,
+)
+
+_CALLS = []
+
+
+@register_experiment("test-double")
+def _double(value: int = 0, seed: int = 1) -> int:
+    _CALLS.append((value, seed))
+    return 2 * value
+
+
+@register_experiment("test-axes")
+def _axes(a: int = 0, b: int = 0, value: int = 0, seed: int = 1) -> tuple:
+    return (a, b)
+
+
+class TestJobModel:
+    def test_params_roundtrip(self):
+        job = Job.make("test-double", value=21, seed=3)
+        assert job.params == {"value": 21}
+        assert job.seed == 3
+
+    def test_canonical_is_order_independent(self):
+        a = Job.make("accuracy", benchmark="gzip", instructions=100)
+        b = Job.make("accuracy", instructions=100, benchmark="gzip")
+        assert a.canonical() == b.canonical()
+        assert a.digest() == b.digest()
+
+    def test_digest_changes_with_params_and_seed(self):
+        base = Job.make("accuracy", benchmark="gzip", instructions=100)
+        assert base.digest() != Job.make(
+            "accuracy", benchmark="gzip", instructions=200).digest()
+        assert base.digest() != Job.make(
+            "accuracy", benchmark="gzip", instructions=100, seed=2).digest()
+
+    def test_label_does_not_affect_identity(self):
+        a = Job.make("accuracy", label="x", benchmark="gzip")
+        b = Job.make("accuracy", label="y", benchmark="gzip")
+        assert a.digest() == b.digest()
+
+    def test_non_serializable_params_rejected(self):
+        with pytest.raises(TypeError):
+            Job.make("accuracy", benchmark=object())
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(UnknownExperimentError):
+            execute_job(Job.make("no-such-experiment"))
+
+    def test_standard_kinds_registered(self):
+        assert {"accuracy", "gating", "single-ipc",
+                "smt"} <= set(registered_experiments())
+
+
+class TestSweepSpec:
+    def test_cartesian_product_enumeration(self):
+        spec = SweepSpec(
+            experiment="test-double",
+            axes={"value": [1, 2, 3]},
+            seed=9,
+        )
+        jobs = spec.jobs()
+        assert len(spec) == 3
+        assert [job.params["value"] for job in jobs] == [1, 2, 3]
+        assert all(job.seed == 9 for job in jobs)
+
+    def test_multi_axis_order_is_deterministic(self):
+        spec = SweepSpec(
+            experiment="test-axes",
+            axes={"b": [1, 2], "a": [10, 20]},
+            base={"value": 0},
+        )
+        jobs = spec.jobs()
+        # Axes iterate sorted by name: 'a' is the outer loop.
+        assert [(j.params["a"], j.params["b"]) for j in jobs] == [
+            (10, 1), (10, 2), (20, 1), (20, 2),
+        ]
+        assert SweepRunner().run(spec) == [(10, 1), (10, 2), (20, 1), (20, 2)]
+
+
+class TestSweepRunnerScheduling:
+    def test_results_in_input_order(self):
+        jobs = [Job.make("test-double", value=v) for v in (5, 1, 3)]
+        assert SweepRunner().map(jobs) == [10, 2, 6]
+
+    def test_duplicate_jobs_execute_once(self):
+        _CALLS.clear()
+        jobs = [Job.make("test-double", value=7),
+                Job.make("test-double", value=7),
+                Job.make("test-double", value=8)]
+        assert SweepRunner().map(jobs) == [14, 14, 16]
+        assert sorted(_CALLS) == [(7, 1), (8, 1)]
+
+    def test_resolve_runner_defaults_to_serial_uncached(self):
+        runner = resolve_runner(None)
+        assert runner.workers == 1
+        assert runner.cache is None
+        explicit = SweepRunner(workers=3)
+        assert resolve_runner(explicit) is explicit
+
+    def test_worker_pool_matches_serial(self):
+        jobs = [Job.make("test-double", value=v) for v in range(6)]
+        serial = SweepRunner(workers=1).map(jobs)
+        parallel = SweepRunner(workers=2).map(jobs)
+        assert serial == parallel == [0, 2, 4, 6, 8, 10]
+
+    @pytest.mark.skipif(
+        "spawn" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="spawn start method unavailable")
+    def test_spawn_workers_resolve_standard_kinds(self):
+        # Executors are resolved in the parent and shipped by reference,
+        # so freshly spawned workers (no inherited registry state) work.
+        jobs = [single_ipc_job(name, instructions=2_000,
+                               warmup_instructions=500)
+                for name in ("gzip", "twolf")]
+        spawned = SweepRunner(workers=2, start_method="spawn").map(jobs)
+        assert spawned == SweepRunner().map(jobs)
+
+
+class TestResultCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        job = Job.make("test-double", value=4)
+        hit, _ = cache.get(job)
+        assert not hit
+        cache.put(job, 8)
+        hit, value = cache.get(job)
+        assert hit and value == 8
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert len(cache) == 1
+
+    def test_config_change_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put(Job.make("accuracy", benchmark="gzip",
+                           instructions=1000), "result")
+        hit, _ = cache.get(Job.make("accuracy", benchmark="gzip",
+                                    instructions=2000))
+        assert not hit
+        hit, _ = cache.get(Job.make("accuracy", benchmark="gzip",
+                                    instructions=1000, seed=2))
+        assert not hit
+
+    def test_code_version_change_is_a_miss(self, tmp_path):
+        job = Job.make("test-double", value=4)
+        ResultCache(tmp_path, version="v1").put(job, 8)
+        hit, _ = ResultCache(tmp_path, version="v2").get(job)
+        assert not hit
+        hit, value = ResultCache(tmp_path, version="v1").get(job)
+        assert hit and value == 8
+
+    def test_torn_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        job = Job.make("test-double", value=4)
+        cache.put(job, 8)
+        path = next(iter(cache.entries()))
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(job)
+        assert not hit
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        for value in range(3):
+            cache.put(Job.make("test-double", value=value), value)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+#: Small budgets keep the three executions of each determinism sweep cheap.
+_ACCURACY_JOBS = [
+    accuracy_job(name, instructions=4_000, warmup_instructions=1_000)
+    for name in ("gzip", "twolf")
+]
+_SMT_JOBS = [
+    smt_job("gzip", "twolf", policy=policy, instructions=6_000,
+            warmup_instructions=2_000, single_ipcs=(1.0, 1.0))
+    for policy in ("icount", "paco")
+]
+
+
+class TestDeterminism:
+    """Same seed => byte-identical stats across execution strategies."""
+
+    def _stat_bytes(self, results, attribute="stats"):
+        return [pickle.dumps(getattr(r, attribute)) for r in results]
+
+    def test_accuracy_serial_parallel_cached_identical(self, tmp_path):
+        serial = SweepRunner().map(_ACCURACY_JOBS)
+        parallel = SweepRunner(workers=2).map(_ACCURACY_JOBS)
+
+        cache = ResultCache(tmp_path)
+        cold = SweepRunner(workers=2, cache=cache).map(_ACCURACY_JOBS)
+        warm = SweepRunner(cache=cache).map(_ACCURACY_JOBS)
+        assert cache.stats.hits == len(_ACCURACY_JOBS)
+
+        reference = self._stat_bytes(serial)
+        assert self._stat_bytes(parallel) == reference
+        assert self._stat_bytes(cold) == reference
+        assert self._stat_bytes(warm) == reference
+        # The CoreStats objects compare equal field-by-field as well.
+        for a, b in zip(serial, warm):
+            assert a.stats == b.stats
+            assert a.rms_errors == b.rms_errors
+
+    def test_smt_serial_parallel_cached_identical(self, tmp_path):
+        serial = SweepRunner().map(_SMT_JOBS)
+        parallel = SweepRunner(workers=2).map(_SMT_JOBS)
+
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache).map(_SMT_JOBS)       # populate
+        warm = SweepRunner(cache=cache).map(_SMT_JOBS)
+        assert cache.stats.hits == len(_SMT_JOBS)
+
+        reference = self._stat_bytes(serial)
+        assert self._stat_bytes(parallel) == reference
+        assert self._stat_bytes(warm) == reference
+        for a, b in zip(serial, warm):
+            assert a.hmwipc == b.hmwipc
+            assert a.smt_ipcs == b.smt_ipcs
+
+    def test_single_ipc_shared_across_policies(self):
+        """The dedup layer measures a repeated baseline job exactly once."""
+        jobs = [single_ipc_job("gzip", instructions=3_000,
+                               warmup_instructions=1_000)
+                for _ in range(4)]
+        values = SweepRunner().map(jobs)
+        assert len(set(values)) == 1
