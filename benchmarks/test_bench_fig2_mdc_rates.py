@@ -9,7 +9,10 @@ from conftest import write_result
 def test_bench_fig2_mdc_rates(benchmark, results_dir, full_mode, sweep_runner):
     result = benchmark.pedantic(
         fig2_mdc_rates.run,
-        kwargs={"quick": not full_mode, "runner": sweep_runner},
+        kwargs={"quick": not full_mode, "runner": sweep_runner,
+                # Snapshots are cycle-backend ground truth (the golden
+                # suite re-measures them on the cycle model).
+                "backend": "cycle"},
         rounds=1, iterations=1,
     )
     headers = ["benchmark"] + [f"mdc{m}" for m in range(16)]

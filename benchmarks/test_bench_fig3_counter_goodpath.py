@@ -11,7 +11,10 @@ def test_bench_fig3_counter_goodpath(benchmark, results_dir, full_mode,
     result = benchmark.pedantic(
         fig3_counter_goodpath.run,
         kwargs={"counter_value": 3 if not full_mode else 5,
-                "quick": not full_mode, "runner": sweep_runner},
+                "quick": not full_mode, "runner": sweep_runner,
+                # Snapshots are cycle-backend ground truth (the golden
+                # suite re-measures them on the cycle model).
+                "backend": "cycle"},
         rounds=1, iterations=1,
     )
     text = format_table(

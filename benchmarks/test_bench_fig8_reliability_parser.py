@@ -9,7 +9,10 @@ def test_bench_fig8_reliability_parser(benchmark, results_dir, full_mode,
                                        sweep_runner):
     diagram = benchmark.pedantic(
         fig8_9_reliability.run_parser_diagram,
-        kwargs={"quick": not full_mode, "runner": sweep_runner},
+        kwargs={"quick": not full_mode, "runner": sweep_runner,
+                # Snapshots are cycle-backend ground truth (the golden
+                # suite re-measures them on the cycle model).
+                "backend": "cycle"},
         rounds=1, iterations=1,
     )
     text = ("Fig. 8 — PaCo reliability diagram on parser\n"

@@ -10,7 +10,10 @@ def test_bench_fig9_reliability_suite(benchmark, results_dir, full_mode,
                                       sweep_runner):
     study = benchmark.pedantic(
         fig8_9_reliability.run,
-        kwargs={"quick": not full_mode, "runner": sweep_runner},
+        kwargs={"quick": not full_mode, "runner": sweep_runner,
+                # Snapshots are cycle-backend ground truth (the golden
+                # suite re-measures them on the cycle model).
+                "backend": "cycle"},
         rounds=1, iterations=1,
     )
     rows = [[name, round(err, 4)] for name, err in study.rms_errors.items()]

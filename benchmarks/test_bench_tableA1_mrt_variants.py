@@ -10,7 +10,10 @@ def test_bench_tableA1_mrt_variants(benchmark, results_dir, full_mode,
                                     sweep_runner):
     result = benchmark.pedantic(
         tableA1_mrt_variants.run,
-        kwargs={"quick": not full_mode, "runner": sweep_runner},
+        kwargs={"quick": not full_mode, "runner": sweep_runner,
+                # Snapshots are cycle-backend ground truth (the golden
+                # suite re-measures them on the cycle model).
+                "backend": "cycle"},
         rounds=1, iterations=1,
     )
     headers = ["benchmark", "MRT", "StaticMRT", "PerBranchMRT",

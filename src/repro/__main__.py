@@ -5,19 +5,25 @@ Subcommands
 ``run <experiment>``
     Run one experiment driver and print the paper-shaped table.  Workers
     and the on-disk result cache come from ``--workers`` /
-    ``--cache-dir`` / ``--no-cache``.
+    ``--cache-dir`` / ``--no-cache``; ``--backend {cycle,trace}``
+    overrides the driver's default simulation backend (predictor-level
+    experiments default to the fast trace engine, fig10/fig12 to the
+    cycle model).
 ``sweep``
     Run several experiments (default: all of them) sharing one runner and
     one cache, and print a wall-clock summary.
 ``cache``
-    Inspect (``info``) or delete (``clear``) the result cache.
+    Inspect (``info``), delete (``clear``) or bound (``prune``) the
+    result cache.
 
 Examples::
 
     python -m repro run table7 --workers 4
+    python -m repro run table7 --backend cycle      # ground-truth numbers
     python -m repro run fig12 --quick --workers 2
     python -m repro sweep --experiments table7,fig2 --workers 4
     python -m repro cache info
+    python -m repro cache prune --max-age-days 30 --max-size-mb 512
     python -m repro cache clear
 """
 
@@ -29,6 +35,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.backends import backend_names
 from repro.experiments import (
     ablations,
     fig2_mdc_rates,
@@ -60,11 +67,25 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for the sweep (default: 1)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced benchmark sets and instruction budgets")
+    parser.add_argument("--backend", choices=sorted(backend_names()),
+                        default=None,
+                        help="simulation backend override (default: the "
+                             "driver's own default — trace for "
+                             "predictor-level experiments, cycle for "
+                             "fig10/fig12)")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="result cache directory "
                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable result memoization")
+
+
+def _driver_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Keyword arguments forwarded to a driver ``main`` (only when set)."""
+    kwargs: Dict[str, object] = {}
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
+    return kwargs
 
 
 def _build_runner(args: argparse.Namespace) -> SweepRunner:
@@ -77,7 +98,12 @@ def _build_runner(args: argparse.Namespace) -> SweepRunner:
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = _build_runner(args)
     start = time.perf_counter()
-    EXPERIMENTS[args.experiment](runner=runner, quick=args.quick)
+    try:
+        EXPERIMENTS[args.experiment](runner=runner, quick=args.quick,
+                                     **_driver_kwargs(args))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - start
     print(f"\n[{args.experiment}] {elapsed:.1f}s with {args.workers} "
           f"worker(s){_cache_suffix(runner)}", file=sys.stderr)
@@ -101,7 +127,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     timings: List[tuple] = []
     for name in names:
         start = time.perf_counter()
-        EXPERIMENTS[name](runner=runner, quick=args.quick)
+        try:
+            EXPERIMENTS[name](runner=runner, quick=args.quick,
+                              **_driver_kwargs(args))
+        except ValueError as error:
+            if args.backend is not None:
+                # A sweep-wide backend override does not fit every driver
+                # (fig10/fig12 are pinned to the cycle model): skip those
+                # instead of discarding the completed experiments.
+                print(f"skipping {name}: {error}", file=sys.stderr)
+                continue
+            print(f"error: [{name}] {error}", file=sys.stderr)
+            return 2
         timings.append((name, time.perf_counter() - start))
         print()
     total = sum(elapsed for _, elapsed in timings)
@@ -126,6 +163,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    if args.action == "prune":
+        if args.max_age_days is None and args.max_size_mb is None:
+            print("cache prune needs --max-age-days and/or --max-size-mb",
+                  file=sys.stderr)
+            return 2
+        stats = cache.prune(
+            max_age_seconds=(args.max_age_days * 86_400.0
+                             if args.max_age_days is not None else None),
+            max_total_bytes=(int(args.max_size_mb * 1024 * 1024)
+                             if args.max_size_mb is not None else None),
+        )
+        print(f"pruned {stats.removed} entr{'y' if stats.removed == 1 else 'ies'} "
+              f"({stats.bytes_freed / 1024:.1f} KiB) from {cache.directory}; "
+              f"{stats.remaining} left "
+              f"({stats.remaining_bytes / 1024:.1f} KiB)")
         return 0
     entries = len(cache)
     size = cache.size_bytes()
@@ -159,12 +212,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear the result cache")
-    cache_parser.add_argument("action", choices=("info", "clear"),
+        "cache", help="inspect, prune or clear the result cache")
+    cache_parser.add_argument("action", choices=("info", "clear", "prune"),
                               nargs="?", default="info")
     cache_parser.add_argument("--cache-dir", type=Path, default=None,
                               help=f"cache directory "
                                    f"(default: {default_cache_dir()})")
+    cache_parser.add_argument("--max-age-days", type=float, default=None,
+                              help="prune: drop entries older than this")
+    cache_parser.add_argument("--max-size-mb", type=float, default=None,
+                              help="prune: shrink the cache to this total "
+                                   "size, dropping oldest entries first")
     cache_parser.set_defaults(handler=_cmd_cache)
     return parser
 

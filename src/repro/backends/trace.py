@@ -1,0 +1,419 @@
+"""The trace-replay backend: predictor-level statistics without a pipeline.
+
+:class:`TraceBackend` drives the branch predictors, BTB/RAS and the
+confidence machinery directly over the workload generator's *branch*
+stream — the same :class:`~repro.pipeline.fetch.FetchEngine`, front-end
+predictor, JRS table and path confidence predictors as the cycle model.
+The branch-content streams (``site-selection``, ``branch-outcomes``) are
+consumed only by branches, so the good-path branch sequence the predictors
+see (PCs, directions, targets, kinds) is bit-identical to the cycle
+model's for unphased benchmarks, and statistically identical for phased
+ones (branch positions, and therefore phase assignment near boundaries,
+come from the replay's own gap process).
+
+The replay is *branch-driven*: non-branch instructions are never
+generated at all.  The gap between consecutive branches is drawn in
+closed form from the same geometric distribution the per-instruction
+Bernoulli process induces (one uniform draw per branch instead of one per
+instruction), and everything a gap contributes — fetch/retire counters,
+instance observations, window residency — is pure integer arithmetic.
+Timing is replaced by two calibrated windows:
+
+* every fetched slot *completes* (resolves, trains, retires)
+  ``resolve_window`` slots after fetch, standing in for the
+  fetch-to-resolve depth of the pipeline;
+* a good-path misprediction replays the wrong-path stream for
+  ``mispredict_window`` slots before the branch resolves and fetch is
+  redirected, standing in for the wrong-path fetch episode (calibrated
+  against the cycle model's wrong-path-fetches-per-flush, roughly twice
+  the minimum misprediction penalty).
+
+The replay clock models an idealized IPC-1 machine (one cycle per slot,
+plus redirect stalls), which keeps cycle-periodic machinery — PaCo's
+re-logarithmizing pass — at a per-instruction cadence comparable to the
+cycle model's.  Instance observations are batched: between two predictor
+state changes every instance carries identical observable state, so the
+engine counts them and emits one :meth:`InstanceObserver.record_run` per
+kind at the next change (branch fetch/resolve/squash, re-log pass, phase
+boundary).
+
+Parity with the cycle backend for fig2 MDC rates, fig3 counters, fig8/9
+reliability, table7 RMS and tableA1 MRT variants is enforced (with stated
+tolerances) by ``tests/test_backends.py``.  What this backend does **not**
+model: cycle-accurate IPC, wrong-path cache/BTB pollution timing, fetch
+gating and SMT arbitration.  Experiments that consume those (fig10,
+fig12) must stay on the cycle backend, and :meth:`TraceBackend.build`
+rejects gating instrumentation outright.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+from repro.backends.base import (
+    Instrumentation,
+    SimulationBackend,
+    SimulationSession,
+    Workload,
+)
+from repro.backends.cycle import build_fetch_engine
+from repro.common.rng import RngPool
+from repro.isa.instruction import Instruction
+from repro.isa.types import BranchKind
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CoreStats, InstanceObserver, SimulationTruncated
+from repro.pipeline.fetch import FetchEngine
+from repro.pipeline.gating import NoGating
+
+
+class TraceSession(SimulationSession):
+    """One branch-driven replay: a fetch engine plus a slot window.
+
+    The in-flight window is a deque whose entries are either an
+    :class:`Instruction` (a branch occupying one slot) or an ``int`` run
+    of non-branch slots — positive for good-path slots, negative for
+    wrong-path slots.  ``_inflight`` tracks the total slot count so drains
+    are O(1) amortized per branch, not per instruction.
+    """
+
+    def __init__(self, fetch_engine: FetchEngine, config: MachineConfig,
+                 observers, resolve_window: int,
+                 mispredict_window: int) -> None:
+        if resolve_window < 1:
+            raise ValueError("resolve window must be at least one instruction")
+        if mispredict_window < 1:
+            raise ValueError("mispredict window must be at least one instruction")
+        self.fetch_engine = fetch_engine
+        self.config = config
+        self.stats = CoreStats()
+        self.observers = list(observers)
+        self.resolve_window = resolve_window
+        self.mispredict_window = mispredict_window
+
+        spec = fetch_engine.generator.spec
+        pool = RngPool(fetch_engine.generator._pool.master_seed).fork("trace-gaps")
+        self._gap_rng = pool.stream("goodpath")
+        self._wp_gap_rng = pool.stream("wrongpath")
+        branch_fraction = min(max(spec.branch_fraction, 1e-9), 1.0)
+        #: log(1 - p) of the per-instruction branch probability, used to
+        #: draw geometric inter-branch gaps in closed form.
+        self._log_one_minus_p = (math.log(1.0 - branch_fraction)
+                                 if branch_fraction < 1.0 else None)
+
+        self._window: Deque[object] = deque()
+        self._inflight = 0
+        self._cycle = 0
+        self._next_seq = 0
+        self._started = False
+
+        # Batched instance recording (see module docstring).
+        self._run_fetch = 0
+        self._run_execute = 0
+        self._run_goodpath = True
+        self._has_phases = bool(spec.phases)
+
+    # ------------------------------------------------------------------ #
+    # public API (the SimulationSession contract)
+    # ------------------------------------------------------------------ #
+
+    def add_observer(self, observer: InstanceObserver) -> None:
+        # Instances recorded while this observer was not attached must not
+        # leak into it: flush the pending run to the existing observers
+        # first (the new one starts at the next instance).
+        self._flush_runs()
+        self.observers.append(observer)
+
+    def run(self, max_instructions: int,
+            max_cycles: Optional[int] = None) -> CoreStats:
+        """Replay until ``max_instructions`` good-path instructions retired."""
+        if max_instructions <= 0:
+            raise ValueError("instruction budget must be positive")
+        if max_cycles is None:
+            max_cycles = max_instructions * 40
+        if not self._started:
+            self._started = True
+            self.fetch_engine.path_confidence.on_cycle(0)
+        stats = self.stats
+        while (stats.retired_instructions < max_instructions
+               and self._cycle < max_cycles):
+            self._step_branch()
+        self._flush_runs()
+        stats.cycles = self._cycle
+        if stats.retired_instructions < max_instructions:
+            raise SimulationTruncated(stats, max_instructions, max_cycles)
+        return stats
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    @property
+    def window_occupancy(self) -> int:
+        return self._inflight
+
+    # ------------------------------------------------------------------ #
+    # replay mechanics
+    # ------------------------------------------------------------------ #
+
+    def _gap(self, rng) -> int:
+        """Draw one geometric inter-branch gap (non-branch slots)."""
+        log1p = self._log_one_minus_p
+        if log1p is None:
+            return 0
+        u = rng.random()
+        if u <= 0.0:
+            return 0
+        return int(math.log(u) / log1p)
+
+    def _step_branch(self) -> None:
+        """Advance the replay by one good-path inter-branch gap + branch."""
+        engine = self.fetch_engine
+        generator = engine.generator
+        stats = self.stats
+        window = self._window
+        gap = self._gap(self._gap_rng)
+        if gap:
+            if not self._has_phases:
+                # Unphased fast path: the whole gap is one arithmetic step.
+                generator.instructions_generated += gap
+                self._fetch_good_gap(gap)
+            else:
+                while gap:
+                    taken = generator.advance_instructions(gap)
+                    self._fetch_good_gap(taken)
+                    gap -= taken
+                    if gap:
+                        # Phase boundary inside the gap: instances on either
+                        # side belong to different phases; close the run.
+                        self._flush_runs()
+        # The branch itself: prediction mutates predictor state, so the
+        # pending run ends here and the branch's own fetch instance starts
+        # the next one.
+        self._flush_runs()
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        branch = generator.next_branch(seq)
+        branch.fetch_cycle = self._cycle
+        engine.goodpath_fetched += 1
+        engine._predict_branch(branch)
+        stats.goodpath_fetched += 1
+        self._cycle += 1
+        self._run_goodpath = not engine.on_wrong_path
+        self._run_fetch += 1
+        if engine.on_wrong_path:
+            self._replay_wrongpath(branch)
+            return
+        window.append(branch)
+        self._inflight += 1
+        if self._inflight > self.resolve_window:
+            self._drain()
+        if engine.path_confidence.on_cycle(self._cycle):
+            self._flush_runs()
+
+    def _fetch_good_gap(self, count: int) -> None:
+        """Account ``count`` good-path non-branch slots in one step."""
+        if count <= 0:
+            return
+        stats = self.stats
+        stats.goodpath_fetched += count
+        self.fetch_engine.goodpath_fetched += count
+        self._cycle += count
+        self._run_fetch += count
+        window = self._window
+        if window and type(window[-1]) is int and window[-1] > 0:
+            window[-1] += count
+        else:
+            window.append(count)
+        self._inflight += count
+        self._drain()
+
+    def _fetch_bad_gap(self, count: int) -> None:
+        """Account ``count`` wrong-path non-branch slots in one step."""
+        if count <= 0:
+            return
+        stats = self.stats
+        stats.badpath_fetched += count
+        self.fetch_engine.badpath_fetched += count
+        self._cycle += count
+        self._run_fetch += count
+        window = self._window
+        if window and type(window[-1]) is int and window[-1] < 0:
+            window[-1] -= count
+        else:
+            window.append(-count)
+        self._inflight += count
+        self._drain()
+
+    def _replay_wrongpath(self, branch: Instruction) -> None:
+        """Replay the wrong-path stream for the calibrated resolution window."""
+        engine = self.fetch_engine
+        wrongpath = engine.wrongpath_generator
+        stats = self.stats
+        remaining = self.mispredict_window
+        while remaining:
+            gap = min(self._gap(self._wp_gap_rng), remaining)
+            if gap:
+                self._fetch_bad_gap(gap)
+                remaining -= gap
+            if not remaining:
+                break
+            self._flush_runs()
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            wp_branch = wrongpath.next_branch(seq)
+            engine.fetch_generated(wp_branch, self._cycle)
+            stats.badpath_fetched += 1
+            self._cycle += 1
+            self._run_fetch += 1
+            self._window.append(wp_branch)
+            self._inflight += 1
+            self._drain()
+            remaining -= 1
+            if engine.path_confidence.on_cycle(self._cycle):
+                self._flush_runs()
+        # The mispredicted branch resolves: mirror the cycle core's
+        # recovery order — resolve (train/repair), squash everything
+        # younger, redirect fetch, then record the execute instance.
+        self._flush_runs()
+        stats.flushes += 1
+        engine.resolve_branch(branch)
+        window = self._window
+        while window:
+            entry = window[-1]
+            if type(entry) is int:
+                if entry > 0:
+                    break
+                window.pop()
+                self._inflight += entry  # entry is negative
+            elif entry.on_goodpath:
+                break
+            else:
+                window.pop()
+                self._inflight -= 1
+                engine.squash_branch(entry)
+        engine.recover(branch)
+        self._retire_branch(branch)
+        self._run_goodpath = not engine.on_wrong_path
+        self._run_execute += 1
+        stats.fetch_stall_cycles += self.config.redirect_penalty
+        self._cycle += self.config.redirect_penalty
+        if engine.path_confidence.on_cycle(self._cycle):
+            self._flush_runs()
+
+    def _drain(self) -> None:
+        """Complete the oldest slots once the window exceeds its depth."""
+        excess = self._inflight - self.resolve_window
+        if excess <= 0:
+            return
+        stats = self.stats
+        window = self._window
+        while excess > 0:
+            entry = window[0]
+            if type(entry) is int:
+                if entry > 0:
+                    take = entry if entry <= excess else excess
+                    stats.goodpath_executed += take
+                    stats.retired_instructions += take
+                else:
+                    take = -entry if -entry <= excess else excess
+                    stats.badpath_executed += take
+                self._run_execute += take
+                if take < abs(entry):
+                    window[0] = entry - take if entry > 0 else entry + take
+                else:
+                    window.popleft()
+                excess -= take
+                self._inflight -= take
+            else:
+                window.popleft()
+                self._inflight -= 1
+                excess -= 1
+                # A branch resolution changes predictor state: close the
+                # pending run first, as the cycle model's per-instance
+                # recording would.
+                self._flush_runs()
+                self.fetch_engine.resolve_branch(entry)
+                self._run_goodpath = not self.fetch_engine.on_wrong_path
+                if entry.on_goodpath:
+                    self._retire_branch(entry)
+                else:
+                    stats.badpath_executed += 1
+                self._run_execute += 1
+
+    def _retire_branch(self, instr: Instruction) -> None:
+        stats = self.stats
+        stats.goodpath_executed += 1
+        stats.retired_instructions += 1
+        stats.branches_retired += 1
+        if instr.mispredicted:
+            stats.branch_mispredicts_retired += 1
+        if instr.branch_kind is BranchKind.CONDITIONAL:
+            stats.conditional_branches_retired += 1
+            if instr.mispredicted:
+                stats.conditional_mispredicts_retired += 1
+
+    # ------------------------------------------------------------------ #
+    # batched instance recording
+    # ------------------------------------------------------------------ #
+
+    def _flush_runs(self) -> None:
+        """Emit the pending fetch/execute instance runs to the observers."""
+        fetches = self._run_fetch
+        executes = self._run_execute
+        if not fetches and not executes:
+            return
+        self._run_fetch = 0
+        self._run_execute = 0
+        on_goodpath = self._run_goodpath
+        cycle = self._cycle
+        for observer in self.observers:
+            if fetches:
+                observer.record_run("fetch", on_goodpath, cycle, fetches)
+            if executes:
+                observer.record_run("execute", on_goodpath, cycle, executes)
+
+
+class TraceBackend(SimulationBackend):
+    """Fast branch-driven replay for predictor-level experiments.
+
+    Parameters
+    ----------
+    resolve_window:
+        Slots between fetch and resolution.  Defaults to
+        ``width * frontend_depth`` of the machine configuration
+        (calibrated against the cycle model's outstanding-branch window
+        and reliability diagrams; see tests/test_backends.py).
+    mispredict_window:
+        Wrong-path slots replayed per good-path misprediction.  Defaults
+        to ``2 * min_mispredict_penalty`` (calibrated against the cycle
+        model's wrong-path fetches per flush).
+    """
+
+    name = "trace"
+    supports_timing = False
+    supports_gating = False
+
+    def __init__(self, resolve_window: Optional[int] = None,
+                 mispredict_window: Optional[int] = None) -> None:
+        self.resolve_window = resolve_window
+        self.mispredict_window = mispredict_window
+
+    def build(self, workload: Workload, config: MachineConfig,
+              instrument: Instrumentation) -> TraceSession:
+        gating = instrument.gating_policy
+        if gating is not None and not isinstance(gating, NoGating):
+            raise ValueError(
+                "the trace backend does not model fetch gating; run gating "
+                "experiments on backend='cycle'"
+            )
+        fetch_engine = build_fetch_engine(workload, config, instrument)
+        resolve_window = (self.resolve_window if self.resolve_window is not None
+                          else config.width * config.frontend_depth)
+        mispredict_window = (self.mispredict_window
+                             if self.mispredict_window is not None
+                             else 2 * config.min_mispredict_penalty)
+        session = TraceSession(fetch_engine, config, instrument.observers,
+                               resolve_window, mispredict_window)
+        return session

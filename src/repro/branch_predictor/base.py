@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchPredictionResult:
     """The outcome of one direction prediction.
 

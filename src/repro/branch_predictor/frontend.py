@@ -24,7 +24,7 @@ from repro.isa.instruction import Instruction
 from repro.isa.types import BranchKind
 
 
-@dataclass
+@dataclass(slots=True)
 class FrontEndPrediction:
     """Everything the fetch engine and the confidence machinery need to know
     about one branch prediction."""
@@ -69,7 +69,7 @@ class FrontEndPredictor:
         """
         if not instr.is_branch:
             raise ValueError("predict() called on a non-branch instruction")
-        history_now = self.history.snapshot()
+        history_now = self.history.value  # snapshot(), inlined (hot path)
         kind = instr.branch_kind
 
         if kind is BranchKind.CONDITIONAL:

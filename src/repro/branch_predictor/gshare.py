@@ -38,6 +38,20 @@ class GSharePredictor(DirectionPredictor):
         taken = self.table[index] >= self._threshold
         return BranchPredictionResult(taken=taken, meta=index)
 
+    def peek(self, pc: int, history: int) -> "tuple[bool, int]":
+        """(taken, index) without allocating a result object (hot path)."""
+        index = ((pc >> 2) ^ (history & self._history_mask)) & self._mask
+        return self.table[index] >= self._threshold, index
+
+    def train(self, index: int, taken: bool) -> None:
+        """Saturating-counter update of one entry (hot path)."""
+        value = self.table[index]
+        if taken:
+            if value < self._max:
+                self.table[index] = value + 1
+        elif value > 0:
+            self.table[index] = value - 1
+
     def update(self, pc: int, history: int, taken: bool,
                result: Optional[BranchPredictionResult] = None) -> None:
         index = result.meta if result is not None else self._index(pc, history)

@@ -15,13 +15,20 @@ from repro.branch_predictor.bimodal import BimodalPredictor
 from repro.branch_predictor.gshare import GSharePredictor
 
 
-@dataclass
+@dataclass(slots=True)
 class _TournamentMeta:
-    """Per-prediction bookkeeping needed at update time."""
+    """Per-prediction bookkeeping needed at update time.
+
+    Component predictions are stored as (taken, table index) scalars
+    rather than result objects: one meta is built per predicted
+    conditional branch, so the allocations matter.
+    """
 
     chooser_index: int
-    gshare_result: BranchPredictionResult
-    bimodal_result: BranchPredictionResult
+    gshare_taken: bool
+    gshare_index: int
+    bimodal_taken: bool
+    bimodal_index: int
     chose_gshare: bool
 
 
@@ -49,15 +56,17 @@ class TournamentPredictor(DirectionPredictor):
         return ((pc >> 2) ^ (history & self._history_mask)) & self._chooser_mask
 
     def predict(self, pc: int, history: int) -> BranchPredictionResult:
-        gshare_result = self.gshare.predict(pc, history)
-        bimodal_result = self.bimodal.predict(pc, history)
+        gshare_taken, gshare_index = self.gshare.peek(pc, history)
+        bimodal_taken, bimodal_index = self.bimodal.peek(pc)
         chooser_index = self._chooser_index(pc, history)
         chose_gshare = self.chooser[chooser_index] >= 2
-        taken = gshare_result.taken if chose_gshare else bimodal_result.taken
+        taken = gshare_taken if chose_gshare else bimodal_taken
         meta = _TournamentMeta(
             chooser_index=chooser_index,
-            gshare_result=gshare_result,
-            bimodal_result=bimodal_result,
+            gshare_taken=gshare_taken,
+            gshare_index=gshare_index,
+            bimodal_taken=bimodal_taken,
+            bimodal_index=bimodal_index,
             chose_gshare=chose_gshare,
         )
         return BranchPredictionResult(taken=taken, meta=meta)
@@ -66,18 +75,21 @@ class TournamentPredictor(DirectionPredictor):
                result: Optional[BranchPredictionResult] = None) -> None:
         if result is None or not isinstance(result.meta, _TournamentMeta):
             # Ahead-of-time training path: recompute indices from history.
-            gshare_result = self.gshare.predict(pc, history)
-            bimodal_result = self.bimodal.predict(pc, history)
+            gshare_taken, gshare_index = self.gshare.peek(pc, history)
+            bimodal_taken, bimodal_index = self.bimodal.peek(pc)
+            chooser_index = self._chooser_index(pc, history)
             meta = _TournamentMeta(
-                chooser_index=self._chooser_index(pc, history),
-                gshare_result=gshare_result,
-                bimodal_result=bimodal_result,
-                chose_gshare=self.chooser[self._chooser_index(pc, history)] >= 2,
+                chooser_index=chooser_index,
+                gshare_taken=gshare_taken,
+                gshare_index=gshare_index,
+                bimodal_taken=bimodal_taken,
+                bimodal_index=bimodal_index,
+                chose_gshare=self.chooser[chooser_index] >= 2,
             )
         else:
             meta = result.meta
-        gshare_correct = meta.gshare_result.taken == taken
-        bimodal_correct = meta.bimodal_result.taken == taken
+        gshare_correct = meta.gshare_taken == taken
+        bimodal_correct = meta.bimodal_taken == taken
         # Train the chooser only on disagreement.
         if gshare_correct != bimodal_correct:
             value = self.chooser[meta.chooser_index]
@@ -85,8 +97,8 @@ class TournamentPredictor(DirectionPredictor):
                 self.chooser[meta.chooser_index] = value + 1
             elif bimodal_correct and value > 0:
                 self.chooser[meta.chooser_index] = value - 1
-        self.gshare.update(pc, history, taken, meta.gshare_result)
-        self.bimodal.update(pc, history, taken, meta.bimodal_result)
+        self.gshare.train(meta.gshare_index, taken)
+        self.bimodal.train(meta.bimodal_index, taken)
 
     def reset(self) -> None:
         self.gshare.reset()

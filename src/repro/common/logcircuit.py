@@ -142,6 +142,11 @@ def encode_probability(probability: float,
     return encode_probability_exact(probability, scale=scale, clamp=clamp)
 
 
+#: Memo for :func:`decode_probability`: the evaluation machinery decodes
+#: the same (small-integer) register values millions of times per run.
+_DECODE_CACHE: dict = {}
+
+
 def decode_probability(encoded: int,
                        scale: int = ENCODED_PROBABILITY_SCALE) -> float:
     """Convert an encoded (summed) value back into a real probability.
@@ -152,7 +157,14 @@ def decode_probability(encoded: int,
     """
     if encoded < 0:
         raise ValueError("encoded probability must be non-negative")
-    return 2.0 ** (-encoded / scale)
+    key = (encoded, scale)
+    value = _DECODE_CACHE.get(key)
+    if value is None:
+        if len(_DECODE_CACHE) > (1 << 20):  # unbounded-growth guard
+            _DECODE_CACHE.clear()
+        value = 2.0 ** (-encoded / scale)
+        _DECODE_CACHE[key] = value
+    return value
 
 
 def encode_threshold(probability: float,

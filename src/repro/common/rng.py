@@ -48,7 +48,13 @@ class DeterministicRng:
 
     def random(self) -> float:
         """Return a float uniformly distributed in [0, 1)."""
-        return (self.next_u64() >> 11) / float(1 << 53)
+        # next_u64 inlined: this is the hottest call in the simulator.
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (((x * 0x2545F4914F6CDD1D) & _MASK64) >> 11) / 9007199254740992.0
 
     def randint(self, low: int, high: int) -> int:
         """Return an integer uniformly distributed in [low, high] inclusive."""
@@ -65,7 +71,14 @@ class DeterministicRng:
 
     def bernoulli(self, probability: float) -> bool:
         """Return True with the given probability."""
-        return self.random() < probability
+        # random() inlined (hot path).
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return ((((x * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                / 9007199254740992.0) < probability
 
     def geometric(self, probability: float, cap: int = 1 << 20) -> int:
         """Return a geometric variate (number of trials until first success)."""
@@ -90,6 +103,37 @@ class DeterministicRng:
             if target < acc:
                 return item
         return items[-1]
+
+    def cumulative_choice(self, items: Sequence[_T],
+                          cumulative: Sequence[float], total: float) -> _T:
+        """Weighted choice over a precomputed cumulative-weight table.
+
+        Draws the *bit-identical* element :meth:`weighted_choice` would
+        draw, provided ``cumulative`` holds the same running partial sums
+        (``0.0 + w0``, ``0.0 + w0 + w1``, …) and ``total`` equals
+        ``float(sum(weights))`` — precomputing them merely hoists the
+        per-call summation out of hot loops.
+        """
+        target = self.random() * total
+        for item, acc in zip(items, cumulative):
+            if target < acc:
+                return item
+        return items[-1]
+
+    @staticmethod
+    def cumulative_weights(weights: Sequence[float]) -> "tuple[list, float]":
+        """Precompute (partial sums, total) for :meth:`cumulative_choice`.
+
+        The final partial sum *is* ``float(sum(weights))`` — both are the
+        same left-to-right float accumulation — so the pair is bit-exact
+        against :meth:`weighted_choice`'s per-call arithmetic.
+        """
+        acc = 0.0
+        partial = []
+        for weight in weights:
+            acc += weight
+            partial.append(acc)
+        return partial, acc
 
 
 class RngPool:

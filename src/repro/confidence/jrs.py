@@ -25,7 +25,7 @@ from typing import List
 MDC_BITS_DEFAULT = 4
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ConfidenceLookup:
     """The result of a fetch-time confidence lookup for one branch.
 

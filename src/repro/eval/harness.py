@@ -20,8 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backends import (
+    Instrumentation,
+    SimulationSession,
+    Workload,
+    get_backend,
+)
+from repro.backends.cycle import build_confidence, build_frontend
 from repro.common.stats import ReliabilityDiagram
-from repro.confidence.jrs import JRSConfidencePredictor
 from repro.eval.metrics import hmwipc
 from repro.eval.observers import (
     CounterGoodpathObserver,
@@ -29,7 +35,6 @@ from repro.eval.observers import (
     PhaseAwareCounterObserver,
 )
 from repro.eval.profiling import MDCProfiler
-from repro.branch_predictor.frontend import FrontEndPredictor
 from repro.pathconf.base import PathConfidencePredictor
 from repro.pathconf.composite import CompositePathConfidence
 from repro.pathconf.paco import PaCoPredictor
@@ -72,20 +77,37 @@ def _subtract_stats(total: CoreStats, warmup: CoreStats) -> CoreStats:
     return CoreStats(**deltas)
 
 
+def _require_cycle_backend(backend: str, what: str) -> None:
+    """Guard for experiments whose semantics need the cycle model."""
+    if backend != "cycle":
+        raise ValueError(
+            f"{what} measures IPC-level quantities only the cycle model "
+            f"produces; got backend={backend!r} (use backend='cycle')"
+        )
+
+
 def _resolve_spec(benchmark: object) -> BenchmarkSpec:
     if isinstance(benchmark, BenchmarkSpec):
         return benchmark
     return get_benchmark(str(benchmark))
 
 
-def build_frontend(config: MachineConfig) -> FrontEndPredictor:
-    """Build the front-end predictor with the machine's table geometries."""
-    return FrontEndPredictor(
-        history_bits=config.branch_history_bits,
-        direction_index_bits=config.direction_index_bits,
-        btb_sets=config.btb_sets,
-        btb_ways=config.btb_ways,
-        ras_depth=config.ras_depth,
+def build_session(
+    benchmark: object,
+    path_confidence: PathConfidencePredictor,
+    config: Optional[MachineConfig] = None,
+    seed: int = 1,
+    gating_policy: Optional[GatingPolicy] = None,
+    backend: str = "cycle",
+) -> SimulationSession:
+    """Wire one benchmark into a simulation session on the chosen backend."""
+    spec = _resolve_spec(benchmark)
+    machine = config if config is not None else MachineConfig.paper_4wide()
+    return get_backend(backend).build(
+        Workload(spec=spec, seed=seed),
+        machine,
+        Instrumentation(path_confidence=path_confidence,
+                        gating_policy=gating_policy),
     )
 
 
@@ -96,33 +118,15 @@ def build_single_core(
     seed: int = 1,
     gating_policy: Optional[GatingPolicy] = None,
 ) -> Tuple[OutOfOrderCore, FetchEngine, WorkloadGenerator]:
-    """Wire up a single-thread core running one benchmark.
+    """Wire up a single-thread core running one benchmark (cycle backend).
 
     Returns the core, its fetch engine and the workload generator (the
     generator is exposed because phase-aware observers need it).
     """
-    spec = _resolve_spec(benchmark)
-    machine = config if config is not None else MachineConfig.paper_4wide()
-    generator = WorkloadGenerator(spec, seed=seed)
-    frontend = build_frontend(machine)
-    confidence = JRSConfidencePredictor(
-        index_bits=machine.jrs_index_bits,
-        mdc_bits=machine.jrs_mdc_bits,
-        history_bits=machine.branch_history_bits,
-    )
-    fetch_engine = FetchEngine(
-        generator=generator,
-        frontend=frontend,
-        confidence=confidence,
-        path_confidence=path_confidence,
-        wrongpath_seed=seed + 1,
-    )
-    core = OutOfOrderCore(
-        config=machine,
-        fetch_engine=fetch_engine,
-        gating_policy=gating_policy if gating_policy is not None else NoGating(),
-    )
-    return core, fetch_engine, generator
+    session = build_session(benchmark, path_confidence, config=config,
+                            seed=seed, gating_policy=gating_policy,
+                            backend="cycle")
+    return session.core, session.fetch_engine, session.generator
 
 
 # ---------------------------------------------------------------------- #
@@ -163,6 +167,50 @@ def default_accuracy_predictors(
     ]
 
 
+def accuracy_predictors_for(
+    instrument: str,
+    relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
+    count_threshold: int = 3,
+) -> List[PathConfidencePredictor]:
+    """Resolve an instrumentation profile into its predictor set.
+
+    Attached predictors only *observe* the execution (the composite fans
+    events out; nothing feeds back into fetch or timing), so a slimmer
+    profile produces bit-identical values for the statistics it does
+    measure — it simply skips paying for the ones the caller discards.
+
+    =========== =====================================================
+    Profile     Predictors
+    =========== =====================================================
+    ``full``    PaCo, Static-MRT, Per-branch-MRT, threshold-and-count
+    ``paco``    PaCo only (table 7, fig 8/9)
+    ``counter`` threshold-and-count only (fig 3)
+    ``mdc``     none — just the always-attached MDC profiler (fig 2)
+    ``mrt``     PaCo, Static-MRT, Per-branch-MRT (appendix table A1)
+    =========== =====================================================
+    """
+    if instrument == "full":
+        return default_accuracy_predictors(
+            relog_period_cycles=relog_period_cycles,
+            count_threshold=count_threshold)
+    if instrument == "paco":
+        return [PaCoPredictor(relog_period_cycles=relog_period_cycles)]
+    if instrument == "counter":
+        return [ThresholdAndCountPredictor(threshold=count_threshold)]
+    if instrument == "mdc":
+        return []
+    if instrument == "mrt":
+        return [
+            PaCoPredictor(relog_period_cycles=relog_period_cycles),
+            StaticMRTPredictor(),
+            PerBranchMRTPredictor(),
+        ]
+    raise ValueError(
+        f"unknown instrumentation profile {instrument!r} "
+        f"(known: full, paco, counter, mdc, mrt)"
+    )
+
+
 def run_accuracy_experiment(
     benchmark: object,
     instructions: int = DEFAULT_INSTRUCTIONS,
@@ -173,6 +221,8 @@ def run_accuracy_experiment(
     config: Optional[MachineConfig] = None,
     max_counter: int = 16,
     warmup_instructions: int = 20_000,
+    backend: str = "cycle",
+    instrument: str = "full",
 ) -> AccuracyResult:
     """Run one benchmark and measure every predictor's accuracy over the run.
 
@@ -184,10 +234,18 @@ def run_accuracy_experiment(
     observer is attached and before the mispredict-rate bookkeeping starts,
     so that cold predictor tables (an artefact of the short run lengths,
     not of the mechanisms) do not dominate the measured rates.
+
+    ``backend`` selects the simulation backend: ``"cycle"`` (the full
+    out-of-order core, ground truth) or ``"trace"`` (the fast trace-replay
+    engine; predictor-level statistics only, see
+    :mod:`repro.backends.trace`).  ``instrument`` selects which predictor
+    set rides along (see :func:`accuracy_predictors_for`); statistics the
+    profile does measure are bit-identical across profiles.
     """
     spec = _resolve_spec(benchmark)
     predictor_list = (list(predictors) if predictors is not None
-                      else default_accuracy_predictors(
+                      else accuracy_predictors_for(
+                          instrument,
                           relog_period_cycles=relog_period_cycles,
                           count_threshold=count_threshold))
     profiler = MDCProfiler()
@@ -197,11 +255,11 @@ def run_accuracy_experiment(
     )
     composite = CompositePathConfidence(
         predictors=list(predictor_list) + [profiler],
-        primary=predictor_list[0],
+        primary=predictor_list[0] if predictor_list else profiler,
     )
-    core, _fetch_engine, generator = build_single_core(
-        spec, composite, config=config, seed=seed
-    )
+    session = build_session(spec, composite, config=config, seed=seed,
+                            backend=backend)
+    generator = session.generator
     probability_predictors = [
         p for p in predictor_list
         if not isinstance(p, ThresholdAndCountPredictor)
@@ -209,23 +267,24 @@ def run_accuracy_experiment(
 
     warmup_snapshot = None
     if warmup_instructions > 0:
-        core.run(max_instructions=warmup_instructions)
-        warmup_snapshot = replace(core.stats)
+        session.run(max_instructions=warmup_instructions)
+        warmup_snapshot = replace(session.stats)
 
     multi_observer = MultiPredictorObserver(probability_predictors)
-    core.add_observer(multi_observer)
+    if probability_predictors:
+        session.add_observer(multi_observer)
     counter_observer = None
     phase_observer = None
     if count_predictor is not None:
         counter_observer = CounterGoodpathObserver(count_predictor,
                                                    max_count=max_counter)
-        core.add_observer(counter_observer)
+        session.add_observer(counter_observer)
         if spec.phases:
             phase_observer = PhaseAwareCounterObserver(count_predictor, generator,
                                                        max_count=max_counter)
-            core.add_observer(phase_observer)
+            session.add_observer(phase_observer)
 
-    stats = core.run(max_instructions=warmup_instructions + instructions)
+    stats = session.run(max_instructions=warmup_instructions + instructions)
     if warmup_snapshot is not None:
         stats = _subtract_stats(stats, warmup_snapshot)
 
@@ -307,6 +366,7 @@ def run_gating_experiment(
     relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
     config: Optional[MachineConfig] = None,
     warmup_instructions: int = 15_000,
+    backend: str = "cycle",
 ) -> GatingResult:
     """Run one benchmark under one gating configuration.
 
@@ -316,7 +376,11 @@ def run_gating_experiment(
     ``gating_probability``).  The warm-up window (during which gating is
     already active, exactly as it would be in hardware) is excluded from
     the reported statistics.
+
+    Gating consumes IPC and wrong-path execution, which only the cycle
+    model measures, so this experiment is pinned to ``backend="cycle"``.
     """
+    _require_cycle_backend(backend, "the gating experiment")
     spec = _resolve_spec(benchmark)
     if mode == "none":
         predictor: PathConfidencePredictor = ThresholdAndCountPredictor(
@@ -381,8 +445,10 @@ def run_single_thread_ipc(
     seed: int = 1,
     config: Optional[MachineConfig] = None,
     warmup_instructions: int = 15_000,
+    backend: str = "cycle",
 ) -> float:
     """IPC of a benchmark running alone on the (8-wide) SMT machine."""
+    _require_cycle_backend(backend, "single-thread IPC measurement")
     machine = config if config is not None else MachineConfig.smt_8wide()
     predictor = ThresholdAndCountPredictor(threshold=3)
     core, _fetch_engine, _generator = build_single_core(
@@ -426,6 +492,7 @@ def run_smt_experiment(
     single_thread_instructions: Optional[int] = None,
     single_ipcs: Optional[Tuple[float, float]] = None,
     warmup_instructions: int = 30_000,
+    backend: str = "cycle",
 ) -> SMTResult:
     """Run one benchmark pair in SMT mode under one fetch policy.
 
@@ -436,6 +503,7 @@ def run_smt_experiment(
     measured here.  ``warmup_instructions`` total retired instructions are
     excluded from the reported IPCs.
     """
+    _require_cycle_backend(backend, "the SMT experiment")
     spec_a = _resolve_spec(benchmark_a)
     spec_b = _resolve_spec(benchmark_b)
     smt_config = SMTConfig()
@@ -448,11 +516,7 @@ def run_smt_experiment(
     for thread_id, spec in enumerate((spec_a, spec_b)):
         generator = WorkloadGenerator(spec, seed=seed + thread_id, thread_id=thread_id)
         frontend = build_frontend(machine)
-        confidence = JRSConfidencePredictor(
-            index_bits=machine.jrs_index_bits,
-            mdc_bits=machine.jrs_mdc_bits,
-            history_bits=machine.branch_history_bits,
-        )
+        confidence = build_confidence(machine)
         fetch_engine = FetchEngine(
             generator=generator,
             frontend=frontend,

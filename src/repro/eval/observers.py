@@ -33,6 +33,13 @@ class PathConfidenceObserver(InstanceObserver):
             return
         self.diagram.record(self.predictor.goodpath_probability(), on_goodpath)
 
+    def record_run(self, kind: str, on_goodpath: bool, cycle: int,
+                   count: int) -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.diagram.record(self.predictor.goodpath_probability(), on_goodpath,
+                            weight=count)
+
     @property
     def rms_error(self) -> float:
         return self.diagram.rms_error()
@@ -52,6 +59,16 @@ class MultiPredictorObserver(InstanceObserver):
         for predictor in self._predictors:
             self.diagrams[predictor.name].record(
                 predictor.goodpath_probability(), on_goodpath
+            )
+
+    def record_run(self, kind: str, on_goodpath: bool, cycle: int,
+                   count: int) -> None:
+        # One probability read and one weighted bin update per predictor
+        # for the whole run (the trace backend guarantees the predictors'
+        # state did not change across it).
+        for predictor in self._predictors:
+            self.diagrams[predictor.name].record(
+                predictor.goodpath_probability(), on_goodpath, weight=count
             )
 
     def rms_errors(self) -> Dict[str, float]:
@@ -79,6 +96,13 @@ class CounterGoodpathObserver(InstanceObserver):
         self.instances[count] += 1
         if on_goodpath:
             self.goodpath_instances[count] += 1
+
+    def record_run(self, kind: str, on_goodpath: bool, cycle: int,
+                   count: int) -> None:
+        bucket = min(self.predictor.low_confidence_count, self.max_count)
+        self.instances[bucket] += count
+        if on_goodpath:
+            self.goodpath_instances[bucket] += count
 
     def goodpath_probability(self, count: int) -> float:
         """Observed good-path probability when exactly ``count`` branches are out."""
@@ -109,14 +133,18 @@ class PhaseAwareCounterObserver(InstanceObserver):
         self._goodpath: Dict[str, list] = {}
 
     def record(self, kind: str, on_goodpath: bool, cycle: int) -> None:
+        self.record_run(kind, on_goodpath, cycle, 1)
+
+    def record_run(self, kind: str, on_goodpath: bool, cycle: int,
+                   count: int) -> None:
         phase = self.generator.current_phase_label or "all"
         if phase not in self._instances:
             self._instances[phase] = [0] * (self.max_count + 1)
             self._goodpath[phase] = [0] * (self.max_count + 1)
-        count = min(self.predictor.low_confidence_count, self.max_count)
-        self._instances[phase][count] += 1
+        bucket = min(self.predictor.low_confidence_count, self.max_count)
+        self._instances[phase][bucket] += count
         if on_goodpath:
-            self._goodpath[phase][count] += 1
+            self._goodpath[phase][bucket] += count
 
     def phases(self) -> Sequence[str]:
         return list(self._instances)

@@ -16,7 +16,7 @@ from typing import Dict, List
 from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
 
 
-@dataclass
+@dataclass(slots=True)
 class _ProfileToken:
     mdc_value: int
     resolved: bool = False

@@ -24,6 +24,11 @@ from repro.runner import SweepRunner, accuracy_job, resolve_runner
 
 DEFAULT_BENCHMARKS = ("parser", "twolf", "gzip", "bzip2")
 
+#: Ablations compare PaCo variants against each other, so they stay on the
+#: cycle model by default (their golden snapshot is cycle-backend ground
+#: truth); pass backend="trace" for quick exploratory sweeps.
+DEFAULT_BACKEND = "cycle"
+
 
 @dataclass
 class AblationResult:
@@ -47,13 +52,14 @@ class AblationResult:
 
 def _measure(variants: Dict[str, dict], benchmarks: Sequence[str],
              instructions: int, warmup_instructions: int, seed: int,
-             runner: Optional[SweepRunner] = None) -> AblationResult:
+             runner: Optional[SweepRunner] = None,
+             backend: str = DEFAULT_BACKEND) -> AblationResult:
     points = [(label, benchmark)
               for benchmark in benchmarks for label in variants]
     results = resolve_runner(runner).map([
         accuracy_job(benchmark, instructions=instructions,
                      warmup_instructions=warmup_instructions, seed=seed,
-                     paco_variant=variants[label])
+                     paco_variant=variants[label], backend=backend)
         for label, benchmark in points
     ])
     rms: Dict[str, Dict[str, float]] = {label: {} for label in variants}
@@ -69,7 +75,8 @@ def run_relog_period_ablation(
         warmup_instructions: int = 15_000,
         seed: int = 1,
         quick: bool = False,
-        runner: Optional[SweepRunner] = None) -> AblationResult:
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> AblationResult:
     """Sweep the MRT re-logarithmizing period."""
     if quick:
         periods = tuple(periods)[:3]
@@ -78,7 +85,7 @@ def run_relog_period_ablation(
         warmup_instructions = min(warmup_instructions, 10_000)
     variants = {f"relog={p}": {"relog_period_cycles": p} for p in periods}
     return _measure(variants, benchmarks, instructions, warmup_instructions,
-                    seed, runner)
+                    seed, runner, backend=backend)
 
 
 def run_scale_ablation(
@@ -88,7 +95,8 @@ def run_scale_ablation(
         warmup_instructions: int = 15_000,
         seed: int = 1,
         quick: bool = False,
-        runner: Optional[SweepRunner] = None) -> AblationResult:
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> AblationResult:
     """Sweep the encoded-probability scale factor."""
     if quick:
         scales = tuple(scales)[:2]
@@ -99,7 +107,7 @@ def run_scale_ablation(
         f"scale={s}": {"scale": s, "relog_period_cycles": 20_000} for s in scales
     }
     return _measure(variants, benchmarks, instructions, warmup_instructions,
-                    seed, runner)
+                    seed, runner, backend=backend)
 
 
 def run_log_circuit_ablation(
@@ -108,7 +116,8 @@ def run_log_circuit_ablation(
         warmup_instructions: int = 15_000,
         seed: int = 1,
         quick: bool = False,
-        runner: Optional[SweepRunner] = None) -> AblationResult:
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> AblationResult:
     """Mitchell log circuit vs. exact floating-point logarithms."""
     if quick:
         benchmarks = tuple(benchmarks)[:2]
@@ -119,18 +128,19 @@ def run_log_circuit_ablation(
         "exact-log": {"use_mitchell_log": False, "relog_period_cycles": 20_000},
     }
     return _measure(variants, benchmarks, instructions, warmup_instructions,
-                    seed, runner)
+                    seed, runner, backend=backend)
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = DEFAULT_BACKEND) -> str:
     parts = []
     for title, result in [
         ("Re-logarithmizing period",
-         run_relog_period_ablation(quick=quick, runner=runner)),
+         run_relog_period_ablation(quick=quick, runner=runner, backend=backend)),
         ("Encoded-probability scale",
-         run_scale_ablation(quick=quick, runner=runner)),
+         run_scale_ablation(quick=quick, runner=runner, backend=backend)),
         ("Log circuit",
-         run_log_circuit_ablation(quick=quick, runner=runner)),
+         run_log_circuit_ablation(quick=quick, runner=runner, backend=backend)),
     ]:
         benchmarks = list(next(iter(result.rms_by_variant.values())).keys())
         headers = ["variant"] + benchmarks + ["mean"]

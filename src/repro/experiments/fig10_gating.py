@@ -84,7 +84,13 @@ def run(config: Optional[GatingSweepConfig] = None,
     return Fig10Result(curves=curves, best_points=average_curves(curves))
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = "cycle") -> str:
+    if backend != "cycle":
+        raise ValueError(
+            "fig10 pipeline gating consumes IPC and wrong-path execution, which only the "
+            "cycle backend models; re-run with --backend cycle"
+        )
     result = run(quick=quick, runner=runner)
     text = format_table(
         ["policy", "parameter", "perf loss %", "badpath exec red. %",

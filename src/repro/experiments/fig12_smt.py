@@ -88,7 +88,13 @@ def run(config: Optional[SMTStudyConfig] = None,
     return Fig12Result(pairs=run_smt_study(cfg, runner=runner))
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = "cycle") -> str:
+    if backend != "cycle":
+        raise ValueError(
+            "fig12 SMT prioritization consumes IPC and wrong-path execution, which only the "
+            "cycle backend models; re-run with --backend cycle"
+        )
     result = run(quick=quick, runner=runner)
     text = format_table(result.headers(), result.rows(),
                         title="Fig. 12 — SMT fetch prioritization (HMWIPC)")

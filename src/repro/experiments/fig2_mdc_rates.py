@@ -19,6 +19,11 @@ from repro.workloads.suite import benchmark_names
 #: Benchmarks highlighted in the paper's Fig. 2 discussion.
 DEFAULT_BENCHMARKS = ("gcc", "vortex", "twolf", "gzip", "parser", "bzip2")
 
+#: Fig. 2 only consumes predictor-level statistics, so it defaults to the
+#: fast trace-replay backend (parity with the cycle model is enforced by
+#: tests/test_backends.py; pass backend="cycle" for ground truth).
+DEFAULT_BACKEND = "trace"
+
 
 @dataclass
 class Fig2Result:
@@ -57,7 +62,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         warmup_instructions: int = 20_000,
         seed: int = 1,
         quick: bool = False,
-        runner: Optional[SweepRunner] = None) -> Fig2Result:
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> Fig2Result:
     """Measure per-MDC mispredict rates for the requested benchmarks."""
     names = list(benchmarks) if benchmarks is not None else (
         list(DEFAULT_BENCHMARKS) if quick else benchmark_names()
@@ -67,7 +73,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         warmup_instructions = min(warmup_instructions, 10_000)
     results = resolve_runner(runner).map([
         accuracy_job(name, instructions=instructions,
-                     warmup_instructions=warmup_instructions, seed=seed)
+                     warmup_instructions=warmup_instructions, seed=seed,
+                     backend=backend, instrument="mdc")
         for name in names
     ])
     rates: Dict[str, Dict[int, float]] = {
@@ -77,9 +84,10 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return Fig2Result(rates=rates)
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = DEFAULT_BACKEND) -> str:
     """Run the experiment with paper-shaped defaults and return the table text."""
-    result = run(quick=quick, runner=runner)
+    result = run(quick=quick, runner=runner, backend=backend)
     headers = ["benchmark"] + [f"mdc{m}" for m in range(16)]
     text = format_table(headers, result.rows(),
                         title="Fig. 2 — mispredict rate (%) per MDC value")

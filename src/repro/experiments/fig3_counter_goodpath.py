@@ -24,6 +24,11 @@ FIG3A_BENCHMARKS = ("crafty", "gzip", "bzip2", "vprRoute")
 #: two phases are 150 000 instructions long and need full-scale runs.
 FIG3B_BENCHMARKS = ("gcc", "mcf")
 
+#: Fig. 3 only consumes confidence-counter statistics, so it defaults to
+#: the fast trace-replay backend (parity with the cycle model is enforced
+#: by tests/test_backends.py; pass backend="cycle" for ground truth).
+DEFAULT_BACKEND = "trace"
+
 
 @dataclass
 class Fig3Result:
@@ -70,7 +75,8 @@ def run(counter_value: int = 5,
         warmup_instructions: int = 15_000,
         seed: int = 1,
         quick: bool = False,
-        runner: Optional[SweepRunner] = None) -> Fig3Result:
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> Fig3Result:
     """Measure P(good path | low-confidence count == ``counter_value``)."""
     names = list(benchmarks) if benchmarks is not None else list(FIG3A_BENCHMARKS)
     phase_names = (list(phase_benchmarks) if phase_benchmarks is not None
@@ -85,7 +91,8 @@ def run(counter_value: int = 5,
     def job(name: str):
         return accuracy_job(name, instructions=instructions,
                             warmup_instructions=warmup_instructions,
-                            seed=seed)
+                            seed=seed, backend=backend,
+                            instrument="counter")
 
     results = resolve_runner(runner).map(
         [job(name) for name in names] + [job(name) for name in phase_names]
@@ -117,8 +124,9 @@ def run(counter_value: int = 5,
     )
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
-    result = run(quick=quick, runner=runner)
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = DEFAULT_BACKEND) -> str:
+    result = run(quick=quick, runner=runner, backend=backend)
     text_a = format_table(
         ["benchmark", "P(goodpath)", "instances"],
         result.rows_benchmarks(),

@@ -23,6 +23,12 @@ from repro.workloads.suite import benchmark_names
 #: Benchmarks shown individually in the paper's Fig. 9.
 FIG9_BENCHMARKS = ("twolf", "vprRoute", "crafty", "gcc", "perlbmk")
 
+#: Fig. 8/9 only consume reliability-diagram statistics, so they default
+#: to the fast trace-replay backend (parity with the cycle model is
+#: enforced by tests/test_backends.py; pass backend="cycle" for ground
+#: truth).
+DEFAULT_BACKEND = "trace"
+
 
 @dataclass
 class ReliabilityStudyResult:
@@ -47,7 +53,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         seed: int = 1,
         num_bins: int = 100,
         quick: bool = False,
-        runner: Optional[SweepRunner] = None) -> ReliabilityStudyResult:
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> ReliabilityStudyResult:
     """Build PaCo reliability diagrams for the requested benchmarks."""
     names = list(benchmarks) if benchmarks is not None else (
         list(FIG9_BENCHMARKS) if quick else benchmark_names()
@@ -57,7 +64,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         warmup_instructions = min(warmup_instructions, 10_000)
     results = resolve_runner(runner).map([
         accuracy_job(name, instructions=instructions,
-                     warmup_instructions=warmup_instructions, seed=seed)
+                     warmup_instructions=warmup_instructions, seed=seed,
+                     backend=backend, instrument="paco")
         for name in names
     ])
     diagrams: Dict[str, ReliabilityDiagram] = {}
@@ -76,7 +84,8 @@ def run_parser_diagram(instructions: int = 60_000,
                        warmup_instructions: int = 20_000,
                        seed: int = 1,
                        quick: bool = False,
-                       runner: Optional[SweepRunner] = None
+                       runner: Optional[SweepRunner] = None,
+                       backend: str = DEFAULT_BACKEND
                        ) -> ReliabilityDiagram:
     """Fig. 8: the reliability diagram of PaCo on parser alone."""
     if quick:
@@ -84,13 +93,15 @@ def run_parser_diagram(instructions: int = 60_000,
         warmup_instructions = min(warmup_instructions, 10_000)
     [result] = resolve_runner(runner).map([
         accuracy_job("parser", instructions=instructions,
-                     warmup_instructions=warmup_instructions, seed=seed)
+                     warmup_instructions=warmup_instructions, seed=seed,
+                     backend=backend, instrument="paco")
     ])
     return result.diagrams["paco"]
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
-    study = run(quick=quick, runner=runner)
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = DEFAULT_BACKEND) -> str:
+    study = run(quick=quick, runner=runner, backend=backend)
     rows = [[name, round(err, 4)] for name, err in study.rms_errors.items()]
     rows.append(["cumulative", round(study.cumulative.rms_error(), 4)])
     text = format_table(["benchmark", "paco RMS error"], rows,

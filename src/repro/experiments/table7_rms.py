@@ -21,6 +21,13 @@ from repro.workloads.suite import (
 )
 
 
+#: This experiment only consumes predictor-level statistics, so it
+#: defaults to the fast trace-replay backend (parity with the cycle
+#: model is enforced by tests/test_backends.py; pass backend="cycle"
+#: for ground truth).
+DEFAULT_BACKEND = "trace"
+
+
 @dataclass
 class Table7Row:
     """One benchmark's row of Table 7 (measured next to the paper's values)."""
@@ -70,7 +77,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         warmup_instructions: int = 20_000,
         seed: int = 1,
         quick: bool = False,
-        runner: Optional[SweepRunner] = None) -> Table7Result:
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> Table7Result:
     """Measure PaCo's RMS error and the mispredict rates per benchmark."""
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     if quick:
@@ -79,7 +87,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         warmup_instructions = min(warmup_instructions, 10_000)
     results = resolve_runner(runner).map([
         accuracy_job(name, instructions=instructions,
-                     warmup_instructions=warmup_instructions, seed=seed)
+                     warmup_instructions=warmup_instructions, seed=seed,
+                     backend=backend, instrument="paco")
         for name in names
     ])
     rows: List[Table7Row] = []
@@ -96,8 +105,9 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return Table7Result(rows=rows)
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
-    result = run(quick=quick, runner=runner)
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = DEFAULT_BACKEND) -> str:
+    result = run(quick=quick, runner=runner, backend=backend)
     headers = ["benchmark", "rms", "rms(paper)", "overall%", "overall%(paper)",
                "cond%", "cond%(paper)"]
     text = format_table(headers, result.as_table_rows(),

@@ -23,6 +23,13 @@ from repro.workloads.suite import (
 )
 
 
+#: This experiment only consumes predictor-level statistics, so it
+#: defaults to the fast trace-replay backend (parity with the cycle
+#: model is enforced by tests/test_backends.py; pass backend="cycle"
+#: for ground truth).
+DEFAULT_BACKEND = "trace"
+
+
 @dataclass
 class TableA1Row:
     benchmark: str
@@ -82,7 +89,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         warmup_instructions: int = 20_000,
         seed: int = 1,
         quick: bool = False,
-        runner: Optional[SweepRunner] = None) -> TableA1Result:
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> TableA1Result:
     """Measure the three designs' RMS errors over identical executions."""
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     if quick:
@@ -91,7 +99,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         warmup_instructions = min(warmup_instructions, 10_000)
     results = resolve_runner(runner).map([
         accuracy_job(name, instructions=instructions,
-                     warmup_instructions=warmup_instructions, seed=seed)
+                     warmup_instructions=warmup_instructions, seed=seed,
+                     backend=backend, instrument="mrt")
         for name in names
     ])
     rows: List[TableA1Row] = []
@@ -105,8 +114,9 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return TableA1Result(rows=rows)
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False) -> str:
-    result = run(quick=quick, runner=runner)
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = DEFAULT_BACKEND) -> str:
+    result = run(quick=quick, runner=runner, backend=backend)
     headers = ["benchmark", "MRT", "StaticMRT", "PerBranchMRT",
                "MRT(paper)", "Static(paper)", "PerBranch(paper)"]
     text = format_table(headers, result.as_table_rows(),

@@ -14,7 +14,7 @@ from typing import Optional
 from repro.isa.types import BranchKind, InstructionClass
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class BranchOutcome:
     """The architectural outcome of a control-flow instruction.
 

@@ -23,9 +23,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class BranchFetchInfo:
     """Fetch-time information about one conditional branch entering the window.
+
+    (A plain slots dataclass, not frozen: one is built per fetched
+    conditional branch, and the frozen ``__init__`` protocol costs several
+    times as much on this hot path.)
 
     Attributes
     ----------
@@ -84,8 +88,14 @@ class PathConfidencePredictor(abc.ABC):
     def goodpath_probability(self) -> float:
         """Current estimate of the probability the front end is on the good path."""
 
-    def on_cycle(self, cycle: int) -> None:
-        """Per-cycle hook for periodic work (PaCo's re-logarithmizing pass)."""
+    def on_cycle(self, cycle: int) -> object:
+        """Per-cycle hook for periodic work (PaCo's re-logarithmizing pass).
+
+        Implementations should return a truthy value when the periodic
+        work changed estimate-relevant state (the trace backend uses this
+        to keep its batched instance recording exact across, e.g., a
+        re-logarithmizing pass).  The default no-op returns ``None``.
+        """
 
     def outstanding_branches(self) -> int:
         """Number of branches currently contributing to the estimate."""

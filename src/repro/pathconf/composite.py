@@ -29,6 +29,13 @@ class CompositePathConfidence(PathConfidencePredictor):
         self.primary = primary if primary is not None else self.predictors[0]
         if self.primary not in self.predictors:
             raise ValueError("the primary predictor must be one of the composites")
+        # Per-cycle work is rare (only PaCo's re-logarithmizing pass), but
+        # on_cycle runs every cycle: skip members that inherit the base
+        # no-op instead of fanning out to all of them.
+        self._cycle_predictors: List[PathConfidencePredictor] = [
+            predictor for predictor in self.predictors
+            if type(predictor).on_cycle is not PathConfidencePredictor.on_cycle
+        ]
 
     # ------------------------------------------------------------------ #
 
@@ -43,9 +50,13 @@ class CompositePathConfidence(PathConfidencePredictor):
         for predictor, sub_token in zip(self.predictors, token):
             predictor.on_branch_squash(sub_token)
 
-    def on_cycle(self, cycle: int) -> None:
-        for predictor in self.predictors:
-            predictor.on_cycle(cycle)
+    def on_cycle(self, cycle: int) -> bool:
+        """Fan out periodic work; True when any member changed state."""
+        changed = False
+        for predictor in self._cycle_predictors:
+            if predictor.on_cycle(cycle):
+                changed = True
+        return changed
 
     def reset_window(self) -> None:
         for predictor in self.predictors:

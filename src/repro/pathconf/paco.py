@@ -30,7 +30,7 @@ from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
 from repro.pathconf.mrt import MispredictRateTable
 
 
-@dataclass
+@dataclass(slots=True)
 class _PaCoToken:
     """Per-branch bookkeeping for one unresolved branch.
 
@@ -123,9 +123,12 @@ class PaCoPredictor(PathConfidencePredictor):
         self.squashed_branches += 1
         self._remove(token)
 
-    def on_cycle(self, cycle: int) -> None:
-        """Run the periodic re-logarithmizing pass when due."""
-        self.mrt.maybe_relog(cycle)
+    def on_cycle(self, cycle: int) -> bool:
+        """Run the periodic re-logarithmizing pass when due.
+
+        Returns True when a pass ran (the estimate-relevant state changed).
+        """
+        return self.mrt.maybe_relog(cycle)
 
     def reset_window(self) -> None:
         self.path_confidence_register = 0

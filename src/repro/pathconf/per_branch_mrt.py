@@ -28,7 +28,7 @@ from repro.common.logcircuit import (
 from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
 
 
-@dataclass
+@dataclass(slots=True)
 class _PerBranchToken:
     table_index: int
     encoded_added: int

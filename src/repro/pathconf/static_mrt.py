@@ -24,7 +24,7 @@ from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
 from repro.pathconf.mrt import DEFAULT_STATIC_MISPREDICT_RATES
 
 
-@dataclass
+@dataclass(slots=True)
 class _StaticToken:
     encoded_added: int
     resolved: bool = False

@@ -27,7 +27,7 @@ from typing import Optional
 from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
 
 
-@dataclass
+@dataclass(slots=True)
 class _CountToken:
     """Per-branch bookkeeping: whether this branch was counted as low confidence."""
 
@@ -63,6 +63,7 @@ class ThresholdAndCountPredictor(PathConfidencePredictor):
         self.name = f"jrs-count(t={threshold})"
         self._low_confidence_outstanding = 0
         self._outstanding = 0
+        self._probability_by_count: dict = {}
 
         self.fetched_branches = 0
         self.low_confidence_branches = 0
@@ -110,8 +111,12 @@ class ThresholdAndCountPredictor(PathConfidencePredictor):
 
     def goodpath_probability(self) -> float:
         """Evaluation-aid probability mapping (see class docstring)."""
-        return (self.assumed_low_confidence_correct_rate
-                ** self._low_confidence_outstanding)
+        count = self._low_confidence_outstanding
+        value = self._probability_by_count.get(count)
+        if value is None:
+            value = self.assumed_low_confidence_correct_rate ** count
+            self._probability_by_count[count] = value
+        return value
 
     def should_gate(self, target_goodpath_probability: float,
                     gate_count: Optional[int] = None) -> bool:

@@ -33,6 +33,27 @@ from repro.pipeline.fetch import FetchEngine
 from repro.pipeline.gating import GatingPolicy, NoGating
 
 
+class SimulationTruncated(RuntimeError):
+    """A run hit its ``max_cycles`` safety net before the instruction budget.
+
+    Raised instead of returning truncated statistics that look like a
+    normal run (a configuration error — e.g. a gating policy that never
+    ungates — would otherwise silently produce garbage rates).  The
+    partial statistics are attached for post-mortem inspection.
+    """
+
+    def __init__(self, stats: "CoreStats", max_instructions: int,
+                 max_cycles: int) -> None:
+        super().__init__(
+            f"simulation truncated: only {stats.retired_instructions} of "
+            f"{max_instructions} instructions retired when the max_cycles "
+            f"safety net ({max_cycles}) tripped"
+        )
+        self.stats = stats
+        self.max_instructions = max_instructions
+        self.max_cycles = max_cycles
+
+
 class InstanceObserver:
     """Callback hook for path-confidence "instances".
 
@@ -46,6 +67,18 @@ class InstanceObserver:
     def record(self, kind: str, on_goodpath: bool, cycle: int) -> None:
         """Called once per instance.  ``kind`` is ``"fetch"`` or ``"execute"``."""
         raise NotImplementedError
+
+    def record_run(self, kind: str, on_goodpath: bool, cycle: int,
+                   count: int) -> None:
+        """Record ``count`` instances that share one observable state.
+
+        The trace backend batches runs of instances between which no
+        predictor state changed; aggregate observers override this with a
+        weighted update.  The default replays :meth:`record` ``count``
+        times, so order-insensitive observers stay correct either way.
+        """
+        for _ in range(count):
+            self.record(kind, on_goodpath, cycle)
 
 
 @dataclass
@@ -126,7 +159,10 @@ class OutOfOrderCore:
         """Run until ``max_instructions`` good-path instructions have retired.
 
         ``max_cycles`` is a safety net (default: 40x the instruction budget)
-        so a configuration error cannot loop forever.
+        so a configuration error cannot loop forever.  If the safety net
+        trips before the budget is met the run raises
+        :class:`SimulationTruncated` (with the partial statistics attached)
+        rather than returning truncated stats that look like a normal run.
         """
         if max_instructions <= 0:
             raise ValueError("instruction budget must be positive")
@@ -136,6 +172,8 @@ class OutOfOrderCore:
                and self._cycle < max_cycles):
             self.step()
         self.stats.cycles = self._cycle
+        if self.stats.retired_instructions < max_instructions:
+            raise SimulationTruncated(self.stats, max_instructions, max_cycles)
         return self.stats
 
     def step(self) -> None:

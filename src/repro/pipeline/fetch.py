@@ -33,7 +33,7 @@ from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
 from repro.workloads.generator import WorkloadGenerator, WrongPathGenerator
 
 
-@dataclass
+@dataclass(slots=True)
 class _BranchBookkeeping:
     """Everything attached to an in-flight branch at fetch time."""
 
@@ -82,15 +82,34 @@ class FetchEngine:
             self._predict_branch(instr)
         return instr
 
+    def fetch_generated(self, instr: Optional[Instruction], cycle: int) -> None:
+        """Account one externally generated instruction (trace backend).
+
+        The trace-replay engine pulls instructions straight from the
+        generators' elided-event stream (``None`` stands for a non-branch
+        it never materialised); this hook keeps the engine's fetch
+        accounting, branch prediction and wrong-path switching identical
+        to :meth:`fetch_one`.
+        """
+        if self.on_wrong_path:
+            self.badpath_fetched += 1
+        else:
+            self.goodpath_fetched += 1
+        if instr is not None:
+            instr.fetch_cycle = cycle
+            if instr.is_branch:
+                self._predict_branch(instr)
+
     def _predict_branch(self, instr: Instruction) -> None:
         self.branches_fetched += 1
-        prediction = self.frontend.predict(instr)
+        frontend = self.frontend
+        prediction = frontend.predict(instr)
         mispredicted = self._is_mispredicted(instr, prediction)
         prediction.mispredicted = mispredicted
         instr.predicted_taken = prediction.taken
         instr.predicted_target = prediction.target
         instr.mispredicted = mispredicted
-        self.frontend.note_prediction_outcome(instr, prediction, mispredicted)
+        frontend.note_prediction_outcome(instr, prediction, mispredicted)
 
         confidence_lookup: Optional[ConfidenceLookup] = None
         path_token: Optional[object] = None

@@ -27,6 +27,7 @@ Layers
 """
 
 from repro.runner.cache import (
+    PruneStats,
     ResultCache,
     code_version,
     default_cache_dir,
@@ -53,6 +54,7 @@ from repro.runner.sweep import (
 
 __all__ = [
     "Job",
+    "PruneStats",
     "ResultCache",
     "SweepRunner",
     "SweepSpec",

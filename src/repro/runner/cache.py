@@ -6,14 +6,14 @@ The key of a job is ``sha256(canonical_job_json + "\\n" + code_version)``
 where
 
 * ``canonical_job_json`` is the job's sorted-key JSON identity —
-  experiment kind, seed and every parameter (see :meth:`Job.canonical
-  <repro.runner.jobs.Job.canonical>`), and
+  experiment kind, seed, simulation backend and every parameter (see
+  :meth:`Job.canonical <repro.runner.jobs.Job.canonical>`), and
 * ``code_version`` is a content hash over every ``*.py`` file of the
   installed :mod:`repro` package.
 
-Any change to an experiment parameter, the seed, or the simulator source
-therefore produces a different key — a cache *miss* — while re-running the
-same sweep on unchanged code hits.  Entries are stored as pickles under
+Any change to an experiment parameter, the seed, the backend, or the
+simulator source therefore produces a different key — a cache *miss* —
+while re-running the same sweep on unchanged code hits.  Entries are stored as pickles under
 ``<cache-dir>/<key[:2]>/<key>.pkl`` together with the job payload, and are
 written atomically (temp file + :func:`os.replace`) so concurrent writers
 can never expose a torn entry.
@@ -28,6 +28,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Optional, Tuple
@@ -66,6 +67,16 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+
+
+@dataclass
+class PruneStats:
+    """Outcome of one :meth:`ResultCache.prune` pass."""
+
+    removed: int = 0
+    bytes_freed: int = 0
+    remaining: int = 0
+    remaining_bytes: int = 0
 
 
 class ResultCache:
@@ -153,3 +164,48 @@ class ResultCache:
             path.unlink(missing_ok=True)
             removed += 1
         return removed
+
+    def prune(self, max_age_seconds: Optional[float] = None,
+              max_total_bytes: Optional[int] = None,
+              now: Optional[float] = None) -> PruneStats:
+        """Evict old entries and/or shrink the cache to a size budget.
+
+        Long sweep campaigns accumulate one entry per (job, code version)
+        forever; this keeps the directory bounded.  Two independent
+        policies, both optional:
+
+        * ``max_age_seconds`` — drop entries whose mtime is older;
+        * ``max_total_bytes`` — afterwards, drop oldest-first until the
+          total size fits the budget.
+
+        Entries that vanish concurrently are skipped, mirroring the
+        tolerant reads in :meth:`get`.
+        """
+        stats = PruneStats()
+        reference = time.time() if now is None else now
+        survivors = []  # (mtime, size, path)
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if (max_age_seconds is not None
+                    and reference - stat.st_mtime > max_age_seconds):
+                stats.removed += 1
+                stats.bytes_freed += stat.st_size
+                path.unlink(missing_ok=True)
+                continue
+            survivors.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in survivors)
+        if max_total_bytes is not None and total > max_total_bytes:
+            survivors.sort()  # oldest first
+            for _mtime, size, path in survivors:
+                if total <= max_total_bytes:
+                    break
+                path.unlink(missing_ok=True)
+                stats.removed += 1
+                stats.bytes_freed += size
+                total -= size
+        stats.remaining = len(self)
+        stats.remaining_bytes = self.size_bytes()
+        return stats

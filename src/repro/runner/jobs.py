@@ -83,26 +83,38 @@ def _jsonable(value: Any) -> Any:
     )
 
 
+#: The backend jobs run on unless they say otherwise (mirrors
+#: :data:`repro.backends.base.DEFAULT_BACKEND` without importing the
+#: simulator stack into the job model).
+DEFAULT_JOB_BACKEND = "cycle"
+
+
 @dataclass(frozen=True)
 class Job:
     """One experiment point: kind + JSON-serializable parameters + seed.
 
     Construct through :meth:`make` (which canonicalizes the parameters) or
     through the builder helpers in :mod:`repro.runner.library`.
+
+    ``backend`` names the simulation backend the experiment point runs on
+    (see :mod:`repro.backends`).  It is part of the job identity — and
+    therefore of the result-cache key — so the same sweep on two backends
+    can never alias in the cache.
     """
 
     experiment: str
     params_json: str = "{}"          #: canonical JSON of the parameters
     seed: int = 1
+    backend: str = DEFAULT_JOB_BACKEND
     label: str = field(default="", compare=False)   #: display only
 
     @classmethod
     def make(cls, experiment: str, seed: int = 1, label: str = "",
-             **params: Any) -> "Job":
+             backend: str = DEFAULT_JOB_BACKEND, **params: Any) -> "Job":
         canonical = json.dumps(_jsonable(params), sort_keys=True,
                                separators=(",", ":"))
         return cls(experiment=experiment, params_json=canonical, seed=seed,
-                   label=label or experiment)
+                   backend=backend, label=label or experiment)
 
     @property
     def params(self) -> Mapping[str, Any]:
@@ -114,6 +126,7 @@ class Job:
         return {
             "experiment": self.experiment,
             "seed": self.seed,
+            "backend": self.backend,
             "params": json.loads(self.params_json),
         }
 
@@ -127,11 +140,24 @@ class Job:
         return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
 
 
+def call_experiment(function: Callable[..., Any], job: Job) -> Any:
+    """Invoke one experiment executor with a job's seed, backend and params.
+
+    The ``backend`` keyword is only forwarded when the job deviates from
+    the default, so experiment kinds that are inherently single-backend
+    (including custom kinds registered by downstream code) do not need a
+    ``backend`` parameter until someone actually schedules them on a
+    non-default backend.
+    """
+    if job.backend != DEFAULT_JOB_BACKEND:
+        return function(seed=job.seed, backend=job.backend, **job.params)
+    return function(seed=job.seed, **job.params)
+
+
 def execute_job(job: Job) -> Any:
     """Run one job to completion in the current process.
 
     This is the unit of work shipped to pool workers; it must stay a
     module-level function so it pickles under every start method.
     """
-    function = experiment_function(job.experiment)
-    return function(seed=job.seed, **job.params)
+    return call_experiment(experiment_function(job.experiment), job)

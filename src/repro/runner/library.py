@@ -43,6 +43,8 @@ def _accuracy(benchmark: str,
               relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
               count_threshold: int = 3,
               paco_variant: Optional[Dict[str, Any]] = None,
+              backend: str = "cycle",
+              instrument: str = "full",
               seed: int = 1):
     predictors = None
     if paco_variant is not None:
@@ -54,6 +56,8 @@ def _accuracy(benchmark: str,
         relog_period_cycles=relog_period_cycles,
         count_threshold=count_threshold,
         predictors=predictors,
+        backend=backend,
+        instrument=instrument,
         seed=seed,
     )
 
@@ -67,6 +71,7 @@ def _gating(benchmark: str,
             instructions: int = DEFAULT_INSTRUCTIONS,
             warmup_instructions: int = 15_000,
             relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
+            backend: str = "cycle",
             seed: int = 1):
     return run_gating_experiment(
         benchmark,
@@ -77,6 +82,7 @@ def _gating(benchmark: str,
         instructions=instructions,
         warmup_instructions=warmup_instructions,
         relog_period_cycles=relog_period_cycles,
+        backend=backend,
         seed=seed,
     )
 
@@ -85,11 +91,13 @@ def _gating(benchmark: str,
 def _single_ipc(benchmark: str,
                 instructions: int = DEFAULT_INSTRUCTIONS,
                 warmup_instructions: int = 15_000,
+                backend: str = "cycle",
                 seed: int = 1):
     return run_single_thread_ipc(
         benchmark,
         instructions=instructions,
         warmup_instructions=warmup_instructions,
+        backend=backend,
         seed=seed,
     )
 
@@ -103,6 +111,7 @@ def _smt(benchmark_a: str,
          warmup_instructions: int = 30_000,
          relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
          single_ipcs: Optional[Sequence[float]] = None,
+         backend: str = "cycle",
          seed: int = 1):
     singles: Optional[Tuple[float, float]] = None
     if single_ipcs is not None:
@@ -116,6 +125,7 @@ def _smt(benchmark_a: str,
         warmup_instructions=warmup_instructions,
         relog_period_cycles=relog_period_cycles,
         single_ipcs=singles,
+        backend=backend,
         seed=seed,
     )
 
@@ -128,6 +138,8 @@ def _smt(benchmark_a: str,
 def accuracy_job(benchmark: str, *, instructions: int,
                  warmup_instructions: int, seed: int = 1,
                  paco_variant: Optional[Dict[str, Any]] = None,
+                 backend: str = "cycle",
+                 instrument: str = "full",
                  **extra: Any) -> Job:
     params: Dict[str, Any] = dict(
         benchmark=benchmark,
@@ -137,8 +149,13 @@ def accuracy_job(benchmark: str, *, instructions: int,
     )
     if paco_variant is not None:
         params["paco_variant"] = paco_variant
-    return Job.make("accuracy", seed=seed, label=f"accuracy[{benchmark}]",
-                    **params)
+    if instrument != "full":
+        # Only non-default profiles enter the job identity, so existing
+        # full-profile jobs keep deduplicating across drivers.
+        params["instrument"] = instrument
+    return Job.make("accuracy", seed=seed,
+                    label=f"accuracy[{benchmark},{backend}]",
+                    backend=backend, **params)
 
 
 def gating_job(benchmark: str, *, mode: str, instructions: int,

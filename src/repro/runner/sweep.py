@@ -26,13 +26,19 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runner.cache import ResultCache
-from repro.runner.jobs import Job, execute_job, experiment_function
+from repro.runner.jobs import (
+    DEFAULT_JOB_BACKEND,
+    Job,
+    call_experiment,
+    execute_job,
+    experiment_function,
+)
 
 
 def _invoke(payload: Tuple[Any, Job]) -> Any:
     """Pool worker body: run one pre-resolved (function, job) payload."""
     function, job = payload
-    return function(seed=job.seed, **job.params)
+    return call_experiment(function, job)
 
 
 def available_workers() -> int:
@@ -50,13 +56,15 @@ class SweepSpec:
     ``axes`` maps parameter names to the values to sweep; ``base`` holds
     parameters shared by every point.  ``jobs()`` yields the cartesian
     product in a deterministic order (axes sorted by name, values in the
-    order given).
+    order given).  ``backend`` selects the simulation backend every point
+    of the sweep runs on (it is part of each job's identity).
     """
 
     experiment: str
     axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     base: Mapping[str, Any] = field(default_factory=dict)
     seed: int = 1
+    backend: str = DEFAULT_JOB_BACKEND
 
     def jobs(self) -> List[Job]:
         names = sorted(self.axes)
@@ -67,6 +75,7 @@ class SweepSpec:
             point = ",".join(f"{n}={v}" for n, v in zip(names, values))
             jobs.append(Job.make(self.experiment, seed=self.seed,
                                  label=f"{self.experiment}[{point}]",
+                                 backend=self.backend,
                                  **params))
         return jobs
 

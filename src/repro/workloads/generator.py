@@ -103,17 +103,27 @@ class WorkloadGenerator:
         # Phase schedule state.
         self.instructions_generated = 0
         self._phase_index = 0
+        self._has_phases = bool(spec.phases)
         self._phase_remaining = (
             spec.phases[0].length_instructions if spec.phases else 0
         )
 
-        # Mix weights, flattened once.
+        # Mix weights, flattened once; cumulative tables precomputed so the
+        # per-instruction weighted choices skip the per-call summation
+        # (bit-identical draws, see DeterministicRng.cumulative_choice).
         mix = spec.instruction_mix.as_weights()
         self._mix_classes = list(mix.keys())
         self._mix_weights = list(mix.values())
+        self._mix_cum, self._mix_total = DeterministicRng.cumulative_weights(
+            self._mix_weights)
         kinds = spec.kind_mix.normalised()
         self._kind_names = list(kinds.keys())
         self._kind_weights = list(kinds.values())
+        self._kind_cum, self._kind_total = DeterministicRng.cumulative_weights(
+            self._kind_weights)
+        #: Site-selection cumulative tables keyed by the phase's effective
+        #: hard fraction (a small, finite set per benchmark).
+        self._site_choice_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # population construction
@@ -194,6 +204,8 @@ class WorkloadGenerator:
         # One dominant indirect-call site (the perlbmk pathology): site 0 is
         # used for 70% of indirect calls.
         self._indirect_site_weights = [0.70, 0.14, 0.10, 0.06]
+        self._indirect_cum, self._indirect_total = (
+            DeterministicRng.cumulative_weights(self._indirect_site_weights))
 
     # ------------------------------------------------------------------ #
     # phase handling
@@ -252,11 +264,60 @@ class WorkloadGenerator:
             instr = self._generate_non_branch(seq)
         return instr
 
+    def next_branch(self, seq: int) -> Instruction:
+        """Generate the next good-path *branch*, skipping non-branch draws.
+
+        The branch-content streams (``site-selection``, ``branch-outcomes``)
+        are consumed only by branches, so the branch sequence produced here
+        is bit-identical to the branch subsequence of
+        :meth:`next_instruction` for unphased benchmarks (phased benchmarks
+        track it statistically: positions — and therefore the phase each
+        branch falls into — come from the caller's gap process).  The
+        ``instruction-mix``, ``memory`` and (for non-branches)
+        ``dependences`` streams are never touched.
+
+        Used by the trace-replay backend, which models non-branch
+        instructions as arithmetic gaps (:meth:`advance_instructions`).
+        """
+        self.instructions_generated += 1
+        if self._has_phases:
+            self._advance_phase()
+        return self._generate_branch(seq)
+
+    def advance_instructions(self, count: int) -> int:
+        """Advance the phase schedule by up to ``count`` non-branch slots.
+
+        The arithmetic equivalent of ``count`` :meth:`next_instruction`
+        calls for instructions whose draws the caller does not need,
+        preserving :meth:`_advance_phase`'s decrement-then-roll semantics:
+        the instruction consuming a phase's last slot already reads as the
+        *next* phase.  Stops at phase boundaries (so callers can observe
+        them); returns how many instructions were consumed.
+        """
+        if count <= 0:
+            return 0
+        if not self._has_phases:
+            self.instructions_generated += count
+            return count
+        if self._phase_remaining > 1:
+            take = min(count, self._phase_remaining - 1)
+            self.instructions_generated += take
+            self._phase_remaining -= take
+            return take
+        # The boundary instruction: consumes the last slot and rolls, so
+        # it is already attributed to the next phase.
+        self.instructions_generated += 1
+        self._phase_index = (self._phase_index + 1) % len(self.spec.phases)
+        self._phase_remaining = (
+            self.spec.phases[self._phase_index].length_instructions
+        )
+        return 1
+
     # -- branches ------------------------------------------------------- #
 
     def _generate_branch(self, seq: int) -> Instruction:
-        kind_name = self._rng_select.weighted_choice(
-            self._kind_names, self._kind_weights
+        kind_name = self._rng_select.cumulative_choice(
+            self._kind_names, self._kind_cum, self._kind_total
         )
         if kind_name == "conditional":
             return self._generate_conditional(seq)
@@ -280,8 +341,8 @@ class WorkloadGenerator:
                 seq, pc, BranchKind.RETURN, taken=True, target=target
             )
         # indirect or indirect_call
-        pc, model = self._rng_select.weighted_choice(
-            self._indirect_sites, self._indirect_site_weights
+        pc, model = self._rng_select.cumulative_choice(
+            self._indirect_sites, self._indirect_cum, self._indirect_total
         )
         target = model.next_target(self._rng_branch)
         kind = (BranchKind.INDIRECT_CALL if kind_name == "indirect_call"
@@ -303,28 +364,33 @@ class WorkloadGenerator:
 
     def _select_conditional_site(self) -> _ConditionalSite:
         """Sample which population the next dynamic conditional comes from."""
-        spec = self.spec
         hard_fraction = self._phase_hard_fraction()
-        scale = 1.0
-        base_other = (spec.correlated_fraction + spec.loop_fraction
-                      + spec.pattern_fraction + spec.biased_fraction)
-        if base_other > 0:
-            scale = (1.0 - hard_fraction) / base_other
-        weights = [
-            hard_fraction,
-            spec.correlated_fraction * scale,
-            spec.loop_fraction * scale,
-            spec.pattern_fraction * scale,
-            spec.biased_fraction * scale,
-        ]
-        classes = [_CLASS_HARD, _CLASS_CORRELATED, _CLASS_LOOP,
-                   _CLASS_PATTERN, _CLASS_BIASED]
-        # Drop empty populations.
-        available = [(klass, weight) for klass, weight in zip(classes, weights)
-                     if self._sites_by_class.get(klass)]
-        klass = self._rng_select.weighted_choice(
-            [a[0] for a in available], [max(a[1], 1e-9) for a in available]
-        )
+        entry = self._site_choice_cache.get(hard_fraction)
+        if entry is None:
+            spec = self.spec
+            scale = 1.0
+            base_other = (spec.correlated_fraction + spec.loop_fraction
+                          + spec.pattern_fraction + spec.biased_fraction)
+            if base_other > 0:
+                scale = (1.0 - hard_fraction) / base_other
+            weights = [
+                hard_fraction,
+                spec.correlated_fraction * scale,
+                spec.loop_fraction * scale,
+                spec.pattern_fraction * scale,
+                spec.biased_fraction * scale,
+            ]
+            classes = [_CLASS_HARD, _CLASS_CORRELATED, _CLASS_LOOP,
+                       _CLASS_PATTERN, _CLASS_BIASED]
+            # Drop empty populations.
+            available = [(klass, weight)
+                         for klass, weight in zip(classes, weights)
+                         if self._sites_by_class.get(klass)]
+            cum, total = DeterministicRng.cumulative_weights(
+                [max(a[1], 1e-9) for a in available])
+            entry = ([a[0] for a in available], cum, total)
+            self._site_choice_cache[hard_fraction] = entry
+        klass = self._rng_select.cumulative_choice(entry[0], entry[1], entry[2])
         return self._rng_select.choice(self._sites_by_class[klass])
 
     def _conditional_outcome(self, site: _ConditionalSite) -> bool:
@@ -354,7 +420,8 @@ class WorkloadGenerator:
     # -- non-branches ---------------------------------------------------- #
 
     def _generate_non_branch(self, seq: int) -> Instruction:
-        iclass = self._rng_mix.weighted_choice(self._mix_classes, self._mix_weights)
+        iclass = self._rng_mix.cumulative_choice(
+            self._mix_classes, self._mix_cum, self._mix_total)
         address = None
         if iclass in (InstructionClass.LOAD, InstructionClass.STORE):
             address = self._next_data_address()
@@ -412,6 +479,28 @@ class WrongPathGenerator:
         mix = spec.instruction_mix.as_weights()
         self._mix_classes = list(mix.keys())
         self._mix_weights = list(mix.values())
+        self._mix_cum, self._mix_total = DeterministicRng.cumulative_weights(
+            self._mix_weights)
+
+    def _generate_branch(self, seq: int) -> Instruction:
+        parent = self._parent
+        site = self._rng.choice(parent._conditional_sites)
+        taken = self._rng.bernoulli(0.55)
+        static = site.static
+        pc = static.pc + 0x8  # a nearby, but distinct, wrong-path PC
+        target = static.taken_target if taken else static.fallthrough
+        return Instruction(
+            seq=seq,
+            pc=pc,
+            iclass=InstructionClass.BRANCH,
+            branch_kind=BranchKind.CONDITIONAL,
+            outcome=BranchOutcome(taken=taken, target=target),
+            dep_distance=self._rng.randint(0, 8),
+            latency_class=DEFAULT_LATENCY_BY_CLASS[InstructionClass.BRANCH],
+            thread_id=parent.thread_id,
+            on_goodpath=False,
+            static_branch_id=static.branch_id,
+        )
 
     def next_instruction(self, seq: int) -> Instruction:
         """Generate the next wrong-path instruction."""
@@ -419,24 +508,9 @@ class WrongPathGenerator:
         spec = parent.spec
         thread_id = parent.thread_id
         if self._rng.bernoulli(spec.branch_fraction):
-            site = self._rng.choice(parent._conditional_sites)
-            taken = self._rng.bernoulli(0.55)
-            static = site.static
-            pc = static.pc + 0x8  # a nearby, but distinct, wrong-path PC
-            target = static.taken_target if taken else static.fallthrough
-            return Instruction(
-                seq=seq,
-                pc=pc,
-                iclass=InstructionClass.BRANCH,
-                branch_kind=BranchKind.CONDITIONAL,
-                outcome=BranchOutcome(taken=taken, target=target),
-                dep_distance=self._rng.randint(0, 8),
-                latency_class=DEFAULT_LATENCY_BY_CLASS[InstructionClass.BRANCH],
-                thread_id=thread_id,
-                on_goodpath=False,
-                static_branch_id=static.branch_id,
-            )
-        iclass = self._rng.weighted_choice(self._mix_classes, self._mix_weights)
+            return self._generate_branch(seq)
+        iclass = self._rng.cumulative_choice(
+            self._mix_classes, self._mix_cum, self._mix_total)
         address = None
         if iclass in (InstructionClass.LOAD, InstructionClass.STORE):
             address = self._polluting_address()
@@ -450,6 +524,19 @@ class WrongPathGenerator:
             thread_id=thread_id,
             on_goodpath=False,
         )
+
+    def next_branch(self, seq: int) -> Instruction:
+        """Generate the next wrong-path *branch*, skipping non-branch draws.
+
+        The wrong-path counterpart of
+        :meth:`WorkloadGenerator.next_branch` (used by the trace-replay
+        backend, which models wrong-path non-branches as arithmetic gaps).
+        Wrong-path content only pollutes predictor state, so the
+        ``main``-stream divergence from :meth:`next_instruction` — which
+        also draws non-branch variates from it — is statistical noise by
+        construction.
+        """
+        return self._generate_branch(seq)
 
     def _polluting_address(self) -> int:
         spec = self._parent.spec.memory

@@ -1,0 +1,401 @@
+"""Tests for the pluggable simulation-backend architecture.
+
+Covers the backend registry and protocol, the trace-replay engine's
+mechanics (windows, truncation, determinism, batched observation), the
+backend field threading through jobs / sweeps / the result cache, and —
+most importantly — the trace-vs-cycle parity contract the predictor-level
+experiments rely on.
+
+Parity tolerances (checked at table7-scale budgets) are stated here and
+nowhere else; if the trace engine's calibration changes, this file is the
+gate that must still pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    CycleBackend,
+    Instrumentation,
+    TraceBackend,
+    UnknownBackendError,
+    Workload,
+    backend_names,
+    get_backend,
+)
+from repro.eval.harness import (
+    accuracy_predictors_for,
+    build_single_core,
+    build_session,
+    run_accuracy_experiment,
+    run_gating_experiment,
+    run_single_thread_ipc,
+)
+from repro.pathconf.paco import PaCoPredictor
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.pipeline.core import InstanceObserver, SimulationTruncated
+from repro.pipeline.gating import CountGating
+from repro.runner import Job, ResultCache, SweepRunner, SweepSpec, accuracy_job
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.suite import get_benchmark
+
+
+class _CountingObserver(InstanceObserver):
+    def __init__(self):
+        self.instances = 0
+        self.goodpath = 0
+
+    def record(self, kind, on_goodpath, cycle):
+        self.record_run(kind, on_goodpath, cycle, 1)
+
+    def record_run(self, kind, on_goodpath, cycle, count):
+        self.instances += count
+        if on_goodpath:
+            self.goodpath += count
+
+
+# ---------------------------------------------------------------------- #
+# registry / protocol
+# ---------------------------------------------------------------------- #
+
+
+class TestBackendRegistry:
+    def test_both_backends_registered(self):
+        assert set(backend_names()) >= {"cycle", "trace"}
+
+    def test_get_backend_by_name_and_instance(self):
+        assert isinstance(get_backend("cycle"), CycleBackend)
+        assert isinstance(get_backend("trace"), TraceBackend)
+        backend = TraceBackend(resolve_window=8)
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(UnknownBackendError):
+            get_backend("rtl")
+
+    def test_capability_flags(self):
+        assert CycleBackend.supports_timing and CycleBackend.supports_gating
+        assert not TraceBackend.supports_timing
+        assert not TraceBackend.supports_gating
+
+
+class TestSessionContract:
+    def test_cycle_session_matches_build_single_core(self, tiny_spec,
+                                                     small_machine):
+        session = build_session(tiny_spec, PaCoPredictor(),
+                                config=small_machine, seed=3, backend="cycle")
+        stats = session.run(max_instructions=2_000)
+        core, _, _ = build_single_core(tiny_spec, PaCoPredictor(),
+                                       config=small_machine, seed=3)
+        reference = core.run(max_instructions=2_000)
+        assert stats.retired_instructions == reference.retired_instructions
+        assert stats.cycles == reference.cycles
+        assert (stats.conditional_mispredicts_retired
+                == reference.conditional_mispredicts_retired)
+
+    def test_one_shot_run_equals_session_run(self, tiny_spec, small_machine):
+        backend = get_backend("trace")
+        stats = backend.run(
+            Workload(spec=tiny_spec, seed=2), small_machine,
+            Instrumentation(path_confidence=PaCoPredictor()),
+            max_instructions=2_000,
+        )
+        session = get_backend("trace").build(
+            Workload(spec=tiny_spec, seed=2), small_machine,
+            Instrumentation(path_confidence=PaCoPredictor()),
+        )
+        assert session.run(2_000).retired_instructions == \
+            stats.retired_instructions
+
+    def test_generator_exposed_for_phase_observers(self, phased_spec,
+                                                   small_machine):
+        session = build_session(phased_spec, PaCoPredictor(),
+                                config=small_machine, backend="trace")
+        assert session.generator.spec is phased_spec
+
+
+# ---------------------------------------------------------------------- #
+# trace engine mechanics
+# ---------------------------------------------------------------------- #
+
+
+class TestTraceEngine:
+    def _session(self, spec, machine, seed=1, **backend_kwargs):
+        return TraceBackend(**backend_kwargs).build(
+            Workload(spec=spec, seed=seed), machine,
+            Instrumentation(path_confidence=PaCoPredictor(
+                relog_period_cycles=5_000)),
+        )
+
+    def test_retires_requested_budget(self, tiny_spec, small_machine):
+        session = self._session(tiny_spec, small_machine)
+        stats = session.run(max_instructions=3_000)
+        assert stats.retired_instructions >= 3_000
+        assert stats.cycles > 0
+        assert stats.conditional_branches_retired > 0
+        assert 0.0 < stats.conditional_mispredict_rate < 0.35
+
+    def test_deterministic_given_seed(self, tiny_spec, small_machine):
+        runs = []
+        for _ in range(2):
+            session = self._session(tiny_spec, small_machine, seed=5)
+            runs.append(session.run(max_instructions=3_000))
+        assert runs[0] == runs[1]
+
+    def test_resumable_runs_match_straight_run(self, tiny_spec, small_machine):
+        split = self._session(tiny_spec, small_machine)
+        split.run(max_instructions=1_000)
+        split_stats = split.run(max_instructions=3_000)
+        straight = self._session(tiny_spec, small_machine)
+        straight_stats = straight.run(max_instructions=3_000)
+        assert split_stats == straight_stats
+
+    def test_window_bounded_by_resolve_window(self, tiny_spec, small_machine):
+        session = self._session(tiny_spec, small_machine, resolve_window=12)
+        session.run(max_instructions=2_000)
+        assert session.window_occupancy <= 12
+
+    def test_wrongpath_replay_happens(self, tiny_spec, small_machine):
+        session = self._session(tiny_spec, small_machine)
+        stats = session.run(max_instructions=4_000)
+        assert stats.flushes > 0
+        assert stats.badpath_fetched > 0
+        # Each episode replays exactly the calibrated window.
+        assert stats.badpath_fetched == \
+            stats.flushes * session.mispredict_window
+
+    def test_truncation_raises(self, tiny_spec, small_machine):
+        session = self._session(tiny_spec, small_machine)
+        with pytest.raises(SimulationTruncated) as excinfo:
+            session.run(max_instructions=10_000_000, max_cycles=500)
+        assert excinfo.value.stats.retired_instructions < 10_000_000
+
+    def test_gating_rejected(self, tiny_spec, small_machine):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        with pytest.raises(ValueError, match="gating"):
+            TraceBackend().build(
+                Workload(spec=tiny_spec), small_machine,
+                Instrumentation(path_confidence=predictor,
+                                gating_policy=CountGating(predictor,
+                                                          gate_count=2)),
+            )
+
+    def test_observer_attached_midway_sees_only_later_instances(
+            self, tiny_spec, small_machine):
+        session = self._session(tiny_spec, small_machine)
+        session.run(max_instructions=2_000)
+        observer = _CountingObserver()
+        session.add_observer(observer)
+        session.run(max_instructions=2_500)
+        # ~500 more instructions -> fetch + execute instances for those
+        # only (plus wrong-path ones); far fewer than the full run's.
+        assert 0 < observer.instances < 2_500 * 3
+
+    def test_harness_experiment_errors_on_trace(self, tiny_spec):
+        with pytest.raises(ValueError, match="cycle"):
+            run_gating_experiment(tiny_spec, mode="count", gate_count=2,
+                                  instructions=2_000,
+                                  warmup_instructions=0, backend="trace")
+        with pytest.raises(ValueError, match="cycle"):
+            run_single_thread_ipc(tiny_spec, instructions=2_000,
+                                  warmup_instructions=0, backend="trace")
+
+
+class TestBranchStreamIdentity:
+    """The replay's good-path branch stream is the cycle model's.
+
+    For unphased benchmarks the branch-content streams are consumed only
+    by branches, so next_branch() must reproduce next_instruction()'s
+    branch subsequence bit-for-bit.
+    """
+
+    def test_branch_subsequence_identical(self):
+        spec = get_benchmark("gzip")
+        full = WorkloadGenerator(spec, seed=9)
+        branch_only = WorkloadGenerator(spec, seed=9)
+        reference = []
+        seq = 0
+        while len(reference) < 1_500:
+            instr = full.next_instruction(seq)
+            seq += 1
+            if instr.is_branch:
+                reference.append(instr)
+        for expected in reference:
+            got = branch_only.next_branch(0)
+            assert got.pc == expected.pc
+            assert got.branch_kind is expected.branch_kind
+            assert got.outcome.taken == expected.outcome.taken
+            assert got.outcome.target == expected.outcome.target
+            assert got.static_branch_id == expected.static_branch_id
+
+
+# ---------------------------------------------------------------------- #
+# instrumentation profiles
+# ---------------------------------------------------------------------- #
+
+
+class TestInstrumentationProfiles:
+    def test_profiles_resolve(self):
+        assert len(accuracy_predictors_for("full")) == 4
+        assert [p.name for p in accuracy_predictors_for("paco")] == ["paco"]
+        assert len(accuracy_predictors_for("counter")) == 1
+        assert accuracy_predictors_for("mdc") == []
+        assert len(accuracy_predictors_for("mrt")) == 3
+        with pytest.raises(ValueError):
+            accuracy_predictors_for("everything")
+
+    def test_slim_profile_reproduces_full_profile_values(self, tiny_spec):
+        """Riding predictors never influence the simulation, so the slim
+        profiles' statistics are bit-identical to the full profile's."""
+        full = run_accuracy_experiment(tiny_spec, instructions=4_000,
+                                       warmup_instructions=1_000,
+                                       instrument="full")
+        paco = run_accuracy_experiment(tiny_spec, instructions=4_000,
+                                       warmup_instructions=1_000,
+                                       instrument="paco")
+        mdc = run_accuracy_experiment(tiny_spec, instructions=4_000,
+                                      warmup_instructions=1_000,
+                                      instrument="mdc")
+        assert paco.rms_errors["paco"] == full.rms_errors["paco"]
+        assert mdc.mdc_mispredict_rates == full.mdc_mispredict_rates
+        assert paco.conditional_mispredict_rate == \
+            full.conditional_mispredict_rate
+
+
+# ---------------------------------------------------------------------- #
+# backend threading through jobs / sweeps / cache
+# ---------------------------------------------------------------------- #
+
+
+class TestBackendInJobs:
+    def test_backend_changes_job_digest_and_cache_key(self, tmp_path):
+        cycle_job = accuracy_job("gzip", instructions=1_000,
+                                 warmup_instructions=0, backend="cycle")
+        trace_job = accuracy_job("gzip", instructions=1_000,
+                                 warmup_instructions=0, backend="trace")
+        assert cycle_job.digest() != trace_job.digest()
+        cache = ResultCache(tmp_path, version="v")
+        assert cache.key(cycle_job) != cache.key(trace_job)
+
+    def test_backend_in_payload(self):
+        job = Job.make("accuracy", benchmark="gzip", backend="trace")
+        assert job.payload()["backend"] == "trace"
+        assert Job.make("accuracy", benchmark="gzip").payload()["backend"] \
+            == "cycle"
+
+    def test_sweepspec_backend_propagates(self):
+        spec = SweepSpec(experiment="accuracy",
+                         axes={"benchmark": ["gzip", "mcf"]},
+                         base={"instructions": 1_000,
+                               "warmup_instructions": 0},
+                         backend="trace")
+        assert all(job.backend == "trace" for job in spec.jobs())
+
+    def test_runner_executes_trace_jobs(self):
+        runner = SweepRunner()
+        [result] = runner.map([
+            accuracy_job("gzip", instructions=2_000, warmup_instructions=500,
+                         backend="trace", instrument="paco")
+        ])
+        direct = run_accuracy_experiment("gzip", instructions=2_000,
+                                         warmup_instructions=500,
+                                         backend="trace", instrument="paco")
+        assert result.rms_errors == direct.rms_errors
+        assert result.conditional_mispredict_rate == \
+            direct.conditional_mispredict_rate
+
+    def test_cycle_only_kind_rejects_trace_backend(self):
+        runner = SweepRunner()
+        job = Job.make("single-ipc", benchmark="gzip", instructions=1_000,
+                       warmup_instructions=0, backend="trace")
+        with pytest.raises(ValueError, match="cycle"):
+            runner.map([job])
+
+
+# ---------------------------------------------------------------------- #
+# trace vs. cycle parity (the acceptance contract)
+# ---------------------------------------------------------------------- #
+
+#: Benchmarks the parity gate runs (one low-, one high-mispredict).
+PARITY_BENCHMARKS = ("gzip", "twolf")
+PARITY_INSTRUCTIONS = 40_000
+PARITY_WARMUP = 20_000
+
+#: Stated tolerances, table7-scale budgets.  Mispredict rates are nearly
+#: exact (the replay trains the same predictors on the bit-identical
+#: branch stream); reliability RMS and occupancy depend on the calibrated
+#: windows and stay within a few points of the cycle model.
+RATE_TOLERANCE = 0.010            # absolute, on rates in [0, 1]
+MDC_RATE_TOLERANCE = 0.060        # per-bucket mispredict rate, >=200 samples
+RMS_TOLERANCE = 0.090             # reliability-diagram RMS error
+BRANCH_COUNT_REL_TOLERANCE = 0.05  # retired conditional branches
+
+
+@pytest.fixture(scope="module")
+def parity_results():
+    results = {}
+    for name in PARITY_BENCHMARKS:
+        results[name] = {
+            backend: run_accuracy_experiment(
+                name, instructions=PARITY_INSTRUCTIONS,
+                warmup_instructions=PARITY_WARMUP, backend=backend)
+            for backend in ("cycle", "trace")
+        }
+    return results
+
+
+class TestTraceCycleParity:
+    @pytest.mark.parametrize("bench", PARITY_BENCHMARKS)
+    def test_mispredict_rates(self, parity_results, bench):
+        cycle = parity_results[bench]["cycle"]
+        trace = parity_results[bench]["trace"]
+        assert trace.conditional_mispredict_rate == pytest.approx(
+            cycle.conditional_mispredict_rate, abs=RATE_TOLERANCE)
+        assert trace.overall_mispredict_rate == pytest.approx(
+            cycle.overall_mispredict_rate, abs=RATE_TOLERANCE)
+
+    @pytest.mark.parametrize("bench", PARITY_BENCHMARKS)
+    def test_branch_population(self, parity_results, bench):
+        cycle = parity_results[bench]["cycle"].stats
+        trace = parity_results[bench]["trace"].stats
+        assert trace.conditional_branches_retired == pytest.approx(
+            cycle.conditional_branches_retired,
+            rel=BRANCH_COUNT_REL_TOLERANCE)
+
+    @pytest.mark.parametrize("bench", PARITY_BENCHMARKS)
+    def test_mdc_confidence_classification(self, parity_results, bench):
+        """Fig. 2 parity: per-MDC-bucket mispredict rates.
+
+        Buckets 0–5 carry the figure's signal (hundreds of samples each at
+        this budget); higher buckets thin out and are compared only when
+        both backends populated them.
+        """
+        cycle = parity_results[bench]["cycle"]
+        trace = parity_results[bench]["trace"]
+        for bucket in range(6):
+            rate = cycle.mdc_mispredict_rates.get(bucket)
+            trace_rate = trace.mdc_mispredict_rates.get(bucket)
+            if rate is None or trace_rate is None:
+                continue
+            assert trace_rate == pytest.approx(
+                rate, abs=MDC_RATE_TOLERANCE), (bench, bucket)
+
+    @pytest.mark.parametrize("bench", PARITY_BENCHMARKS)
+    def test_reliability_rms(self, parity_results, bench):
+        """Table 7 / fig 8/9 / table A1 parity: per-predictor RMS error."""
+        cycle = parity_results[bench]["cycle"]
+        trace = parity_results[bench]["trace"]
+        for predictor in ("paco", "static-mrt", "per-branch-mrt"):
+            assert trace.rms_errors[predictor] == pytest.approx(
+                cycle.rms_errors[predictor], abs=RMS_TOLERANCE), predictor
+
+    @pytest.mark.parametrize("bench", PARITY_BENCHMARKS)
+    def test_counter_occupancy_shape(self, parity_results, bench):
+        """Fig. 3 parity: the outstanding-count distribution's mean."""
+        cycle = parity_results[bench]["cycle"].counter_occupancy
+        trace = parity_results[bench]["trace"].counter_occupancy
+        def mean(occ):
+            total = sum(occ.values())
+            return sum(k * v for k, v in occ.items()) / total if total else 0.0
+        assert mean(trace) == pytest.approx(mean(cycle), abs=0.75)

@@ -5,7 +5,7 @@ import pytest
 from repro.eval.harness import build_single_core
 from repro.pathconf.paco import PaCoPredictor
 from repro.pathconf.threshold_count import ThresholdAndCountPredictor
-from repro.pipeline.core import InstanceObserver
+from repro.pipeline.core import InstanceObserver, SimulationTruncated
 from repro.pipeline.gating import CountGating, NoGating
 
 
@@ -70,11 +70,16 @@ class TestCoreBasics:
             core.step()
             assert core.rob_occupancy <= small_machine.rob_size
 
-    def test_max_cycles_guard_stops_run(self, tiny_spec, small_machine):
+    def test_max_cycles_guard_raises_instead_of_truncating(self, tiny_spec,
+                                                           small_machine):
         predictor = PaCoPredictor()
         core, _, _ = build_single_core(tiny_spec, predictor, config=small_machine)
-        stats = core.run(max_instructions=10_000_000, max_cycles=500)
-        assert stats.cycles <= 500
+        with pytest.raises(SimulationTruncated) as excinfo:
+            core.run(max_instructions=10_000_000, max_cycles=500)
+        # The partial statistics ride along for post-mortem inspection.
+        assert excinfo.value.stats.cycles <= 500
+        assert excinfo.value.stats.retired_instructions < 10_000_000
+        assert excinfo.value.max_cycles == 500
 
 
 class TestCoreSpeculation:

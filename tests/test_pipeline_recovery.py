@@ -1,0 +1,199 @@
+"""Direct unit tests for misprediction recovery.
+
+``OutOfOrderCore._recover_from_mispredict`` (squash ordering, scheduler
+filtering, redirect stall) and ``WrongPathGenerator`` resumption were
+previously only exercised indirectly through whole-run goldens; these
+tests pin the mechanics down one behaviour at a time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import build_single_core
+from repro.isa.instruction import BranchOutcome, Instruction
+from repro.isa.types import BranchKind, InstructionClass
+from repro.pathconf.threshold_count import ThresholdAndCountPredictor
+from repro.workloads.generator import WorkloadGenerator, WrongPathGenerator
+
+
+def _branch(seq: int, taken: bool = True) -> Instruction:
+    return Instruction(
+        seq=seq,
+        pc=0x40_0000 + seq * 4,
+        iclass=InstructionClass.BRANCH,
+        branch_kind=BranchKind.CONDITIONAL,
+        outcome=BranchOutcome(taken=taken, target=0x40_1000),
+    )
+
+
+def _alu(seq: int, on_goodpath: bool = True) -> Instruction:
+    return Instruction(
+        seq=seq,
+        pc=0x50_0000 + seq * 4,
+        iclass=InstructionClass.ALU,
+        on_goodpath=on_goodpath,
+    )
+
+
+class TestRecoverFromMispredict:
+    @pytest.fixture
+    def core(self, tiny_spec, small_machine):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        core, _, _ = build_single_core(tiny_spec, predictor,
+                                       config=small_machine)
+        return core
+
+    def _stage(self, core, branch_seq=5):
+        """Put a handcrafted window into the core: instructions 0..9 with a
+        mispredicted branch at ``branch_seq``."""
+        instructions = []
+        for seq in range(10):
+            instr = _branch(seq) if seq == branch_seq else _alu(
+                seq, on_goodpath=seq <= branch_seq)
+            if seq > branch_seq:
+                instr.on_goodpath = False
+            instructions.append(instr)
+            core._rob.append(instr)
+            core._scheduler.append(instr)
+        branch = instructions[branch_seq]
+        branch.mispredicted = True
+        return instructions, branch
+
+    def test_only_younger_instructions_squashed(self, core):
+        instructions, branch = self._stage(core)
+        core._recover_from_mispredict(branch, cycle=100)
+        for instr in instructions:
+            if instr.seq <= branch.seq:
+                assert not instr.squashed, instr.seq
+            else:
+                assert instr.squashed, instr.seq
+
+    def test_rob_keeps_branch_and_elders_in_order(self, core):
+        instructions, branch = self._stage(core)
+        core._recover_from_mispredict(branch, cycle=100)
+        remaining = list(core._rob)
+        assert [i.seq for i in remaining] == [0, 1, 2, 3, 4, 5]
+        assert remaining[-1] is branch
+
+    def test_scheduler_filtered_of_squashed_work(self, core):
+        _, branch = self._stage(core)
+        core._recover_from_mispredict(branch, cycle=100)
+        assert all(not instr.squashed for instr in core._scheduler)
+        assert {i.seq for i in core._scheduler} == {0, 1, 2, 3, 4, 5}
+
+    def test_redirect_penalty_stalls_fetch(self, core):
+        _, branch = self._stage(core)
+        cycle = 100
+        core._recover_from_mispredict(branch, cycle=cycle)
+        expected = cycle + 1 + core.config.redirect_penalty
+        assert core._fetch_stall_until == expected
+        # An even later recovery must never shorten an existing stall.
+        core._fetch_stall_until = expected + 50
+        core._recover_from_mispredict(branch, cycle=cycle)
+        assert core._fetch_stall_until == expected + 50
+
+    def test_flush_counted_once_per_recovery(self, core):
+        _, branch = self._stage(core)
+        before = core.stats.flushes
+        core._recover_from_mispredict(branch, cycle=100)
+        assert core.stats.flushes == before + 1
+
+    def test_squashed_branches_leave_the_confidence_window(self, core):
+        """Younger in-flight branches must notify the fetch engine so the
+        path confidence window drains (squash, not resolve)."""
+        engine = core.fetch_engine
+        predictor = engine.path_confidence
+        # Fetch real instructions until a good-path mispredict flips fetch
+        # onto the wrong path and wrong-path branches enter the window.
+        cycle = 0
+        while not engine.on_wrong_path:
+            core._fetch_and_dispatch(cycle)
+            cycle += 1
+        for _ in range(40):
+            core._fetch_and_dispatch(cycle)
+            cycle += 1
+        mispredicted = next(i for i in core._rob
+                            if i.mispredicted and i.on_goodpath)
+        outstanding_before = predictor.outstanding_branches()
+        assert outstanding_before > 0
+        core._recover_from_mispredict(mispredicted, cycle)
+        # Every squashed wrong-path branch left the window; only branches
+        # at or before the mispredict may still be outstanding.
+        survivors = [i for i in core._rob if i.is_branch]
+        assert predictor.outstanding_branches() <= len(survivors) + 1
+
+
+class TestWrongPathResumption:
+    @pytest.fixture
+    def engine(self, tiny_spec, small_machine):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        _core, engine, _generator = build_single_core(
+            tiny_spec, predictor, config=small_machine)
+        return engine
+
+    def _fetch_until_wrong_path(self, engine, max_fetches=50_000):
+        seq = 0
+        while not engine.on_wrong_path:
+            assert seq < max_fetches, "never mispredicted"
+            instr = engine.fetch_one(seq, cycle=seq)
+            seq += 1
+        return instr, seq  # the mispredicted branch flipped fetch
+
+    def test_goodpath_generator_freezes_during_wrong_path(self, engine):
+        mispredicted, seq = self._fetch_until_wrong_path(engine)
+        generator = engine.generator
+        generated_before = generator.instructions_generated
+        stack_before = list(generator._call_stack)
+        for _ in range(25):
+            instr = engine.fetch_one(seq, cycle=seq)
+            seq += 1
+            assert not instr.on_goodpath
+        # Wrong-path fetch never touches the architectural good path.
+        assert generator.instructions_generated == generated_before
+        assert list(generator._call_stack) == stack_before
+
+    def test_recover_resumes_goodpath_exactly_once(self, engine):
+        mispredicted, seq = self._fetch_until_wrong_path(engine)
+        for _ in range(10):
+            engine.fetch_one(seq, cycle=seq)
+            seq += 1
+        generated_before = engine.generator.instructions_generated
+        engine.recover(mispredicted)
+        assert not engine.on_wrong_path
+        resumed = engine.fetch_one(seq, cycle=seq)
+        assert resumed.on_goodpath
+        assert engine.generator.instructions_generated == generated_before + 1
+
+    def test_recover_ignores_other_branches(self, engine):
+        mispredicted, seq = self._fetch_until_wrong_path(engine)
+        other = engine.fetch_one(seq, cycle=seq)
+        engine.recover(other)  # not the pending mispredict
+        assert engine.on_wrong_path
+        engine.recover(mispredicted)
+        assert not engine.on_wrong_path
+
+    def test_wrongpath_stream_is_deterministic(self, tiny_spec):
+        parents = [WorkloadGenerator(tiny_spec, seed=4) for _ in range(2)]
+        streams = []
+        for parent in parents:
+            wrongpath = WrongPathGenerator(parent, seed=9)
+            streams.append([
+                (i.pc, i.iclass, i.branch_kind)
+                for i in (wrongpath.next_instruction(s) for s in range(200))
+            ])
+        assert streams[0] == streams[1]
+
+    def test_wrongpath_resumes_where_it_left_off(self, tiny_spec):
+        """Interleaving episodes draws one continuous wrong-path stream."""
+        parent = WorkloadGenerator(tiny_spec, seed=4)
+        wrongpath = WrongPathGenerator(parent, seed=9)
+        first = [wrongpath.next_instruction(s) for s in range(50)]
+        # A reference generator drawing 100 straight.
+        reference = WrongPathGenerator(WorkloadGenerator(tiny_spec, seed=4),
+                                       seed=9)
+        expected = [reference.next_instruction(s) for s in range(100)]
+        second = [wrongpath.next_instruction(s) for s in range(50, 100)]
+        got = [(i.pc, i.branch_kind) for i in first + second]
+        want = [(i.pc, i.branch_kind) for i in expected]
+        assert got == want

@@ -192,6 +192,55 @@ class TestResultCache:
         assert len(cache) == 0
 
 
+class TestResultCachePrune:
+    def _fill(self, tmp_path, count=4):
+        import os
+        import time
+        cache = ResultCache(tmp_path, version="v1")
+        paths = []
+        for value in range(count):
+            job = Job.make("test-double", value=value)
+            cache.put(job, value)
+            path = cache._path(cache.key(job))
+            # Entry ages increase with value: entry 0 is newest, the last
+            # is oldest.
+            age = time.time() - value * 1_000
+            os.utime(path, (age, age))
+            paths.append(path)
+        return cache, paths
+
+    def test_prune_by_age(self, tmp_path):
+        cache, paths = self._fill(tmp_path)
+        stats = cache.prune(max_age_seconds=1_500)
+        assert stats.removed == 2            # the 2000s- and 3000s-old ones
+        assert stats.remaining == 2
+        assert paths[0].exists() and paths[1].exists()
+        assert not paths[2].exists() and not paths[3].exists()
+        assert stats.bytes_freed > 0
+
+    def test_prune_by_size_drops_oldest_first(self, tmp_path):
+        cache, paths = self._fill(tmp_path)
+        entry_size = paths[0].stat().st_size
+        stats = cache.prune(max_total_bytes=2 * entry_size)
+        assert stats.removed == 2
+        assert paths[0].exists() and paths[1].exists()
+        assert not paths[3].exists()
+        assert cache.size_bytes() <= 2 * entry_size
+
+    def test_prune_noop_within_budget(self, tmp_path):
+        cache, _paths = self._fill(tmp_path, count=2)
+        stats = cache.prune(max_age_seconds=10_000,
+                            max_total_bytes=1 << 30)
+        assert stats.removed == 0
+        assert stats.remaining == 2
+
+    def test_pruned_entry_is_a_clean_miss(self, tmp_path):
+        cache, _ = self._fill(tmp_path)
+        cache.prune(max_age_seconds=0.0)
+        hit, _ = cache.get(Job.make("test-double", value=3))
+        assert not hit
+
+
 #: Small budgets keep the three executions of each determinism sweep cheap.
 _ACCURACY_JOBS = [
     accuracy_job(name, instructions=4_000, warmup_instructions=1_000)
