@@ -14,7 +14,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.runner import ResultCache, SweepRunner
+from repro.runner import ResultCache, SweepRunner, resolve_worker_count
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -41,7 +41,15 @@ def sweep_runner() -> SweepRunner:
     on disk (results are identical either way — the determinism tests in
     ``tests/test_runner.py`` hold the runner to that).
     """
-    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1") or "1")
+    try:
+        workers = resolve_worker_count(
+            os.environ.get("REPRO_BENCH_WORKERS", "1") or "1",
+            source="REPRO_BENCH_WORKERS",
+        )
+    except ValueError as error:
+        # A typo'd env knob used to reach the multiprocessing pool as-is;
+        # fail the session with the configuration error instead.
+        pytest.exit(str(error), returncode=4)
     cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
     cache = ResultCache(Path(cache_dir)) if cache_dir else None
     return SweepRunner(workers=workers, cache=cache)

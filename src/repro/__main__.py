@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.backends import backend_names
+from repro.pipeline.core import SimulationTruncated
 from repro.experiments import (
     ablations,
     fig2_mdc_rates,
@@ -46,7 +47,12 @@ from repro.experiments import (
     table7_rms,
     tableA1_mrt_variants,
 )
-from repro.runner import ResultCache, SweepRunner, default_cache_dir
+from repro.runner import (
+    ResultCache,
+    SweepRunner,
+    default_cache_dir,
+    resolve_worker_count,
+)
 
 #: CLI name -> driver ``main(runner=..., quick=...) -> str``.
 EXPERIMENTS: Dict[str, Callable[..., str]] = {
@@ -62,9 +68,18 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
 }
 
 
+def _worker_count(value: str) -> int:
+    """argparse type for ``--workers``: an integer >= 1, rejected loudly."""
+    try:
+        return resolve_worker_count(value, source="--workers")
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=int, default=1,
-                        help="worker processes for the sweep (default: 1)")
+    parser.add_argument("--workers", type=_worker_count, default=1,
+                        help="worker processes for the sweep (default: 1, "
+                             "must be >= 1)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced benchmark sets and instruction budgets")
     parser.add_argument("--backend", choices=sorted(backend_names()),
@@ -95,6 +110,22 @@ def _build_runner(args: argparse.Namespace) -> SweepRunner:
     return SweepRunner(workers=args.workers, cache=cache)
 
 
+def _report_truncation(name: str, error: SimulationTruncated) -> None:
+    """Readable report for a run that hit its ``max_cycles`` safety net."""
+    stats = error.stats
+    print(f"error: [{name}] {error}", file=sys.stderr)
+    print(f"  instruction budget : {error.max_instructions}", file=sys.stderr)
+    print(f"  cycle safety net   : {error.max_cycles} (tripped)",
+          file=sys.stderr)
+    print(f"  partial statistics : {stats.retired_instructions} retired, "
+          f"{stats.cycles} cycles, ipc {stats.ipc:.3f}, "
+          f"{stats.gated_cycles} gated, {stats.fetch_stall_cycles} "
+          f"fetch-stalled, {stats.flushes} flushes", file=sys.stderr)
+    print("  a run that cannot retire its budget usually means a gating or "
+          "machine configuration that starves fetch; adjust the "
+          "configuration or raise the cycle limit", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = _build_runner(args)
     start = time.perf_counter()
@@ -104,6 +135,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except SimulationTruncated as error:
+        _report_truncation(args.experiment, error)
+        return 3
     elapsed = time.perf_counter() - start
     print(f"\n[{args.experiment}] {elapsed:.1f}s with {args.workers} "
           f"worker(s){_cache_suffix(runner)}", file=sys.stderr)
@@ -139,6 +173,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 continue
             print(f"error: [{name}] {error}", file=sys.stderr)
             return 2
+        except SimulationTruncated as error:
+            _report_truncation(name, error)
+            return 3
         timings.append((name, time.perf_counter() - start))
         print()
     total = sum(elapsed for _, elapsed in timings)

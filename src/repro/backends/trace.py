@@ -173,7 +173,13 @@ class TraceSession(SimulationSession):
         generator = engine.generator
         stats = self.stats
         window = self._window
-        gap = self._gap(self._gap_rng)
+        # _gap() inlined (one geometric draw per good-path branch).
+        log1p = self._log_one_minus_p
+        if log1p is None:
+            gap = 0
+        else:
+            u = self._gap_rng.random()
+            gap = int(math.log(u) / log1p) if u > 0.0 else 0
         if gap:
             if not self._has_phases:
                 # Unphased fast path: the whole gap is one arithmetic step.
@@ -227,7 +233,8 @@ class TraceSession(SimulationSession):
         else:
             window.append(count)
         self._inflight += count
-        self._drain()
+        if self._inflight > self.resolve_window:
+            self._drain()
 
     def _fetch_bad_gap(self, count: int) -> None:
         """Account ``count`` wrong-path non-branch slots in one step."""
@@ -244,7 +251,8 @@ class TraceSession(SimulationSession):
         else:
             window.append(-count)
         self._inflight += count
-        self._drain()
+        if self._inflight > self.resolve_window:
+            self._drain()
 
     def _replay_wrongpath(self, branch: Instruction) -> None:
         """Replay the wrong-path stream for the calibrated resolution window."""
@@ -269,7 +277,8 @@ class TraceSession(SimulationSession):
             self._run_fetch += 1
             self._window.append(wp_branch)
             self._inflight += 1
-            self._drain()
+            if self._inflight > self.resolve_window:
+                self._drain()
             remaining -= 1
             if engine.path_confidence.on_cycle(self._cycle):
                 self._flush_runs()

@@ -17,6 +17,7 @@ from repro.branch_predictor.btb import BranchTargetBuffer
 from repro.branch_predictor.ras import ReturnAddressStack
 from repro.branch_predictor.indirect import IndirectTargetPredictor
 from repro.branch_predictor.frontend import FrontEndPredictor, FrontEndPrediction
+from repro.branch_predictor.engine import BranchRecord, PredictorStateEngine
 
 __all__ = [
     "GlobalHistory",
@@ -30,4 +31,6 @@ __all__ = [
     "IndirectTargetPredictor",
     "FrontEndPredictor",
     "FrontEndPrediction",
+    "BranchRecord",
+    "PredictorStateEngine",
 ]

@@ -9,7 +9,7 @@ gating can slightly *improve* performance.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 
 class _BTBSet:
@@ -55,27 +55,37 @@ class BranchTargetBuffer:
         self._set_mask = sets - 1
         if sets & self._set_mask:
             raise ValueError("number of BTB sets must be a power of two")
-        self._storage: Dict[int, _BTBSet] = {}
+        # Flat set array (index = set number) instead of a dict keyed by
+        # set number: one list index per lookup on the per-branch hot path.
+        self._sets: List[Optional[_BTBSet]] = [None] * sets
         self.lookups = 0
         self.hits = 0
         self.evictions = 0
 
     def _set_for(self, pc: int) -> _BTBSet:
         index = (pc >> 2) & self._set_mask
-        entry = self._storage.get(index)
+        entry = self._sets[index]
         if entry is None:
             entry = _BTBSet(self.ways)
-            self._storage[index] = entry
+            self._sets[index] = entry
         return entry
 
     def predict_target(self, pc: int) -> Optional[int]:
         """Return the predicted target for ``pc`` or ``None`` on a BTB miss."""
         self.lookups += 1
         tag = pc >> 2
-        target = self._set_for(pc).lookup(tag)
-        if target is not None:
-            self.hits += 1
-        return target
+        entry = self._sets[tag & self._set_mask]
+        if entry is None:
+            return None
+        # _BTBSet.lookup inlined (one call per fetched branch).
+        entries = entry.entries
+        for position, way in enumerate(entries):
+            if way[0] == tag:
+                if position:
+                    entries.insert(0, entries.pop(position))
+                self.hits += 1
+                return way[1]
+        return None
 
     def update(self, pc: int, target: int) -> None:
         """Install/refresh the target of a resolved taken branch."""

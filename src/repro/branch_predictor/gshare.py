@@ -64,4 +64,5 @@ class GSharePredictor(DirectionPredictor):
                 self.table[index] = value - 1
 
     def reset(self) -> None:
-        self.table = [self._threshold] * self.size
+        # In place: the predictor state engine borrows this list.
+        self.table[:] = [self._threshold] * self.size

@@ -103,4 +103,5 @@ class TournamentPredictor(DirectionPredictor):
     def reset(self) -> None:
         self.gshare.reset()
         self.bimodal.reset()
-        self.chooser = [2] * self.chooser_size
+        # In place: the predictor state engine borrows this list.
+        self.chooser[:] = [2] * self.chooser_size

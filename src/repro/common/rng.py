@@ -114,7 +114,14 @@ class DeterministicRng:
         ``float(sum(weights))`` — precomputing them merely hoists the
         per-call summation out of hot loops.
         """
-        target = self.random() * total
+        # random() inlined (hot path).
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27)
+        self._state = x
+        target = ((((x * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                  / 9007199254740992.0) * total
         for item, acc in zip(items, cumulative):
             if target < acc:
                 return item

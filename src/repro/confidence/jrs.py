@@ -116,7 +116,8 @@ class JRSConfidencePredictor:
         return self.size * self.mdc_bits
 
     def reset(self) -> None:
-        self.table = [0] * self.size
+        # In place: the predictor state engine borrows this list.
+        self.table[:] = [0] * self.size
         self.lookups = 0
         self.updates = 0
         self.resets = 0

@@ -74,10 +74,12 @@ class PerceptronConfidenceEstimator:
         self.num_buckets = num_buckets
         self.size = 1 << index_bits
         self._mask = self.size - 1
-        # weights[i] = [bias, w_0 .. w_{h-1}]
-        self._weights: List[List[int]] = [
-            [0] * (history_bits + 1) for _ in range(self.size)
-        ]
+        # One flat weight array, stride = history_bits + 1 per perceptron:
+        # weights[i * stride] is the bias, weights[i * stride + 1 + k] the
+        # weight of history bit k.  Flat-and-contiguous matches the rest of
+        # the predictor state engine's table storage.
+        self._stride = history_bits + 1
+        self._weights: List[int] = [0] * (self.size * self._stride)
         # Output magnitude that maps to the extreme buckets.  The perceptron
         # stops training once its margin exceeds ``training_threshold``, so
         # outputs saturate just beyond it; quantising over the full weight
@@ -96,10 +98,14 @@ class PerceptronConfidenceEstimator:
         return [1 if (history >> i) & 1 else -1 for i in range(bits)]
 
     def _output(self, index: int, history: int) -> int:
-        weights = self._weights[index]
-        total = weights[0]
-        for i, x in enumerate(self._history_inputs(history, self.history_bits)):
-            total += weights[i + 1] * x
+        weights = self._weights
+        base = index * self._stride
+        total = weights[base]
+        for i in range(self.history_bits):
+            if (history >> i) & 1:
+                total += weights[base + 1 + i]
+            else:
+                total -= weights[base + 1 + i]
         return total
 
     # ------------------------------------------------------------------ #
@@ -137,16 +143,27 @@ class PerceptronConfidenceEstimator:
         if not needs_training:
             return
         target = 1 if actual_taken else -1
-        weights = self._weights[lookup.index]
-        weights[0] = self._saturate(weights[0] + target)
-        inputs = self._history_inputs(lookup.history, self.history_bits)
-        for i, x in enumerate(inputs):
-            weights[i + 1] = self._saturate(weights[i + 1] + target * x)
+        weights = self._weights
+        base = lookup.index * self._stride
+        weights[base] = self._saturate(weights[base] + target)
+        history = lookup.history
+        for i in range(self.history_bits):
+            x = 1 if (history >> i) & 1 else -1
+            weights[base + 1 + i] = self._saturate(
+                weights[base + 1 + i] + target * x
+            )
 
     def _saturate(self, value: int) -> int:
         return max(-self.weight_limit, min(value, self.weight_limit))
 
     # ------------------------------------------------------------------ #
+
+    def weights_for(self, index: int) -> List[int]:
+        """The weight row ``[bias, w_0 .. w_{h-1}]`` of one perceptron."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"perceptron index {index} out of range")
+        base = index * self._stride
+        return self._weights[base:base + self._stride]
 
     def storage_bits(self) -> int:
         """Total weight storage (6-bit signed weights by default)."""
@@ -154,6 +171,6 @@ class PerceptronConfidenceEstimator:
         return self.size * (self.history_bits + 1) * bits_per_weight
 
     def reset(self) -> None:
-        self._weights = [[0] * (self.history_bits + 1) for _ in range(self.size)]
+        self._weights[:] = [0] * (self.size * self._stride)
         self.lookups = 0
         self.updates = 0

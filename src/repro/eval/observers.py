@@ -54,22 +54,23 @@ class MultiPredictorObserver(InstanceObserver):
         self._predictors = list(predictors)
         for predictor in self._predictors:
             self.diagrams[predictor.name] = ReliabilityDiagram(num_bins=num_bins)
+        # (predictor, diagram) pairs resolved once: record_run runs per
+        # instance run, so the per-call name lookups add up.
+        self._pairs = [(predictor, self.diagrams[predictor.name])
+                       for predictor in self._predictors]
 
     def record(self, kind: str, on_goodpath: bool, cycle: int) -> None:
-        for predictor in self._predictors:
-            self.diagrams[predictor.name].record(
-                predictor.goodpath_probability(), on_goodpath
-            )
+        for predictor, diagram in self._pairs:
+            diagram.record(predictor.goodpath_probability(), on_goodpath)
 
     def record_run(self, kind: str, on_goodpath: bool, cycle: int,
                    count: int) -> None:
         # One probability read and one weighted bin update per predictor
         # for the whole run (the trace backend guarantees the predictors'
         # state did not change across it).
-        for predictor in self._predictors:
-            self.diagrams[predictor.name].record(
-                predictor.goodpath_probability(), on_goodpath, weight=count
-            )
+        for predictor, diagram in self._pairs:
+            diagram.record(predictor.goodpath_probability(), on_goodpath,
+                           weight=count)
 
     def rms_errors(self) -> Dict[str, float]:
         return {name: diagram.rms_error()

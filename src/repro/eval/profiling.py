@@ -10,22 +10,16 @@ Fig. 2 and the input to the Static-MRT ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
-
-
-@dataclass(slots=True)
-class _ProfileToken:
-    mdc_value: int
-    resolved: bool = False
 
 
 class MDCProfiler(PathConfidencePredictor):
     """Counts, per MDC value, how many branch predictions were right or wrong."""
 
     name = "mdc-profiler"
+    record_slots = ("profile_bucket",)
 
     def __init__(self, num_mdc_values: int = 16) -> None:
         self.num_mdc_values = num_mdc_values
@@ -34,20 +28,22 @@ class MDCProfiler(PathConfidencePredictor):
 
     # --- path confidence interface (profiling only) -------------------- #
 
-    def on_branch_fetch(self, info: BranchFetchInfo) -> _ProfileToken:
-        return _ProfileToken(mdc_value=min(info.mdc_value, self.num_mdc_values - 1))
+    def on_branch_fetch(self, info: BranchFetchInfo) -> BranchFetchInfo:
+        info.profile_bucket = min(info.mdc_value, self.num_mdc_values - 1)
+        return info
 
-    def on_branch_resolve(self, token: _ProfileToken, mispredicted: bool) -> None:
-        if token.resolved:
+    def on_branch_resolve(self, token: BranchFetchInfo, mispredicted: bool) -> None:
+        bucket = token.profile_bucket
+        if bucket is None:
             return
-        token.resolved = True
+        token.profile_bucket = None
         if mispredicted:
-            self.mispredicted[token.mdc_value] += 1
+            self.mispredicted[bucket] += 1
         else:
-            self.correct[token.mdc_value] += 1
+            self.correct[bucket] += 1
 
-    def on_branch_squash(self, token: _ProfileToken) -> None:
-        token.resolved = True
+    def on_branch_squash(self, token: BranchFetchInfo) -> None:
+        token.profile_bucket = None
 
     def goodpath_probability(self) -> float:
         return 1.0

@@ -20,43 +20,21 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
 
+from repro.branch_predictor.engine import BranchRecord
 
-@dataclass(slots=True)
-class BranchFetchInfo:
-    """Fetch-time information about one conditional branch entering the window.
-
-    (A plain slots dataclass, not frozen: one is built per fetched
-    conditional branch, and the frozen ``__init__`` protocol costs several
-    times as much on this hot path.)
-
-    Attributes
-    ----------
-    pc:
-        Branch program counter.
-    mdc_value:
-        The miss-distance-counter value read from the JRS table at fetch.
-    mdc_index:
-        The JRS table index that was consulted (needed to update the same
-        entry at resolution).
-    predicted_taken:
-        The direction predicted by the branch predictor.
-    history:
-        Global-history value at prediction time.
-    static_branch_id:
-        Identity of the static branch (used by the per-branch MRT ablation).
-    thread_id:
-        SMT hardware thread the branch belongs to.
-    """
-
-    pc: int
-    mdc_value: int
-    mdc_index: int
-    predicted_taken: bool
-    history: int
-    static_branch_id: Optional[int] = None
-    thread_id: int = 0
+#: Fetch-time information about one conditional branch entering the window.
+#:
+#: Since the predictor-state-engine refactor this *is* the fused
+#: :class:`~repro.branch_predictor.engine.BranchRecord`: the fetch engine
+#: hands every path confidence predictor the same per-branch record, and
+#: the built-in predictors stash their per-branch state (encoded
+#: probability added, low-confidence flag, ...) in the record's dedicated
+#: slots instead of allocating a token object each.  The name is kept so
+#: callers (and tests) can keep constructing fetch-info objects with the
+#: original keyword arguments: ``pc``, ``mdc_value``, ``mdc_index``,
+#: ``predicted_taken``, ``history``, ``static_branch_id``, ``thread_id``.
+BranchFetchInfo = BranchRecord
 
 
 @dataclass(frozen=True)
@@ -71,6 +49,14 @@ class PathConfidencePredictor(abc.ABC):
 
     #: Human-readable name used in reports and experiment tables.
     name: str = "abstract"
+
+    #: Slots of the shared :class:`BranchFetchInfo` record this predictor
+    #: writes its per-branch state into (empty for predictors that allocate
+    #: their own tokens).  Predictors that declare slots return the record
+    #: itself from :meth:`on_branch_fetch`; the composite uses the
+    #: declarations to reject configurations where two predictors would
+    #: clobber each other's slot.
+    record_slots: tuple = ()
 
     @abc.abstractmethod
     def on_branch_fetch(self, info: BranchFetchInfo) -> object:

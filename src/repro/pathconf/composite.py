@@ -29,6 +29,28 @@ class CompositePathConfidence(PathConfidencePredictor):
         self.primary = primary if primary is not None else self.predictors[0]
         if self.primary not in self.predictors:
             raise ValueError("the primary predictor must be one of the composites")
+        # Two attached predictors writing the same per-branch slot of the
+        # shared record would silently clobber each other's state; reject
+        # the configuration outright (it has no hardware analogue either —
+        # each confidence structure exists once per fetch stream).
+        claimed: dict = {}
+        for predictor in self.predictors:
+            for slot in predictor.record_slots:
+                if slot in claimed:
+                    raise ValueError(
+                        f"predictors {claimed[slot].name!r} and "
+                        f"{predictor.name!r} both store per-branch state in "
+                        f"the record slot {slot!r}; attach at most one of "
+                        f"each predictor kind per composite"
+                    )
+                claimed[slot] = predictor
+        # When every member stores its per-branch state in the shared
+        # record, the record itself is the composite's token and fetch
+        # allocates nothing; a member with its own token type (the oracle,
+        # custom predictors in tests) falls back to per-branch token lists.
+        self._shared_record_tokens = all(
+            predictor.record_slots for predictor in self.predictors
+        )
         # Per-cycle work is rare (only PaCo's re-logarithmizing pass), but
         # on_cycle runs every cycle: skip members that inherit the base
         # no-op instead of fanning out to all of them.
@@ -39,16 +61,28 @@ class CompositePathConfidence(PathConfidencePredictor):
 
     # ------------------------------------------------------------------ #
 
-    def on_branch_fetch(self, info: BranchFetchInfo) -> List[object]:
+    def on_branch_fetch(self, info: BranchFetchInfo) -> object:
+        if self._shared_record_tokens:
+            for predictor in self.predictors:
+                predictor.on_branch_fetch(info)
+            return info
         return [predictor.on_branch_fetch(info) for predictor in self.predictors]
 
-    def on_branch_resolve(self, token: List[object], mispredicted: bool) -> None:
-        for predictor, sub_token in zip(self.predictors, token):
-            predictor.on_branch_resolve(sub_token, mispredicted)
+    def on_branch_resolve(self, token: object, mispredicted: bool) -> None:
+        if type(token) is list:
+            for predictor, sub_token in zip(self.predictors, token):
+                predictor.on_branch_resolve(sub_token, mispredicted)
+            return
+        for predictor in self.predictors:
+            predictor.on_branch_resolve(token, mispredicted)
 
-    def on_branch_squash(self, token: List[object]) -> None:
-        for predictor, sub_token in zip(self.predictors, token):
-            predictor.on_branch_squash(sub_token)
+    def on_branch_squash(self, token: object) -> None:
+        if type(token) is list:
+            for predictor, sub_token in zip(self.predictors, token):
+                predictor.on_branch_squash(sub_token)
+            return
+        for predictor in self.predictors:
+            predictor.on_branch_squash(token)
 
     def on_cycle(self, cycle: int) -> bool:
         """Fan out periodic work; True when any member changed state."""

@@ -17,7 +17,6 @@ of counters plus the shift register.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.common.logcircuit import (
@@ -28,22 +27,6 @@ from repro.common.logcircuit import (
 )
 from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
 from repro.pathconf.mrt import MispredictRateTable
-
-
-@dataclass(slots=True)
-class _PaCoToken:
-    """Per-branch bookkeeping for one unresolved branch.
-
-    The encoded probability *added at fetch time* is stored so that the
-    subtraction at resolve/squash time removes exactly the same amount even
-    if a re-logarithmizing pass changed the bucket's register in between —
-    functionally equivalent to the checkpoint-based recovery a hardware
-    implementation would use to keep the register from drifting.
-    """
-
-    mdc_value: int
-    encoded_added: int
-    resolved: bool = False
 
 
 class PaCoPredictor(PathConfidencePredictor):
@@ -66,6 +49,7 @@ class PaCoPredictor(PathConfidencePredictor):
     """
 
     name = "paco"
+    record_slots = ("encoded_added",)
 
     def __init__(self, num_mdc_values: int = 16,
                  relog_period_cycles: int = 200_000,
@@ -86,6 +70,11 @@ class PaCoPredictor(PathConfidencePredictor):
         #: The path confidence register: encoded good-path probability.
         self.path_confidence_register = 0
         self._outstanding = 0
+        # One-entry decode memo: the observers read the probability once
+        # per instance run, and the register is unchanged between most
+        # consecutive reads.
+        self._decoded_register = -1
+        self._decoded_probability = 1.0
 
         self.fetched_branches = 0
         self.resolved_branches = 0
@@ -95,30 +84,40 @@ class PaCoPredictor(PathConfidencePredictor):
     # pipeline hooks
     # ------------------------------------------------------------------ #
 
-    def on_branch_fetch(self, info: BranchFetchInfo) -> _PaCoToken:
-        """Add the branch's encoded correct-prediction probability to the register."""
+    def on_branch_fetch(self, info: BranchFetchInfo) -> BranchFetchInfo:
+        """Add the branch's encoded correct-prediction probability to the register.
+
+        The encoded probability *added at fetch time* is stored in the
+        branch record (``encoded_added`` slot) so that the subtraction at
+        resolve/squash time removes exactly the same amount even if a
+        re-logarithmizing pass changed the bucket's register in between —
+        functionally equivalent to the checkpoint-based recovery a hardware
+        implementation would use to keep the register from drifting.
+        """
         self.fetched_branches += 1
         encoded = self.mrt.encoded_probability(info.mdc_value)
+        info.encoded_added = encoded
         self.path_confidence_register += encoded
         self._outstanding += 1
-        return _PaCoToken(mdc_value=info.mdc_value, encoded_added=encoded)
+        return info
 
-    def _remove(self, token: _PaCoToken) -> None:
-        if token.resolved:
+    def _remove(self, token: BranchFetchInfo) -> None:
+        encoded = token.encoded_added
+        if encoded is None:
             return
-        token.resolved = True
-        self.path_confidence_register -= token.encoded_added
+        token.encoded_added = None
+        self.path_confidence_register -= encoded
         if self.path_confidence_register < 0:
             self.path_confidence_register = 0
         self._outstanding = max(0, self._outstanding - 1)
 
-    def on_branch_resolve(self, token: _PaCoToken, mispredicted: bool) -> None:
+    def on_branch_resolve(self, token: BranchFetchInfo, mispredicted: bool) -> None:
         """Subtract the branch's contribution and train its MRT bucket."""
         self.resolved_branches += 1
         self.mrt.record(token.mdc_value, was_correct=not mispredicted)
         self._remove(token)
 
-    def on_branch_squash(self, token: _PaCoToken) -> None:
+    def on_branch_squash(self, token: BranchFetchInfo) -> None:
         """Remove a squashed branch's contribution without training the MRT."""
         self.squashed_branches += 1
         self._remove(token)
@@ -145,7 +144,13 @@ class PaCoPredictor(PathConfidencePredictor):
 
     def goodpath_probability(self) -> float:
         """Decode the register into a real probability (evaluation use only)."""
-        return decode_probability(self.path_confidence_register, scale=self.scale)
+        register = self.path_confidence_register
+        if register == self._decoded_register:
+            return self._decoded_probability
+        probability = decode_probability(register, scale=self.scale)
+        self._decoded_register = register
+        self._decoded_probability = probability
+        return probability
 
     def outstanding_branches(self) -> int:
         return self._outstanding

@@ -15,7 +15,6 @@ captures and this design throws away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List
 
 from repro.common.logcircuit import (
@@ -26,13 +25,6 @@ from repro.common.logcircuit import (
     encode_threshold,
 )
 from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
-
-
-@dataclass(slots=True)
-class _PerBranchToken:
-    table_index: int
-    encoded_added: int
-    resolved: bool = False
 
 
 class PerBranchMRTPredictor(PathConfidencePredictor):
@@ -52,6 +44,7 @@ class PerBranchMRTPredictor(PathConfidencePredictor):
     """
 
     name = "per-branch-mrt"
+    record_slots = ("table_index", "pbm_encoded")
 
     def __init__(self, index_bits: int = 12, history_bits: int = 8,
                  prior_correct: int = 3, prior_total: int = 4,
@@ -87,30 +80,33 @@ class PerBranchMRTPredictor(PathConfidencePredictor):
 
     # ------------------------------------------------------------------ #
 
-    def on_branch_fetch(self, info: BranchFetchInfo) -> _PerBranchToken:
+    def on_branch_fetch(self, info: BranchFetchInfo) -> BranchFetchInfo:
         index = self._index(info.pc, info.history)
         encoded = self._encoded_for(index)
+        info.table_index = index
+        info.pbm_encoded = encoded
         self.path_confidence_register += encoded
         self._outstanding += 1
-        return _PerBranchToken(table_index=index, encoded_added=encoded)
+        return info
 
-    def _remove(self, token: _PerBranchToken) -> None:
-        if token.resolved:
+    def _remove(self, token: BranchFetchInfo) -> None:
+        encoded = token.pbm_encoded
+        if encoded is None:
             return
-        token.resolved = True
+        token.pbm_encoded = None
         self.path_confidence_register = max(
-            0, self.path_confidence_register - token.encoded_added
+            0, self.path_confidence_register - encoded
         )
         self._outstanding = max(0, self._outstanding - 1)
 
-    def on_branch_resolve(self, token: _PerBranchToken, mispredicted: bool) -> None:
+    def on_branch_resolve(self, token: BranchFetchInfo, mispredicted: bool) -> None:
         index = token.table_index
         self._total[index] += 1
         if not mispredicted:
             self._correct[index] += 1
         self._remove(token)
 
-    def on_branch_squash(self, token: _PerBranchToken) -> None:
+    def on_branch_squash(self, token: BranchFetchInfo) -> None:
         self._remove(token)
 
     def reset_window(self) -> None:

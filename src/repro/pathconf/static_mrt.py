@@ -10,7 +10,6 @@ track differences across benchmarks or across phases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.common.logcircuit import (
@@ -24,16 +23,11 @@ from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
 from repro.pathconf.mrt import DEFAULT_STATIC_MISPREDICT_RATES
 
 
-@dataclass(slots=True)
-class _StaticToken:
-    encoded_added: int
-    resolved: bool = False
-
-
 class StaticMRTPredictor(PathConfidencePredictor):
     """PaCo with profile-derived, fixed encoded probabilities per MDC value."""
 
     name = "static-mrt"
+    record_slots = ("static_encoded",)
 
     def __init__(self, mispredict_rates: Optional[Sequence[float]] = None,
                  num_mdc_values: int = 16,
@@ -56,27 +50,29 @@ class StaticMRTPredictor(PathConfidencePredictor):
         self.path_confidence_register = 0
         self._outstanding = 0
 
-    def on_branch_fetch(self, info: BranchFetchInfo) -> _StaticToken:
+    def on_branch_fetch(self, info: BranchFetchInfo) -> BranchFetchInfo:
         if not 0 <= info.mdc_value < self.num_mdc_values:
             raise ValueError(f"MDC value {info.mdc_value} out of range")
         encoded = self.encoded_probabilities[info.mdc_value]
+        info.static_encoded = encoded
         self.path_confidence_register += encoded
         self._outstanding += 1
-        return _StaticToken(encoded_added=encoded)
+        return info
 
-    def _remove(self, token: _StaticToken) -> None:
-        if token.resolved:
+    def _remove(self, token: BranchFetchInfo) -> None:
+        encoded = token.static_encoded
+        if encoded is None:
             return
-        token.resolved = True
+        token.static_encoded = None
         self.path_confidence_register = max(
-            0, self.path_confidence_register - token.encoded_added
+            0, self.path_confidence_register - encoded
         )
         self._outstanding = max(0, self._outstanding - 1)
 
-    def on_branch_resolve(self, token: _StaticToken, mispredicted: bool) -> None:
+    def on_branch_resolve(self, token: BranchFetchInfo, mispredicted: bool) -> None:
         self._remove(token)
 
-    def on_branch_squash(self, token: _StaticToken) -> None:
+    def on_branch_squash(self, token: BranchFetchInfo) -> None:
         self._remove(token)
 
     def reset_window(self) -> None:

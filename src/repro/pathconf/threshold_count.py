@@ -21,18 +21,9 @@ as an evaluation aid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
-
-
-@dataclass(slots=True)
-class _CountToken:
-    """Per-branch bookkeeping: whether this branch was counted as low confidence."""
-
-    counted: bool
-    resolved: bool = False
 
 
 class ThresholdAndCountPredictor(PathConfidencePredictor):
@@ -52,6 +43,8 @@ class ThresholdAndCountPredictor(PathConfidencePredictor):
         branches.
     """
 
+    record_slots = ("counted",)
+
     def __init__(self, threshold: int = 3,
                  assumed_low_confidence_correct_rate: float = 0.75) -> None:
         if threshold < 0:
@@ -70,29 +63,31 @@ class ThresholdAndCountPredictor(PathConfidencePredictor):
 
     # ------------------------------------------------------------------ #
 
-    def on_branch_fetch(self, info: BranchFetchInfo) -> _CountToken:
+    def on_branch_fetch(self, info: BranchFetchInfo) -> BranchFetchInfo:
         self.fetched_branches += 1
         self._outstanding += 1
         counted = info.mdc_value < self.threshold
+        info.counted = counted
         if counted:
             self.low_confidence_branches += 1
             self._low_confidence_outstanding += 1
-        return _CountToken(counted=counted)
+        return info
 
-    def _remove(self, token: _CountToken) -> None:
-        if token.resolved:
+    def _remove(self, token: BranchFetchInfo) -> None:
+        counted = token.counted
+        if counted is None:
             return
-        token.resolved = True
+        token.counted = None
         self._outstanding = max(0, self._outstanding - 1)
-        if token.counted:
+        if counted:
             self._low_confidence_outstanding = max(
                 0, self._low_confidence_outstanding - 1
             )
 
-    def on_branch_resolve(self, token: _CountToken, mispredicted: bool) -> None:
+    def on_branch_resolve(self, token: BranchFetchInfo, mispredicted: bool) -> None:
         self._remove(token)
 
-    def on_branch_squash(self, token: _CountToken) -> None:
+    def on_branch_squash(self, token: BranchFetchInfo) -> None:
         self._remove(token)
 
     def reset_window(self) -> None:

@@ -15,32 +15,27 @@ The fetch engine is where the good path and the wrong path meet:
   :meth:`FetchEngine.recover` and fetch resumes on the good path.
 
 The engine is also the single place where the confidence machinery is
-driven: every fetched conditional branch performs a JRS lookup and
-registers with the path confidence predictor; every resolved branch updates
-the JRS entry it read at fetch and notifies the path confidence predictor.
+driven.  Per fetched branch it runs the fused
+:class:`~repro.branch_predictor.engine.PredictorStateEngine` hot path —
+direction prediction, target prediction, the JRS confidence lookup and
+the resolution-time training all operate on one shared
+:class:`~repro.branch_predictor.engine.BranchRecord` carried in
+``instr.conf_token`` instead of a handful of per-branch token objects.
+Path confidence predictors receive the same record as their fetch-time
+information and stash their per-branch state in its dedicated slots.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-from repro.branch_predictor.frontend import FrontEndPredictor, FrontEndPrediction
-from repro.confidence.jrs import ConfidenceLookup, JRSConfidencePredictor
+from repro.branch_predictor.engine import BranchRecord, PredictorStateEngine
+from repro.branch_predictor.frontend import FrontEndPredictor
+from repro.confidence.jrs import JRSConfidencePredictor
 from repro.isa.instruction import Instruction
 from repro.isa.types import BranchKind
-from repro.pathconf.base import BranchFetchInfo, PathConfidencePredictor
+from repro.pathconf.base import PathConfidencePredictor
 from repro.workloads.generator import WorkloadGenerator, WrongPathGenerator
-
-
-@dataclass(slots=True)
-class _BranchBookkeeping:
-    """Everything attached to an in-flight branch at fetch time."""
-
-    prediction: FrontEndPrediction
-    confidence_lookup: Optional[ConfidenceLookup]
-    path_token: Optional[object]
-    resolved: bool = False
 
 
 class FetchEngine:
@@ -56,6 +51,7 @@ class FetchEngine:
         self.frontend = frontend
         self.confidence = confidence
         self.path_confidence = path_confidence
+        self.state_engine = PredictorStateEngine(frontend, confidence)
 
         self.on_wrong_path = False
         self._pending_mispredict_seq: Optional[int] = None
@@ -78,7 +74,7 @@ class FetchEngine:
             instr = self.generator.next_instruction(seq)
             self.goodpath_fetched += 1
         instr.fetch_cycle = cycle
-        if instr.is_branch:
+        if instr.branch_kind is not BranchKind.NOT_A_BRANCH:
             self._predict_branch(instr)
         return instr
 
@@ -97,42 +93,38 @@ class FetchEngine:
             self.goodpath_fetched += 1
         if instr is not None:
             instr.fetch_cycle = cycle
-            if instr.is_branch:
+            if instr.branch_kind is not BranchKind.NOT_A_BRANCH:
                 self._predict_branch(instr)
 
     def _predict_branch(self, instr: Instruction) -> None:
         self.branches_fetched += 1
-        frontend = self.frontend
-        prediction = frontend.predict(instr)
-        mispredicted = self._is_mispredicted(instr, prediction)
-        prediction.mispredicted = mispredicted
-        instr.predicted_taken = prediction.taken
-        instr.predicted_target = prediction.target
+        record = self.state_engine.predict_branch(instr)
+        outcome = instr.outcome
+        if record.is_conditional:
+            mispredicted = (outcome is not None
+                            and record.taken != outcome.taken)
+        else:
+            # Control flow with a predicted target: mispredict when the
+            # target is unknown (BTB/RAS/indirect miss) or wrong.
+            mispredicted = (outcome is not None
+                            and record.target != outcome.target)
+        record.mispredicted = mispredicted
+        instr.predicted_taken = record.taken
+        instr.predicted_target = record.target
         instr.mispredicted = mispredicted
-        frontend.note_prediction_outcome(instr, prediction, mispredicted)
-
-        confidence_lookup: Optional[ConfidenceLookup] = None
-        path_token: Optional[object] = None
-        if instr.branch_kind is BranchKind.CONDITIONAL:
+        # Accuracy bookkeeping (note_prediction_outcome, inlined).
+        frontend = self.frontend
+        frontend.total_predictions += 1
+        if record.is_conditional:
+            frontend.conditional_predictions += 1
+            if mispredicted:
+                frontend.total_mispredictions += 1
+                frontend.conditional_mispredictions += 1
             self.conditional_branches_fetched += 1
-            confidence_lookup = self.confidence.lookup(
-                instr.pc, prediction.history_at_predict, prediction.taken
-            )
-            info = BranchFetchInfo(
-                pc=instr.pc,
-                mdc_value=confidence_lookup.mdc_value,
-                mdc_index=confidence_lookup.index,
-                predicted_taken=prediction.taken,
-                history=prediction.history_at_predict,
-                static_branch_id=instr.static_branch_id,
-                thread_id=instr.thread_id,
-            )
-            path_token = self.path_confidence.on_branch_fetch(info)
-        instr.conf_token = _BranchBookkeeping(
-            prediction=prediction,
-            confidence_lookup=confidence_lookup,
-            path_token=path_token,
-        )
+            record.path_token = self.path_confidence.on_branch_fetch(record)
+        elif mispredicted:
+            frontend.total_mispredictions += 1
+        instr.conf_token = record
 
         # A mispredicted branch on the good path sends fetch onto the wrong
         # path until it resolves.  Wrong-path "mispredicts" change nothing:
@@ -141,52 +133,37 @@ class FetchEngine:
             self.on_wrong_path = True
             self._pending_mispredict_seq = instr.seq
 
-    @staticmethod
-    def _is_mispredicted(instr: Instruction,
-                         prediction: FrontEndPrediction) -> bool:
-        outcome = instr.outcome
-        if outcome is None:
-            return False
-        if instr.branch_kind is BranchKind.CONDITIONAL:
-            return prediction.taken != outcome.taken
-        # Control flow with a predicted target: mispredict when the target
-        # is unknown (BTB/RAS/indirect miss) or wrong.
-        return prediction.target != outcome.target
-
     # ------------------------------------------------------------------ #
     # resolution / recovery
     # ------------------------------------------------------------------ #
 
     def resolve_branch(self, instr: Instruction) -> None:
         """Called by the core when a branch executes (good or wrong path)."""
-        bookkeeping: Optional[_BranchBookkeeping] = instr.conf_token
-        if bookkeeping is None or bookkeeping.resolved:
+        record: Optional[BranchRecord] = instr.conf_token
+        if record is None or record.resolved:
             return
-        bookkeeping.resolved = True
+        record.resolved = True
         train = instr.on_goodpath
-        self.frontend.resolve(instr, bookkeeping.prediction, train=train)
-        if bookkeeping.confidence_lookup is not None and train:
-            self.confidence.update(
-                bookkeeping.confidence_lookup, was_correct=not instr.mispredicted
-            )
-        if bookkeeping.path_token is not None:
+        self.state_engine.resolve_branch(instr, record, train)
+        token = record.path_token
+        if token is not None:
             if train:
                 self.path_confidence.on_branch_resolve(
-                    bookkeeping.path_token, mispredicted=instr.mispredicted
+                    token, mispredicted=instr.mispredicted
                 )
             else:
                 # Wrong-path branches leave the window without training the
                 # mispredict-rate machinery (they never retire).
-                self.path_confidence.on_branch_squash(bookkeeping.path_token)
+                self.path_confidence.on_branch_squash(token)
 
     def squash_branch(self, instr: Instruction) -> None:
         """Called by the core when an unresolved branch is flushed."""
-        bookkeeping: Optional[_BranchBookkeeping] = instr.conf_token
-        if bookkeeping is None or bookkeeping.resolved:
+        record: Optional[BranchRecord] = instr.conf_token
+        if record is None or record.resolved:
             return
-        bookkeeping.resolved = True
-        if bookkeeping.path_token is not None:
-            self.path_confidence.on_branch_squash(bookkeeping.path_token)
+        record.resolved = True
+        if record.path_token is not None:
+            self.path_confidence.on_branch_squash(record.path_token)
 
     def recover(self, mispredicted_instr: Instruction) -> None:
         """Resume good-path fetch after the mispredicted branch resolved."""

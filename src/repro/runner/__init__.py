@@ -50,6 +50,7 @@ from repro.runner.sweep import (
     SweepSpec,
     available_workers,
     resolve_runner,
+    resolve_worker_count,
 )
 
 __all__ = [
@@ -68,6 +69,7 @@ __all__ = [
     "register_experiment",
     "registered_experiments",
     "resolve_runner",
+    "resolve_worker_count",
     "single_ipc_job",
     "smt_job",
 ]

@@ -155,7 +155,14 @@ class ResultCache:
         return sum(1 for _ in self.entries())
 
     def size_bytes(self) -> int:
-        return sum(path.stat().st_size for path in self.entries())
+        """Total size of all entries (entries vanishing mid-scan are skipped)."""
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
@@ -176,10 +183,15 @@ class ResultCache:
 
         * ``max_age_seconds`` — drop entries whose mtime is older;
         * ``max_total_bytes`` — afterwards, drop oldest-first until the
-          total size fits the budget.
+          total size fits the budget (mtime ties break deterministically
+          by entry file name, so concurrent pruners evict the same order).
 
-        Entries that vanish concurrently are skipped, mirroring the
-        tolerant reads in :meth:`get`.
+        The ``reference`` timestamp is taken once, before the scan, so a
+        slow scan cannot shift the age cut-off mid-pass.  Entries that
+        vanish concurrently — another pruner, a ``clear``, an external
+        ``rm`` — are skipped wherever they disappear (``stat``, ``unlink``
+        or the final accounting), mirroring the tolerant reads in
+        :meth:`get`.
         """
         stats = PruneStats()
         reference = time.time() if now is None else now
@@ -188,24 +200,38 @@ class ResultCache:
             try:
                 stat = path.stat()
             except OSError:
+                # Deleted (or became unreadable) between the directory scan
+                # and the stat: nothing to prune.
                 continue
             if (max_age_seconds is not None
                     and reference - stat.st_mtime > max_age_seconds):
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    continue
                 stats.removed += 1
                 stats.bytes_freed += stat.st_size
-                path.unlink(missing_ok=True)
                 continue
             survivors.append((stat.st_mtime, stat.st_size, path))
         total = sum(size for _, size, _ in survivors)
         if max_total_bytes is not None and total > max_total_bytes:
-            survivors.sort()  # oldest first
+            # Oldest first; tie-break on the entry name (the content hash),
+            # never on size, so the eviction order is reproducible.
+            survivors.sort(key=lambda entry: (entry[0], entry[2].name))
             for _mtime, size, path in survivors:
                 if total <= max_total_bytes:
                     break
-                path.unlink(missing_ok=True)
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    continue
                 stats.removed += 1
                 stats.bytes_freed += size
                 total -= size
-        stats.remaining = len(self)
-        stats.remaining_bytes = self.size_bytes()
+        for path in self.entries():
+            try:
+                stats.remaining_bytes += path.stat().st_size
+            except OSError:
+                continue
+            stats.remaining += 1
         return stats

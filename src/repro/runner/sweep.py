@@ -49,6 +49,28 @@ def available_workers() -> int:
         return os.cpu_count() or 1
 
 
+def resolve_worker_count(value: object, source: str = "workers") -> int:
+    """Validate a worker count coming from a CLI flag or environment knob.
+
+    Accepts an ``int`` or an integer-shaped string and requires it to be
+    at least 1 (a pool of zero workers can execute nothing; negative
+    counts used to be clamped silently, hiding the configuration error).
+    ``source`` names the knob in the error message.
+    """
+    try:
+        workers = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid {source} value {value!r}: expected an integer >= 1"
+        ) from None
+    if workers < 1:
+        raise ValueError(
+            f"invalid {source} value {value!r}: worker counts must be >= 1 "
+            f"(use 1 for in-process execution)"
+        )
+    return workers
+
+
 @dataclass
 class SweepSpec:
     """Declarative enumeration of one experiment sweep.
@@ -92,8 +114,11 @@ class SweepRunner:
     Parameters
     ----------
     workers:
-        Worker processes for ``map()``.  ``<= 1`` runs in-process (no pool
+        Worker processes for ``map()``.  ``1`` runs in-process (no pool
         is spawned); higher values shard cache misses across a pool.
+        Zero, negative or non-integer counts raise :class:`ValueError`
+        (they used to be clamped silently, which hid typos in ``--workers``
+        and ``REPRO_BENCH_WORKERS``).
     cache:
         Optional :class:`ResultCache`.  Hits skip execution entirely;
         misses are stored after execution (by the parent process, so no
@@ -106,7 +131,7 @@ class SweepRunner:
 
     def __init__(self, workers: int = 1, cache: Optional[ResultCache] = None,
                  start_method: Optional[str] = None) -> None:
-        self.workers = max(int(workers), 1)
+        self.workers = resolve_worker_count(workers)
         self.cache = cache
         self.start_method = start_method
 

@@ -89,7 +89,7 @@ class TestPerceptronConfidence:
         for _ in range(200):
             lookup = estimator.lookup(0x400000, history, predicted_taken=True)
             estimator.update(lookup, was_correct=False, actual_taken=True)
-        assert all(abs(w) <= 7 for w in estimator._weights[estimator._index(0x400000)])
+        assert all(abs(w) <= 7 for w in estimator.weights_for(estimator._index(0x400000)))
 
     def test_disagreement_with_prediction_lowers_bucket(self):
         estimator = PerceptronConfidenceEstimator(index_bits=6, history_bits=8)
