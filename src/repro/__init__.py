@@ -25,7 +25,10 @@ Package map
 ``repro.pipeline``          out-of-order and SMT timing models, gating
 ``repro.applications``      pipeline gating and SMT fetch prioritization drivers
 ``repro.eval``              observers, metrics, harnesses, reports
+``repro.backends``          pluggable simulation backends (cycle, trace)
+``repro.runner``            sweep execution: jobs, worker pool, result cache
 ``repro.experiments``       one driver per paper table / figure
+``repro.campaign``          sharded, resumable paper-scale campaigns
 """
 
 __version__ = "1.0.0"

@@ -16,10 +16,10 @@ benchmark harness and a full reproduction can share the same code path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.eval.harness import GatingResult
-from repro.runner import SweepRunner, gating_job, resolve_runner
+from repro.runner import Job, SweepRunner, gating_job, resolve_runner
 from repro.workloads.suite import benchmark_names
 
 
@@ -52,6 +52,43 @@ def _average(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def sweep_points(config: GatingSweepConfig) -> List[tuple]:
+    """(curve name, reported parameter, mode, harness kwargs) per point,
+    ordered from least to most aggressive within each curve."""
+    points: List[tuple] = [
+        ("paco", probability, "paco", {"gating_probability": probability})
+        for probability in config.paco_probabilities
+    ]
+    for threshold in config.jrs_thresholds:
+        points.extend(
+            (f"jrs-t{threshold}", float(gate_count), "count",
+             {"gate_count": gate_count, "jrs_threshold": threshold})
+            for gate_count in sorted(config.gate_counts, reverse=True)
+        )
+    return points
+
+
+def sweep_jobs(config: GatingSweepConfig) -> List[Job]:
+    """The sweep's whole job list: per-benchmark no-gating baselines first,
+    then every (policy, parameter, benchmark) point.
+
+    This is the single source of truth :func:`run_gating_sweep` executes
+    and the campaign planner shards — both enumerate through here, so the
+    plan cannot drift from the execution.
+    """
+    def job(benchmark: str, mode: str, **extra) -> Job:
+        return gating_job(benchmark, mode=mode,
+                          instructions=config.instructions,
+                          warmup_instructions=config.warmup_instructions,
+                          seed=config.seed, **extra)
+
+    jobs = [job(benchmark, "none") for benchmark in config.benchmarks]
+    for _curve, _parameter, mode, extra in sweep_points(config):
+        jobs.extend(job(benchmark, mode, **extra)
+                    for benchmark in config.benchmarks)
+    return jobs
+
+
 def run_gating_sweep(config: Optional[GatingSweepConfig] = None,
                      runner: Optional[SweepRunner] = None
                      ) -> Dict[str, List[GatingCurvePoint]]:
@@ -68,31 +105,7 @@ def run_gating_sweep(config: Optional[GatingSweepConfig] = None,
     so a parallel runner shards all of it at once.
     """
     cfg = config if config is not None else GatingSweepConfig()
-
-    def job(benchmark: str, mode: str, **extra) -> object:
-        return gating_job(benchmark, mode=mode,
-                          instructions=cfg.instructions,
-                          warmup_instructions=cfg.warmup_instructions,
-                          seed=cfg.seed, **extra)
-
-    # (curve name, reported parameter, mode, harness kwargs), ordered from
-    # least to most aggressive within each curve.
-    sweep_points: List[tuple] = [
-        ("paco", probability, "paco", {"gating_probability": probability})
-        for probability in cfg.paco_probabilities
-    ]
-    for threshold in cfg.jrs_thresholds:
-        sweep_points.extend(
-            (f"jrs-t{threshold}", float(gate_count), "count",
-             {"gate_count": gate_count, "jrs_threshold": threshold})
-            for gate_count in sorted(cfg.gate_counts, reverse=True)
-        )
-
-    jobs = [job(benchmark, "none") for benchmark in cfg.benchmarks]
-    for _curve, _parameter, mode, extra in sweep_points:
-        jobs.extend(job(benchmark, mode, **extra)
-                    for benchmark in cfg.benchmarks)
-    results = resolve_runner(runner).map(jobs)
+    results = resolve_runner(runner).map(sweep_jobs(cfg))
 
     baselines: Dict[str, GatingResult] = dict(
         zip(cfg.benchmarks, results[:len(cfg.benchmarks)])
@@ -101,7 +114,7 @@ def run_gating_sweep(config: Optional[GatingSweepConfig] = None,
     for threshold in cfg.jrs_thresholds:
         curves[f"jrs-t{threshold}"] = []
     cursor = len(cfg.benchmarks)
-    for curve, parameter, _mode, _extra in sweep_points:
+    for curve, parameter, _mode, _extra in sweep_points(cfg):
         losses, reductions, fetch_reductions = [], [], []
         for benchmark in cfg.benchmarks:
             result = results[cursor]

@@ -21,7 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.runner import SweepRunner, resolve_runner, single_ipc_job, smt_job
+from repro.runner import (
+    Job,
+    SweepRunner,
+    resolve_runner,
+    single_ipc_job,
+    smt_job,
+)
 
 #: The 16 benchmark pairs: every benchmark appears three times except gzip
 #: (twice); parser is excluded, matching the paper's constraints.
@@ -80,6 +86,26 @@ class SMTStudyConfig:
     seed: int = 1
 
 
+def study_benchmarks(config: SMTStudyConfig) -> List[str]:
+    """Every benchmark appearing in the study's pairs, sorted."""
+    return sorted({name for pair in config.pairs for name in pair})
+
+
+def single_ipc_jobs(config: SMTStudyConfig) -> List[Job]:
+    """Stage one of the study: each benchmark's single-thread IPC baseline.
+
+    These are the only statically plannable jobs of the study — the SMT
+    stage's job identities embed the IPCs these jobs *measure*, so the
+    second stage can only be enumerated after the first has run.
+    """
+    return [
+        single_ipc_job(benchmark,
+                       instructions=config.single_thread_instructions,
+                       seed=config.seed)
+        for benchmark in study_benchmarks(config)
+    ]
+
+
 def run_smt_study(config: Optional[SMTStudyConfig] = None,
                   runner: Optional[SweepRunner] = None) -> List[SMTPairResult]:
     """Run every pair under every policy and return per-pair HMWIPC tables.
@@ -94,13 +120,8 @@ def run_smt_study(config: Optional[SMTStudyConfig] = None,
     cfg = config if config is not None else SMTStudyConfig()
     sweep = resolve_runner(runner)
 
-    benchmarks = sorted({name for pair in cfg.pairs for name in pair})
-    ipcs = sweep.map([
-        single_ipc_job(benchmark,
-                       instructions=cfg.single_thread_instructions,
-                       seed=cfg.seed)
-        for benchmark in benchmarks
-    ])
+    benchmarks = study_benchmarks(cfg)
+    ipcs = sweep.map(single_ipc_jobs(cfg))
     single_ipcs: Dict[str, float] = dict(zip(benchmarks, ipcs))
 
     policies: List[Tuple[str, str, int]] = []   # (label, policy, threshold)

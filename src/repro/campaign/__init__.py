@@ -1,0 +1,96 @@
+"""Campaign subsystem: sharded, resumable, paper-scale experiment suites.
+
+A *campaign* turns a suite of experiment drivers into a deterministic,
+shardable, resumable unit of work, so paper-scale instruction budgets
+(``--preset paper`` ≈ 100 M instructions per benchmark) can be split
+across machines and merged back into exactly the tables an unsharded run
+would print:
+
+1. **plan** — :func:`~repro.campaign.plan.build_plan` expands a
+   :class:`~repro.campaign.spec.CampaignSpec` (experiments × seeds ×
+   budgets × backend) through every driver's ``jobs()`` into the
+   canonical, content-addressed job list, written to ``campaign.json``.
+2. **run** — :func:`~repro.campaign.shard.run_shard` executes the jobs
+   whose digests hash to one ``--shard i/N`` slice through the ordinary
+   :class:`~repro.runner.sweep.SweepRunner` (workers + result cache),
+   journaling every completion so interrupted shards resume without
+   recomputation, and finally writes a self-describing shard result file.
+3. **merge** — :func:`~repro.campaign.merge.merge_campaign` refuses
+   anything but an exact cover of the plan, then replays the merged
+   per-job results through each driver's ``report()`` — byte-identical
+   output to a single-machine run.
+
+The CLI surface lives in ``python -m repro campaign {plan,run,merge,status}``.
+"""
+
+from repro.campaign.merge import (
+    CampaignCoverageError,
+    CampaignMergeError,
+    MergedCampaign,
+    ReplayRunner,
+    discover_shard_files,
+    merge_campaign,
+    merged_dir,
+    validate_shards,
+)
+from repro.campaign.plan import (
+    CampaignPlan,
+    CampaignPlanError,
+    PlannedJob,
+    build_plan,
+    canonical_experiments,
+    driver_module,
+    load_plan,
+    save_plan,
+    shard_of,
+)
+from repro.campaign.shard import (
+    CampaignShardError,
+    ShardStatus,
+    parse_shard,
+    run_shard,
+    write_shard_result,
+)
+from repro.campaign.spec import (
+    PRESETS,
+    CampaignSpec,
+    CampaignSpecError,
+    preset,
+)
+from repro.campaign.status import (
+    CampaignStatus,
+    ShardProgress,
+    campaign_status,
+)
+
+__all__ = [
+    "CampaignCoverageError",
+    "CampaignMergeError",
+    "CampaignPlan",
+    "CampaignPlanError",
+    "CampaignShardError",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "CampaignStatus",
+    "MergedCampaign",
+    "PRESETS",
+    "PlannedJob",
+    "ReplayRunner",
+    "ShardProgress",
+    "ShardStatus",
+    "build_plan",
+    "campaign_status",
+    "canonical_experiments",
+    "discover_shard_files",
+    "driver_module",
+    "load_plan",
+    "merge_campaign",
+    "merged_dir",
+    "parse_shard",
+    "preset",
+    "run_shard",
+    "save_plan",
+    "shard_of",
+    "validate_shards",
+    "write_shard_result",
+]

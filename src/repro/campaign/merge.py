@@ -1,0 +1,218 @@
+"""Campaign merge: validate shard coverage, replay, aggregate.
+
+The merge step never simulates.  It loads every shard result file,
+verifies the shard set is *exactly* the plan — same plan digest, same
+code version, indices 1..N each present once, no job covered twice, no
+job missing — and then re-runs each experiment driver's ``report`` with a
+:class:`ReplayRunner` that serves every job from the merged result store.
+Because the drivers aggregate the very same deterministic per-job results
+an unsharded run would have produced, the merged tables are byte-identical
+to running ``python -m repro run <experiment>`` at the campaign's budgets
+on one machine.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.jobs import Job
+from repro.campaign.plan import (
+    CampaignPlan,
+    canonical_experiments,
+    driver_module,
+)
+from repro.campaign.shard import shards_dir
+
+MERGED_DIR_NAME = "merged"
+
+_SHARD_FILE_RE = re.compile(r"shard-(\d+)-of-(\d+)\.pkl")
+
+
+class CampaignMergeError(RuntimeError):
+    """Raised when the shard set cannot be merged safely."""
+
+
+class CampaignCoverageError(CampaignMergeError):
+    """Raised when the shard set does not cover the plan exactly."""
+
+
+@dataclass
+class ShardResultFile:
+    """One shard result file, parsed."""
+
+    path: Path
+    shard_index: int
+    shard_count: int
+    plan_digest: str
+    code_version: str
+    results: Dict[str, Any]
+
+
+def discover_shard_files(campaign_dir: Path) -> List[ShardResultFile]:
+    """Load every ``shards/shard-*-of-*.pkl`` under a campaign directory."""
+    directory = shards_dir(campaign_dir)
+    files: List[ShardResultFile] = []
+    if not directory.is_dir():
+        return files
+    for path in sorted(directory.glob("shard-*-of-*.pkl")):
+        if not _SHARD_FILE_RE.fullmatch(path.name):
+            continue
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError) as error:
+            raise CampaignMergeError(
+                f"unreadable shard result file {path}: {error}") from None
+        if payload.get("format") != 1:
+            raise CampaignMergeError(
+                f"unsupported shard result format in {path}")
+        files.append(ShardResultFile(
+            path=path,
+            shard_index=payload["shard_index"],
+            shard_count=payload["shard_count"],
+            plan_digest=payload["plan_digest"],
+            code_version=payload["code_version"],
+            results=payload["results"],
+        ))
+    return files
+
+
+def validate_shards(plan: CampaignPlan,
+                    shard_files: Sequence[ShardResultFile]
+                    ) -> Dict[str, Any]:
+    """Check coverage/overlap and return the merged digest→value store."""
+    if not shard_files:
+        raise CampaignCoverageError(
+            "no shard result files found — run every shard with "
+            "`python -m repro campaign run --shard i/N` first")
+    plan_digest = plan.digest()
+    counts = {file.shard_count for file in shard_files}
+    if len(counts) != 1:
+        raise CampaignMergeError(
+            f"shard files disagree on the shard count: "
+            f"{sorted(counts)} — they belong to different campaign runs")
+    count = counts.pop()
+    indices = sorted(file.shard_index for file in shard_files)
+    if indices != list(range(1, count + 1)):
+        missing = sorted(set(range(1, count + 1)) - set(indices))
+        raise CampaignCoverageError(
+            f"incomplete shard set: have {indices} of 1..{count}"
+            + (f", missing {missing}" if missing else ""))
+    for file in shard_files:
+        if file.plan_digest != plan_digest:
+            raise CampaignMergeError(
+                f"{file.path.name} was produced against a different "
+                f"campaign plan ({file.plan_digest[:12]}… != "
+                f"{plan_digest[:12]}…); re-plan and re-run it")
+    versions = {file.code_version for file in shard_files}
+    if len(versions) != 1:
+        raise CampaignMergeError(
+            f"shard files were produced by {len(versions)} different code "
+            f"versions — results are not comparable; re-run the stale "
+            f"shards")
+
+    store: Dict[str, Any] = {}
+    owners: Dict[str, int] = {}
+    for file in shard_files:
+        for digest, value in file.results.items():
+            if digest in owners:
+                raise CampaignCoverageError(
+                    f"job {digest[:12]}… is covered by both shard "
+                    f"{owners[digest]} and shard {file.shard_index}")
+            owners[digest] = file.shard_index
+            store[digest] = value
+
+    planned = set(plan.job_digests())
+    missing = planned - set(store)
+    extra = set(store) - planned
+    if missing:
+        sample = ", ".join(sorted(missing)[:3])
+        raise CampaignCoverageError(
+            f"{len(missing)} planned job(s) missing from the shard set "
+            f"(e.g. {sample}…)")
+    if extra:
+        sample = ", ".join(sorted(extra)[:3])
+        raise CampaignCoverageError(
+            f"shard set contains {len(extra)} job(s) the plan does not "
+            f"know (e.g. {sample}…)")
+    return store
+
+
+class ReplayRunner:
+    """A drop-in for :class:`~repro.runner.sweep.SweepRunner` that serves
+    every job from a pre-merged result store and never executes.
+
+    A lookup miss is a hard error: the merge must aggregate exactly what
+    the shards measured, never silently re-simulate.
+    """
+
+    workers = 1
+    cache = None
+
+    def __init__(self, store: Dict[str, Any]) -> None:
+        self._store = store
+        self.served = 0
+
+    def map(self, jobs: Sequence[Job]) -> List[Any]:
+        results = []
+        for job in jobs:
+            digest = job.digest()
+            if digest not in self._store:
+                raise CampaignCoverageError(
+                    f"the merged shard set has no result for "
+                    f"{job.label!r} ({digest[:12]}…) — the plan does not "
+                    f"cover everything this driver executes")
+            results.append(self._store[digest])
+            self.served += 1
+        return results
+
+    def run(self, spec) -> List[Any]:
+        return self.map(spec.jobs())
+
+
+@dataclass
+class MergedCampaign:
+    """Outcome of one merge: rendered tables plus where they were written."""
+
+    plan: CampaignPlan
+    texts: Dict[Tuple[str, int], str]      #: (experiment, seed) -> table
+    output_dir: Path
+    files: List[Path]
+
+
+def merged_dir(campaign_dir: Path) -> Path:
+    return Path(campaign_dir) / MERGED_DIR_NAME
+
+
+def merge_campaign(plan: CampaignPlan, campaign_dir: Path,
+                   output_dir: Optional[Path] = None) -> MergedCampaign:
+    """Validate the shard set and aggregate every experiment's report.
+
+    Writes ``<experiment>-seed<k>.txt`` per (experiment, seed) under
+    ``output_dir`` (default ``<campaign-dir>/merged``), byte-identical to
+    the text an unsharded ``report`` at the same settings returns.
+    """
+    campaign_dir = Path(campaign_dir)
+    store = validate_shards(plan, discover_shard_files(campaign_dir))
+    destination = (merged_dir(campaign_dir) if output_dir is None
+                   else Path(output_dir))
+    destination.mkdir(parents=True, exist_ok=True)
+
+    texts: Dict[Tuple[str, int], str] = {}
+    files: List[Path] = []
+    for experiment in canonical_experiments(plan.spec):
+        module = driver_module(experiment)
+        for seed in plan.spec.seeds:
+            runner = ReplayRunner(store)
+            text = module.report(runner=runner,
+                                 **plan.spec.driver_kwargs(seed))
+            texts[(experiment, seed)] = text
+            path = destination / f"{experiment}-seed{seed}.txt"
+            path.write_text(text + "\n", encoding="utf-8")
+            files.append(path)
+    return MergedCampaign(plan=plan, texts=texts, output_dir=destination,
+                          files=files)

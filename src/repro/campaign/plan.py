@@ -1,0 +1,266 @@
+"""Campaign planning: spec → canonical job list → shard assignment.
+
+:func:`build_plan` expands a :class:`~repro.campaign.spec.CampaignSpec`
+into a :class:`CampaignPlan`: the deduplicated, deterministically ordered
+list of every job the campaign's drivers would execute, each annotated
+with the experiments that consume it.  The plan is the contract between
+the three campaign phases — ``run`` executes exactly the planned jobs of
+one shard, ``merge`` refuses to aggregate anything that does not cover
+the plan exactly.
+
+Shard assignment
+----------------
+A job belongs to shard ``i`` of ``N`` iff
+``int(job.digest()[:16], 16) % N == i - 1``.  Keying the assignment on
+the job's *content digest* (not its list position) makes the partition
+
+* deterministic across machines and Python versions,
+* stable under job-list growth: adding an experiment to the spec adds new
+  digests but never moves an existing job to a different shard, so shards
+  that already ran stay valid and only the new work needs executing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.common.fsutil import atomic_write
+from repro.runner.cache import code_version
+from repro.runner.jobs import Job
+from repro.campaign.spec import CampaignSpec
+
+PLAN_FILE_NAME = "campaign.json"
+
+#: Campaign experiment name -> driver module (fig9 is served by fig8's
+#: driver; the planner collapses the alias so the shared jobs plan once).
+DRIVER_MODULES: Dict[str, str] = {
+    "fig2": "repro.experiments.fig2_mdc_rates",
+    "fig3": "repro.experiments.fig3_counter_goodpath",
+    "table7": "repro.experiments.table7_rms",
+    "fig8": "repro.experiments.fig8_9_reliability",
+    "fig9": "repro.experiments.fig8_9_reliability",
+    "fig10": "repro.experiments.fig10_gating",
+    "fig12": "repro.experiments.fig12_smt",
+    "tableA1": "repro.experiments.tableA1_mrt_variants",
+    "ablations": "repro.experiments.ablations",
+}
+
+#: Alias -> canonical experiment name.
+EXPERIMENT_ALIASES: Dict[str, str] = {"fig9": "fig8"}
+
+
+class CampaignPlanError(ValueError):
+    """Raised when a spec cannot be expanded into a job plan."""
+
+
+def driver_module(experiment: str):
+    """Import and return the driver module behind one experiment name."""
+    try:
+        module_name = DRIVER_MODULES[experiment]
+    except KeyError:
+        raise CampaignPlanError(
+            f"unknown experiment {experiment!r} "
+            f"(known: {', '.join(DRIVER_MODULES)})") from None
+    return importlib.import_module(module_name)
+
+
+def canonical_experiments(spec: CampaignSpec) -> List[str]:
+    """The spec's experiments with aliases collapsed, order preserved."""
+    names: List[str] = []
+    for experiment in spec.experiments:
+        canonical = EXPERIMENT_ALIASES.get(experiment, experiment)
+        if canonical not in names:
+            names.append(canonical)
+    return names
+
+
+def shard_of(digest: str, shard_count: int) -> int:
+    """The 1-based shard a job digest belongs to, out of ``shard_count``."""
+    if shard_count < 1:
+        raise CampaignPlanError(f"shard count must be >= 1, "
+                                f"got {shard_count}")
+    return int(digest[:16], 16) % shard_count + 1
+
+
+@dataclass(frozen=True)
+class PlannedJob:
+    """One unique job of the campaign plus the experiments that need it."""
+
+    job: Job
+    sources: Tuple[str, ...]    #: e.g. ("table7@seed1", "fig8@seed1")
+
+    @property
+    def digest(self) -> str:
+        return self.job.digest()
+
+
+@dataclass
+class CampaignPlan:
+    """The expanded, deduplicated job list of one campaign."""
+
+    spec: CampaignSpec
+    planned: List[PlannedJob]
+    code_version: str
+
+    def digest(self) -> str:
+        """Identity of the plan: spec plus every job digest, in order.
+
+        Shard result files carry this hash so a merge can refuse shards
+        that were produced against a different plan.
+        """
+        material = hashlib.sha256(self.spec.canonical().encode("utf-8"))
+        for planned in self.planned:
+            material.update(planned.digest.encode("utf-8"))
+        return material.hexdigest()
+
+    def job_digests(self) -> List[str]:
+        return [planned.digest for planned in self.planned]
+
+    def shard_jobs(self, shard_index: int, shard_count: int
+                   ) -> List[PlannedJob]:
+        """The plan's jobs assigned to shard ``shard_index``/``shard_count``
+        (1-based), in canonical plan order."""
+        if not 1 <= shard_index <= shard_count:
+            raise CampaignPlanError(
+                f"shard index must be in 1..{shard_count}, "
+                f"got {shard_index}")
+        return [planned for planned in self.planned
+                if shard_of(planned.digest, shard_count) == shard_index]
+
+    def to_mapping(self) -> Dict[str, Any]:
+        return {
+            "format": 1,
+            "spec": self.spec.to_mapping(),
+            "code_version": self.code_version,
+            "plan_digest": self.digest(),
+            "jobs": [
+                {
+                    "experiment": planned.job.experiment,
+                    "params_json": planned.job.params_json,
+                    "seed": planned.job.seed,
+                    "backend": planned.job.backend,
+                    "label": planned.job.label,
+                    "digest": planned.digest,
+                    "sources": list(planned.sources),
+                }
+                for planned in self.planned
+            ],
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "CampaignPlan":
+        if mapping.get("format") != 1:
+            raise CampaignPlanError(
+                f"unsupported campaign plan format "
+                f"{mapping.get('format')!r}")
+        spec = CampaignSpec.from_mapping(mapping["spec"])
+        planned: List[PlannedJob] = []
+        for entry in mapping["jobs"]:
+            job = Job(experiment=entry["experiment"],
+                      params_json=entry["params_json"],
+                      seed=entry["seed"],
+                      backend=entry["backend"],
+                      label=entry.get("label", entry["experiment"]))
+            if job.digest() != entry["digest"]:
+                raise CampaignPlanError(
+                    f"job digest mismatch for {job.label!r}: the plan file "
+                    f"records {entry['digest'][:12]}… but the job hashes to "
+                    f"{job.digest()[:12]}… — the plan was hand-edited or "
+                    f"written by an incompatible version")
+            planned.append(PlannedJob(job=job,
+                                      sources=tuple(entry["sources"])))
+        plan = cls(spec=spec, planned=planned,
+                   code_version=mapping["code_version"])
+        recorded = mapping.get("plan_digest")
+        if recorded is not None and recorded != plan.digest():
+            raise CampaignPlanError(
+                "campaign plan digest mismatch — the plan file was modified "
+                "after it was written")
+        return plan
+
+    def summary(self) -> Dict[str, int]:
+        """Job counts per source experiment (shared jobs count for each)."""
+        counts: Dict[str, int] = {}
+        for planned in self.planned:
+            for source in planned.sources:
+                counts[source] = counts.get(source, 0) + 1
+        return counts
+
+
+def build_plan(spec: CampaignSpec) -> CampaignPlan:
+    """Expand a validated spec into the canonical, deduplicated job list.
+
+    Order: experiments in spec order (aliases collapsed), seeds in spec
+    order, then each driver's own job order.  Jobs shared between
+    experiments (identical content digest) are planned once, with every
+    consumer recorded in ``sources``.
+    """
+    spec = spec.validated()
+    by_digest: Dict[str, Job] = {}
+    sources: Dict[str, List[str]] = {}
+    order: List[str] = []
+    for experiment in canonical_experiments(spec):
+        module = driver_module(experiment)
+        if not getattr(module, "CAMPAIGN_PLANNABLE", False):
+            reason = getattr(module, "CAMPAIGN_UNPLANNABLE_REASON",
+                             "its job list is not statically enumerable")
+            raise CampaignPlanError(
+                f"{experiment} cannot join a sharded campaign: {reason}; "
+                f"run `python -m repro run {experiment}` directly instead")
+        for seed in spec.seeds:
+            source = f"{experiment}@seed{seed}"
+            try:
+                job_list = module.jobs(**spec.driver_kwargs(seed))
+            except ValueError as error:
+                raise CampaignPlanError(
+                    f"cannot plan {experiment}: {error}") from None
+            for job in job_list:
+                digest = job.digest()
+                if digest not in by_digest:
+                    by_digest[digest] = job
+                    sources[digest] = []
+                    order.append(digest)
+                if source not in sources[digest]:
+                    sources[digest].append(source)
+    planned = [PlannedJob(job=by_digest[digest],
+                          sources=tuple(sources[digest]))
+               for digest in order]
+    if not planned:
+        raise CampaignPlanError("the campaign plans zero jobs")
+    return CampaignPlan(spec=spec, planned=planned,
+                        code_version=code_version())
+
+
+def plan_path(campaign_dir: Path) -> Path:
+    return Path(campaign_dir) / PLAN_FILE_NAME
+
+
+def save_plan(plan: CampaignPlan, campaign_dir: Path) -> Path:
+    """Write ``campaign.json`` atomically; returns its path."""
+    path = plan_path(Path(campaign_dir))
+    payload = json.dumps(plan.to_mapping(), indent=2, sort_keys=True)
+    atomic_write(path, lambda handle: handle.write(payload + "\n"),
+                 mode="w", encoding="utf-8")
+    return path
+
+
+def load_plan(campaign_dir: Path) -> CampaignPlan:
+    """Read and verify ``campaign.json`` from a campaign directory."""
+    path = plan_path(campaign_dir)
+    if not path.is_file():
+        raise CampaignPlanError(
+            f"no campaign plan at {path} — run "
+            f"`python -m repro campaign plan` first")
+    with path.open("r", encoding="utf-8") as handle:
+        try:
+            mapping = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise CampaignPlanError(
+                f"campaign plan {path} is not valid JSON: {error}"
+            ) from None
+    return CampaignPlan.from_mapping(mapping)

@@ -1,0 +1,284 @@
+"""Shard execution: run one slice of a campaign, journaled and resumable.
+
+A shard owns the planned jobs whose digests hash to its index (see
+:func:`repro.campaign.plan.shard_of`).  Execution goes through the
+caller's :class:`~repro.runner.sweep.SweepRunner` — worker pools and the
+shared result cache keep working exactly as in ``python -m repro run`` —
+in small batches, and after every batch each finished job is persisted
+*twice*:
+
+* its value is pickled to ``shards/values/<digest>.pkl`` (atomic
+  temp-file + rename), and
+* one JSON line ``{"digest": …, "label": …, "code_version": …}`` is
+  appended to the shard's journal
+  ``shards/shard-<i>-of-<N>.journal.jsonl`` and flushed.
+
+The value is written before the journal line, so a crash between the two
+at worst re-executes one job; a journal entry whose value file is missing
+is ignored on resume.  Re-invoking an interrupted shard therefore skips
+every journaled job and continues with the remainder — no recomputation.
+Journal entries carry the code version that produced them, and resume
+only honours entries matching the *current* code version — editing the
+simulator between invocations re-executes the stale jobs instead of
+silently mixing results from two code states (the same semantics as a
+:class:`~repro.runner.cache.ResultCache` miss after a source change).
+
+When the last assigned job is journaled the shard writes its
+self-describing result file ``shards/shard-<i>-of-<N>.pkl`` (plan
+digest, the executing code version, shard coordinates, every result),
+which is what :mod:`repro.campaign.merge` consumes — and where shards
+run against different code states are caught.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.fsutil import atomic_write
+from repro.runner.cache import code_version
+from repro.runner.sweep import SweepRunner
+from repro.campaign.plan import CampaignPlan
+
+SHARDS_DIR_NAME = "shards"
+VALUES_DIR_NAME = "values"
+
+
+class CampaignShardError(RuntimeError):
+    """Raised when a shard invocation cannot execute safely."""
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``i/N`` shard coordinate (1-based), e.g. ``"2/4"``."""
+    match = re.fullmatch(r"\s*(\d+)\s*/\s*(\d+)\s*", text)
+    if not match:
+        raise CampaignShardError(
+            f"invalid shard {text!r}: expected i/N, e.g. --shard 2/4")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise CampaignShardError(
+            f"invalid shard {text!r}: index must be in 1..count")
+    return index, count
+
+
+def shards_dir(campaign_dir: Path) -> Path:
+    return Path(campaign_dir) / SHARDS_DIR_NAME
+
+
+def values_dir(campaign_dir: Path) -> Path:
+    return shards_dir(campaign_dir) / VALUES_DIR_NAME
+
+
+def journal_path(campaign_dir: Path, index: int, count: int) -> Path:
+    return shards_dir(campaign_dir) / f"shard-{index:03d}-of-{count:03d}.journal.jsonl"
+
+
+def result_path(campaign_dir: Path, index: int, count: int) -> Path:
+    return shards_dir(campaign_dir) / f"shard-{index:03d}-of-{count:03d}.pkl"
+
+
+def _value_path(campaign_dir: Path, digest: str) -> Path:
+    return values_dir(campaign_dir) / f"{digest}.pkl"
+
+
+def _write_pickle_atomic(path: Path, payload: Any) -> None:
+    atomic_write(path, lambda handle: pickle.dump(
+        payload, handle, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def read_journal(path: Path) -> List[Dict[str, Any]]:
+    """Parse a journal tolerantly: a truncated trailing line (the shard
+    was killed mid-append) is ignored, everything before it counts."""
+    if not path.is_file():
+        return []
+    entries: List[Dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue   # torn tail of an interrupted append
+            if isinstance(entry, dict) and "digest" in entry:
+                entries.append(entry)
+    return entries
+
+
+def load_value(campaign_dir: Path, digest: str) -> Tuple[bool, Any]:
+    """Load one persisted job value; ``(False, None)`` if absent/torn."""
+    path = _value_path(campaign_dir, digest)
+    try:
+        with path.open("rb") as handle:
+            return True, pickle.load(handle)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        return False, None
+
+
+@dataclass
+class ShardStatus:
+    """Outcome of one ``campaign run`` invocation."""
+
+    shard_index: int
+    shard_count: int
+    assigned: int                 #: jobs the plan assigns to this shard
+    resumed: int                  #: journaled before this invocation
+    executed: int                 #: executed by this invocation
+    completed: int                #: journaled after this invocation
+    elapsed_seconds: float
+    finished: bool                #: every assigned job is journaled
+    result_file: Optional[Path] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.assigned - self.completed
+
+
+def completed_digests(campaign_dir: Path, index: int, count: int,
+                      version: Optional[str] = None) -> Set[str]:
+    """Digests this shard has durably finished (journal ∩ value files).
+
+    When ``version`` is given, only journal entries produced by that code
+    version count — entries from an older code state are stale and their
+    jobs re-execute on resume, exactly like a result-cache miss after a
+    source edit.
+    """
+    campaign_dir = Path(campaign_dir)
+    done: Set[str] = set()
+    for entry in read_journal(journal_path(campaign_dir, index, count)):
+        if version is not None and entry.get("code_version") != version:
+            continue
+        digest = entry["digest"]
+        if _value_path(campaign_dir, digest).is_file():
+            done.add(digest)
+    return done
+
+
+def run_shard(plan: CampaignPlan, shard_index: int, shard_count: int,
+              campaign_dir: Path, runner: Optional[SweepRunner] = None,
+              max_jobs: Optional[int] = None,
+              echo: Optional[Callable[[str], None]] = None) -> ShardStatus:
+    """Execute (or resume) one shard of a campaign.
+
+    ``max_jobs`` bounds how many *pending* jobs this invocation executes —
+    useful for smoke runs and for draining a shard in time-boxed slices;
+    the journal makes every prefix durable either way.
+    """
+    campaign_dir = Path(campaign_dir)
+    runner = runner if runner is not None else SweepRunner()
+    say = echo if echo is not None else (lambda message: None)
+    started = time.perf_counter()
+    version = code_version()
+
+    assigned = plan.shard_jobs(shard_index, shard_count)
+    all_journaled = completed_digests(campaign_dir, shard_index,
+                                      shard_count)
+    done = completed_digests(campaign_dir, shard_index, shard_count,
+                             version=version)
+    planned_digests = {planned.digest for planned in assigned}
+    stale = all_journaled - planned_digests
+    if stale:
+        raise CampaignShardError(
+            f"journal {journal_path(campaign_dir, shard_index, shard_count)} "
+            f"records {len(stale)} job(s) the plan does not assign to shard "
+            f"{shard_index}/{shard_count} — the campaign directory holds "
+            f"state from a different plan; use a fresh directory")
+    pending = [planned for planned in assigned if planned.digest not in done]
+    truncated = max_jobs is not None and len(pending) > max_jobs
+    if truncated:
+        pending = pending[:max_jobs]
+
+    resumed = len(done)
+    outdated = len(all_journaled & planned_digests) - resumed
+    if outdated:
+        say(f"shard {shard_index}/{shard_count}: {outdated} journaled "
+            f"job(s) were produced by a different code version and will "
+            f"re-execute")
+    if resumed:
+        say(f"resuming shard {shard_index}/{shard_count}: {resumed} of "
+            f"{len(assigned)} job(s) already journaled")
+
+    executed = 0
+    cache_hits_before = runner.cache.stats.hits if runner.cache else 0
+    cache_misses_before = runner.cache.stats.misses if runner.cache else 0
+    journal = journal_path(campaign_dir, shard_index, shard_count)
+    journal.parent.mkdir(parents=True, exist_ok=True)
+    batch_size = max(1, runner.workers)
+    with journal.open("a", encoding="utf-8") as handle:
+        for start in range(0, len(pending), batch_size):
+            batch = pending[start:start + batch_size]
+            values = runner.map([planned.job for planned in batch])
+            for planned, value in zip(batch, values):
+                _write_pickle_atomic(
+                    _value_path(campaign_dir, planned.digest), value)
+                handle.write(json.dumps(
+                    {"digest": planned.digest,
+                     "label": planned.job.label,
+                     "code_version": version}) + "\n")
+                handle.flush()
+                executed += 1
+            say(f"shard {shard_index}/{shard_count}: "
+                f"{resumed + executed}/{len(assigned)} job(s) done")
+
+    completed = resumed + executed
+    finished = completed == len(assigned)
+    status = ShardStatus(
+        shard_index=shard_index,
+        shard_count=shard_count,
+        assigned=len(assigned),
+        resumed=resumed,
+        executed=executed,
+        completed=completed,
+        elapsed_seconds=time.perf_counter() - started,
+        finished=finished,
+        cache_hits=(runner.cache.stats.hits - cache_hits_before
+                    if runner.cache else 0),
+        cache_misses=(runner.cache.stats.misses - cache_misses_before
+                      if runner.cache else 0),
+    )
+    if finished:
+        status.result_file = write_shard_result(
+            plan, shard_index, shard_count, campaign_dir)
+        say(f"shard {shard_index}/{shard_count} complete: "
+            f"{status.result_file}")
+    return status
+
+
+def write_shard_result(plan: CampaignPlan, shard_index: int,
+                       shard_count: int, campaign_dir: Path) -> Path:
+    """Collect a finished shard's values into its self-describing result
+    file (every value must already be persisted).
+
+    The file records the *executing* code version — not the version
+    ``campaign.json`` was planned under — so a merge can detect shards
+    that ran against different code states.
+    """
+    campaign_dir = Path(campaign_dir)
+    results: Dict[str, Any] = {}
+    for planned in plan.shard_jobs(shard_index, shard_count):
+        present, value = load_value(campaign_dir, planned.digest)
+        if not present:
+            raise CampaignShardError(
+                f"shard {shard_index}/{shard_count} is missing the value "
+                f"of {planned.job.label!r} ({planned.digest[:12]}…); "
+                f"re-run the shard")
+        results[planned.digest] = value
+    path = result_path(campaign_dir, shard_index, shard_count)
+    _write_pickle_atomic(path, {
+        "format": 1,
+        "campaign": plan.spec.name,
+        "plan_digest": plan.digest(),
+        "code_version": code_version(),
+        "shard_index": shard_index,
+        "shard_count": shard_count,
+        "results": results,
+    })
+    return path

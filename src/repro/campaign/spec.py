@@ -1,0 +1,183 @@
+"""Campaign specifications: what a paper-scale measurement campaign runs.
+
+A :class:`CampaignSpec` names a suite of experiment drivers, the seeds to
+run them at, and optional overrides (benchmark subset, instruction
+budgets, simulation backend).  It is deliberately plain data — everything
+JSON-serializable — so that a spec round-trips through ``campaign.json``
+byte-identically and hashes into a stable campaign identity.
+
+Two presets ship with the subsystem:
+
+``paper``
+    The predictor-level figure/table suite at paper-scale instruction
+    budgets (100 M instructions per benchmark) on the fast trace-replay
+    backend.  This is the budget the source paper measures at; it is only
+    reachable through sharded campaigns plus the result cache.
+``ci``
+    A tiny smoke campaign (two drivers, thousands of instructions) used
+    by the CI campaign-smoke job and the test suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.workloads.suite import resolve_benchmarks
+
+
+class CampaignSpecError(ValueError):
+    """Raised when a campaign spec cannot possibly execute."""
+
+
+#: Experiment drivers a campaign may name (fig9 is an alias of fig8, and
+#: fig12 is rejected at plan time — see :mod:`repro.campaign.plan`).
+KNOWN_EXPERIMENTS = ("fig2", "fig3", "table7", "fig8", "fig9", "fig10",
+                     "fig12", "tableA1", "ablations")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign: experiments × seeds × budgets × backend.
+
+    ``None`` overrides mean "the driver's own default" — a spec with only
+    ``experiments`` set plans exactly the jobs ``python -m repro run``
+    would execute driver by driver.
+    """
+
+    name: str
+    experiments: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (1,)
+    benchmarks: Optional[Tuple[str, ...]] = None
+    instructions: Optional[int] = None
+    warmup_instructions: Optional[int] = None
+    backend: Optional[str] = None
+    quick: bool = False
+
+    def validated(self) -> "CampaignSpec":
+        """Return self after checking every field can plan; raise otherwise."""
+        if not self.name or not self.name.strip():
+            raise CampaignSpecError("campaign name must not be empty")
+        if not self.experiments:
+            raise CampaignSpecError("campaign must name at least one "
+                                    "experiment")
+        for experiment in self.experiments:
+            if experiment not in KNOWN_EXPERIMENTS:
+                raise CampaignSpecError(
+                    f"unknown experiment {experiment!r} "
+                    f"(known: {', '.join(KNOWN_EXPERIMENTS)})")
+        if not self.seeds:
+            raise CampaignSpecError("campaign must run at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise CampaignSpecError(f"duplicate seeds in {self.seeds}")
+        for seed in self.seeds:
+            if not isinstance(seed, int):
+                raise CampaignSpecError(f"seed {seed!r} is not an integer")
+        if self.benchmarks is not None:
+            try:
+                resolve_benchmarks(self.benchmarks)
+            except ValueError as error:
+                raise CampaignSpecError(str(error)) from None
+        for label, value in (("instructions", self.instructions),
+                             ("warmup_instructions",
+                              self.warmup_instructions)):
+            if value is not None and (not isinstance(value, int)
+                                      or value <= 0):
+                raise CampaignSpecError(
+                    f"{label} must be a positive integer, got {value!r}")
+        if self.backend is not None:
+            from repro.backends import backend_names
+            if self.backend not in backend_names():
+                raise CampaignSpecError(
+                    f"unknown backend {self.backend!r} "
+                    f"(known: {', '.join(sorted(backend_names()))})")
+        return self
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """Plain JSON-serializable form (tuples become lists)."""
+        return {
+            "name": self.name,
+            "experiments": list(self.experiments),
+            "seeds": list(self.seeds),
+            "benchmarks": (None if self.benchmarks is None
+                           else list(self.benchmarks)),
+            "instructions": self.instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "backend": self.backend,
+            "quick": self.quick,
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "CampaignSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(mapping) - known
+        if unknown:
+            raise CampaignSpecError(
+                f"unknown campaign spec field(s): {sorted(unknown)}")
+        data = dict(mapping)
+        for key in ("experiments", "seeds"):
+            if key in data and data[key] is not None:
+                data[key] = tuple(data[key])
+        if data.get("benchmarks") is not None:
+            data["benchmarks"] = tuple(data["benchmarks"])
+        return cls(**data).validated()
+
+    def canonical(self) -> str:
+        """Canonical JSON identity (stable across processes and runs)."""
+        return json.dumps(self.to_mapping(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Content hash of the spec."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    def driver_kwargs(self, seed: int) -> Dict[str, Any]:
+        """The uniform keyword arguments handed to a driver's
+        ``jobs``/``report`` for one seed of this campaign."""
+        return {
+            "benchmarks": (None if self.benchmarks is None
+                           else list(self.benchmarks)),
+            "instructions": self.instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "seed": seed,
+            "quick": self.quick,
+            "backend": self.backend,
+        }
+
+
+#: The shipped campaign presets, by name.
+PRESETS: Dict[str, CampaignSpec] = {
+    # Paper-scale predictor-level suite: 100M instructions per benchmark
+    # on the trace backend.  fig10/fig12 stay off this preset — they need
+    # the cycle model, whose paper-scale budgets are a separate (much
+    # longer) campaign.
+    "paper": CampaignSpec(
+        name="paper",
+        experiments=("fig2", "fig3", "table7", "fig8", "tableA1"),
+        seeds=(1,),
+        instructions=100_000_000,
+        warmup_instructions=1_000_000,
+        backend="trace",
+    ),
+    # Tiny smoke campaign for CI and the test suite.
+    "ci": CampaignSpec(
+        name="ci",
+        experiments=("table7", "fig3"),
+        seeds=(1,),
+        instructions=6_000,
+        warmup_instructions=2_000,
+        backend="trace",
+    ),
+}
+
+
+def preset(name: str) -> CampaignSpec:
+    """Look up a shipped preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise CampaignSpecError(
+            f"unknown preset {name!r} (known: {', '.join(sorted(PRESETS))})"
+        ) from None

@@ -1,0 +1,117 @@
+"""Campaign status: how far along a campaign directory is.
+
+Progress is reconstructed purely from on-disk artefacts — the plan file,
+shard journals, shard result files and the merged output directory — so
+``campaign status`` can be asked from any machine that sees the campaign
+directory, at any point of the campaign's life.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.runner.cache import code_version
+from repro.campaign.merge import merged_dir
+from repro.campaign.plan import CampaignPlan
+from repro.campaign.shard import completed_digests, result_path, shards_dir
+
+_JOURNAL_RE = re.compile(r"shard-(\d+)-of-(\d+)\.journal\.jsonl")
+
+
+@dataclass
+class ShardProgress:
+    """One shard's journal/result state."""
+
+    shard_index: int
+    shard_count: int
+    assigned: int
+    completed: int
+    has_result_file: bool
+
+    @property
+    def finished(self) -> bool:
+        return self.completed >= self.assigned
+
+
+@dataclass
+class CampaignStatus:
+    """Aggregate progress of one campaign directory."""
+
+    plan: CampaignPlan
+    shard_count: Optional[int]   #: None until a shard starts, or if mixed
+    shards: List[ShardProgress] = field(default_factory=list)
+    merged_files: List[Path] = field(default_factory=list)
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.plan.planned)
+
+    @property
+    def completed_jobs(self) -> int:
+        return sum(shard.completed for shard in self.shards)
+
+    @property
+    def started_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def finished_shards(self) -> int:
+        return sum(1 for shard in self.shards if shard.finished)
+
+    @property
+    def mixed_shard_counts(self) -> bool:
+        """True when journals disagree on the shard count — the directory
+        was run with more than one ``--shard i/N`` partitioning and the
+        per-shard numbers cannot be summed meaningfully."""
+        return len({shard.shard_count for shard in self.shards}) > 1
+
+
+def campaign_status(plan: CampaignPlan,
+                    campaign_dir: Path) -> CampaignStatus:
+    """Reconstruct a campaign's progress from its directory.
+
+    Only file *names* and journals are read — shard result pickles are
+    never loaded, so status stays cheap at paper scale and cannot trip
+    over an unreadable result file.  Journals are keyed by their full
+    ``(index, count)`` coordinate: running the same directory with two
+    different ``--shard i/N`` partitionings shows both, flagged through
+    :attr:`CampaignStatus.mixed_shard_counts` instead of silently
+    shadowing one another.
+    """
+    campaign_dir = Path(campaign_dir)
+    directory = shards_dir(campaign_dir)
+    coordinates: List[tuple] = []
+    if directory.is_dir():
+        for path in sorted(directory.glob("shard-*.journal.jsonl")):
+            match = _JOURNAL_RE.fullmatch(path.name)
+            if match:
+                coordinates.append((int(match.group(1)),
+                                    int(match.group(2))))
+    counts = {count for _index, count in coordinates}
+    shard_count = counts.pop() if len(counts) == 1 else None
+
+    # Completion is counted against the *current* code version — exactly
+    # the entries a resumed `campaign run` would skip.  After a source
+    # edit, a previously finished shard truthfully drops back to 0/N
+    # (its journaled results are stale and will re-execute).
+    version = code_version()
+    shards: List[ShardProgress] = []
+    for index, count in sorted(coordinates, key=lambda c: (c[1], c[0])):
+        shards.append(ShardProgress(
+            shard_index=index,
+            shard_count=count,
+            assigned=len(plan.shard_jobs(index, count)),
+            completed=len(completed_digests(campaign_dir, index, count,
+                                            version=version)),
+            has_result_file=result_path(campaign_dir, index,
+                                        count).is_file(),
+        ))
+
+    merged = merged_dir(campaign_dir)
+    merged_files = (sorted(merged.glob("*.txt")) if merged.is_dir()
+                    else [])
+    return CampaignStatus(plan=plan, shard_count=shard_count,
+                          shards=shards, merged_files=merged_files)

@@ -1,0 +1,44 @@
+"""Small filesystem utilities shared across the package.
+
+Currently one primitive: :func:`atomic_write`, the publish-by-rename
+pattern used everywhere a file must never be observable half-written —
+result-cache entries, campaign plan files, shard journals' value store
+and shard result files.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+
+def atomic_write(path: Path, write: Callable[[Any], None],
+                 mode: str = "wb",
+                 encoding: Optional[str] = None) -> None:
+    """Write ``path`` atomically: temp file in the same directory, then
+    :func:`os.replace`.
+
+    ``write`` receives the open temp-file handle and does the actual
+    serialization.  Concurrent writers each publish via their own temp
+    file, so a reader can only ever observe a complete file (the old one
+    or a new one), never a torn write.  On failure the temp file is
+    removed without masking the original error.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode=mode, encoding=encoding, dir=path.parent, prefix=path.name,
+        suffix=".tmp", delete=False,
+    )
+    try:
+        with handle:
+            write(handle)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise

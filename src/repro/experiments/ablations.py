@@ -17,10 +17,10 @@ design choice are directly visible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.eval.reports import format_table
-from repro.runner import SweepRunner, accuracy_job, resolve_runner
+from repro.runner import Job, SweepRunner, accuracy_job, resolve_runner
 
 DEFAULT_BENCHMARKS = ("parser", "twolf", "gzip", "bzip2")
 
@@ -28,6 +28,43 @@ DEFAULT_BENCHMARKS = ("parser", "twolf", "gzip", "bzip2")
 #: cycle model by default (their golden snapshot is cycle-backend ground
 #: truth); pass backend="trace" for quick exploratory sweeps.
 DEFAULT_BACKEND = "cycle"
+
+#: Full-scale sweep axes and budgets (the ``run_*`` defaults, shared with
+#: ``jobs`` so campaign planning cannot drift from execution).
+DEFAULT_PERIODS = (5_000, 20_000, 100_000, 200_000)
+DEFAULT_SCALES = (256, 512, 1024, 2048)
+DEFAULT_INSTRUCTIONS = 30_000
+DEFAULT_WARMUP_INSTRUCTIONS = 15_000
+
+#: All three ablations are enumerable up front, so campaigns can shard them.
+CAMPAIGN_PLANNABLE = True
+
+
+def _relog_variants(periods: Sequence[int]) -> Dict[str, dict]:
+    return {f"relog={p}": {"relog_period_cycles": p} for p in periods}
+
+
+def _scale_variants(scales: Sequence[int]) -> Dict[str, dict]:
+    return {f"scale={s}": {"scale": s, "relog_period_cycles": 20_000}
+            for s in scales}
+
+
+def _log_circuit_variants() -> Dict[str, dict]:
+    return {
+        "mitchell-log": {"use_mitchell_log": True, "relog_period_cycles": 20_000},
+        "exact-log": {"use_mitchell_log": False, "relog_period_cycles": 20_000},
+    }
+
+
+def _clamp(quick: bool, benchmarks: Sequence[str], instructions: int,
+           warmup_instructions: int) -> Tuple[Tuple[str, ...], int, int]:
+    """The shared quick-mode budget clamps of every ablation."""
+    benchmarks = tuple(benchmarks)
+    if quick:
+        benchmarks = benchmarks[:2]
+        instructions = min(instructions, 20_000)
+        warmup_instructions = min(warmup_instructions, 10_000)
+    return benchmarks, instructions, warmup_instructions
 
 
 @dataclass
@@ -50,29 +87,78 @@ class AblationResult:
         return rows
 
 
-def _measure(variants: Dict[str, dict], benchmarks: Sequence[str],
-             instructions: int, warmup_instructions: int, seed: int,
-             runner: Optional[SweepRunner] = None,
-             backend: str = DEFAULT_BACKEND) -> AblationResult:
+def _points_and_jobs(variants: Dict[str, dict], benchmarks: Sequence[str],
+                     instructions: int, warmup_instructions: int, seed: int,
+                     backend: str
+                     ) -> Tuple[List[Tuple[str, str]], List[Job]]:
     points = [(label, benchmark)
               for benchmark in benchmarks for label in variants]
-    results = resolve_runner(runner).map([
+    return points, [
         accuracy_job(benchmark, instructions=instructions,
                      warmup_instructions=warmup_instructions, seed=seed,
                      paco_variant=variants[label], backend=backend)
         for label, benchmark in points
-    ])
+    ]
+
+
+def _measure(variants: Dict[str, dict], benchmarks: Sequence[str],
+             instructions: int, warmup_instructions: int, seed: int,
+             runner: Optional[SweepRunner] = None,
+             backend: str = DEFAULT_BACKEND) -> AblationResult:
+    points, job_list = _points_and_jobs(variants, benchmarks, instructions,
+                                        warmup_instructions, seed, backend)
+    results = resolve_runner(runner).map(job_list)
     rms: Dict[str, Dict[str, float]] = {label: {} for label in variants}
     for (label, benchmark), result in zip(points, results):
         rms[label][benchmark] = result.rms_errors["paco"]
     return AblationResult(rms_by_variant=rms)
 
 
+def _variant_suites(quick: bool) -> List[Dict[str, dict]]:
+    """The three ablation sweeps' variant tables, in ``main`` order."""
+    return [
+        _relog_variants(DEFAULT_PERIODS[:3] if quick else DEFAULT_PERIODS),
+        _scale_variants(DEFAULT_SCALES[:2] if quick else DEFAULT_SCALES),
+        _log_circuit_variants(),
+    ]
+
+
+def _defaults(benchmarks: Optional[Sequence[str]],
+              instructions: Optional[int],
+              warmup_instructions: Optional[int],
+              backend: Optional[str]):
+    """Resolve ``None`` overrides to the ablations' full-scale defaults —
+    the single resolution shared by ``jobs`` and ``report``, so planned
+    and executed budgets cannot drift apart."""
+    return (DEFAULT_BENCHMARKS if benchmarks is None else tuple(benchmarks),
+            DEFAULT_INSTRUCTIONS if instructions is None else instructions,
+            (DEFAULT_WARMUP_INSTRUCTIONS if warmup_instructions is None
+             else warmup_instructions),
+            DEFAULT_BACKEND if backend is None else backend)
+
+
+def jobs(*, benchmarks: Optional[Sequence[str]] = None,
+         instructions: Optional[int] = None,
+         warmup_instructions: Optional[int] = None,
+         seed: int = 1, quick: bool = False,
+         backend: Optional[str] = None) -> List[Job]:
+    """Every job the three ablations execute, for campaign planning."""
+    benchmarks, instructions, warmup_instructions, backend = _defaults(
+        benchmarks, instructions, warmup_instructions, backend)
+    bench, instr, warmup = _clamp(quick, benchmarks, instructions,
+                                  warmup_instructions)
+    job_list: List[Job] = []
+    for variants in _variant_suites(quick):
+        job_list.extend(_points_and_jobs(variants, bench, instr, warmup,
+                                         seed, backend)[1])
+    return job_list
+
+
 def run_relog_period_ablation(
-        periods: Sequence[int] = (5_000, 20_000, 100_000, 200_000),
+        periods: Sequence[int] = DEFAULT_PERIODS,
         benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
-        instructions: int = 30_000,
-        warmup_instructions: int = 15_000,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_instructions: int = DEFAULT_WARMUP_INSTRUCTIONS,
         seed: int = 1,
         quick: bool = False,
         runner: Optional[SweepRunner] = None,
@@ -80,19 +166,17 @@ def run_relog_period_ablation(
     """Sweep the MRT re-logarithmizing period."""
     if quick:
         periods = tuple(periods)[:3]
-        benchmarks = tuple(benchmarks)[:2]
-        instructions = min(instructions, 20_000)
-        warmup_instructions = min(warmup_instructions, 10_000)
-    variants = {f"relog={p}": {"relog_period_cycles": p} for p in periods}
-    return _measure(variants, benchmarks, instructions, warmup_instructions,
-                    seed, runner, backend=backend)
+    benchmarks, instructions, warmup_instructions = _clamp(
+        quick, benchmarks, instructions, warmup_instructions)
+    return _measure(_relog_variants(periods), benchmarks, instructions,
+                    warmup_instructions, seed, runner, backend=backend)
 
 
 def run_scale_ablation(
-        scales: Sequence[int] = (256, 512, 1024, 2048),
+        scales: Sequence[int] = DEFAULT_SCALES,
         benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
-        instructions: int = 30_000,
-        warmup_instructions: int = 15_000,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_instructions: int = DEFAULT_WARMUP_INSTRUCTIONS,
         seed: int = 1,
         quick: bool = False,
         runner: Optional[SweepRunner] = None,
@@ -100,53 +184,57 @@ def run_scale_ablation(
     """Sweep the encoded-probability scale factor."""
     if quick:
         scales = tuple(scales)[:2]
-        benchmarks = tuple(benchmarks)[:2]
-        instructions = min(instructions, 20_000)
-        warmup_instructions = min(warmup_instructions, 10_000)
-    variants = {
-        f"scale={s}": {"scale": s, "relog_period_cycles": 20_000} for s in scales
-    }
-    return _measure(variants, benchmarks, instructions, warmup_instructions,
-                    seed, runner, backend=backend)
+    benchmarks, instructions, warmup_instructions = _clamp(
+        quick, benchmarks, instructions, warmup_instructions)
+    return _measure(_scale_variants(scales), benchmarks, instructions,
+                    warmup_instructions, seed, runner, backend=backend)
 
 
 def run_log_circuit_ablation(
         benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
-        instructions: int = 30_000,
-        warmup_instructions: int = 15_000,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_instructions: int = DEFAULT_WARMUP_INSTRUCTIONS,
         seed: int = 1,
         quick: bool = False,
         runner: Optional[SweepRunner] = None,
         backend: str = DEFAULT_BACKEND) -> AblationResult:
     """Mitchell log circuit vs. exact floating-point logarithms."""
-    if quick:
-        benchmarks = tuple(benchmarks)[:2]
-        instructions = min(instructions, 20_000)
-        warmup_instructions = min(warmup_instructions, 10_000)
-    variants = {
-        "mitchell-log": {"use_mitchell_log": True, "relog_period_cycles": 20_000},
-        "exact-log": {"use_mitchell_log": False, "relog_period_cycles": 20_000},
-    }
-    return _measure(variants, benchmarks, instructions, warmup_instructions,
-                    seed, runner, backend=backend)
+    benchmarks, instructions, warmup_instructions = _clamp(
+        quick, benchmarks, instructions, warmup_instructions)
+    return _measure(_log_circuit_variants(), benchmarks, instructions,
+                    warmup_instructions, seed, runner, backend=backend)
+
+
+def report(*, runner: Optional[SweepRunner] = None,
+           benchmarks: Optional[Sequence[str]] = None,
+           instructions: Optional[int] = None,
+           warmup_instructions: Optional[int] = None,
+           seed: int = 1, quick: bool = False,
+           backend: Optional[str] = None) -> str:
+    """Run all three ablations and return their concatenated tables."""
+    benchmarks, instructions, warmup_instructions, backend = _defaults(
+        benchmarks, instructions, warmup_instructions, backend)
+    common = dict(
+        benchmarks=benchmarks, instructions=instructions,
+        warmup_instructions=warmup_instructions,
+        seed=seed, quick=quick, runner=runner, backend=backend,
+    )
+    parts = []
+    for title, result in [
+        ("Re-logarithmizing period", run_relog_period_ablation(**common)),
+        ("Encoded-probability scale", run_scale_ablation(**common)),
+        ("Log circuit", run_log_circuit_ablation(**common)),
+    ]:
+        bench_columns = list(next(iter(result.rms_by_variant.values())).keys())
+        headers = ["variant"] + bench_columns + ["mean"]
+        parts.append(format_table(headers, result.rows(),
+                                  title=f"Ablation — {title}"))
+    return "\n\n".join(parts)
 
 
 def main(runner: Optional[SweepRunner] = None, quick: bool = False,
          backend: str = DEFAULT_BACKEND) -> str:
-    parts = []
-    for title, result in [
-        ("Re-logarithmizing period",
-         run_relog_period_ablation(quick=quick, runner=runner, backend=backend)),
-        ("Encoded-probability scale",
-         run_scale_ablation(quick=quick, runner=runner, backend=backend)),
-        ("Log circuit",
-         run_log_circuit_ablation(quick=quick, runner=runner, backend=backend)),
-    ]:
-        benchmarks = list(next(iter(result.rms_by_variant.values())).keys())
-        headers = ["variant"] + benchmarks + ["mean"]
-        parts.append(format_table(headers, result.rows(),
-                                  title=f"Ablation — {title}"))
-    text = "\n\n".join(parts)
+    text = report(runner=runner, quick=quick, backend=backend)
     print(text)
     return text
 

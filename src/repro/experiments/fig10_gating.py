@@ -9,17 +9,19 @@ conventional predictors harder costs performance quickly.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.applications.pipeline_gating import (
     GatingCurvePoint,
     GatingSweepConfig,
     average_curves,
     run_gating_sweep,
+    sweep_jobs,
 )
 from repro.eval.reports import format_table
-from repro.runner import SweepRunner
+from repro.runner import Job, SweepRunner
 
 #: Reduced sweep used by the quick (pytest-benchmark) configuration.
 QUICK_CONFIG = GatingSweepConfig(
@@ -30,6 +32,46 @@ QUICK_CONFIG = GatingSweepConfig(
     instructions=30_000,
     warmup_instructions=12_000,
 )
+
+#: Gating consumes IPC and wrong-path execution, which only the cycle
+#: backend models; the campaign planner rejects any other backend.
+DEFAULT_BACKEND = "cycle"
+
+#: The whole curve family is enumerable up front, so campaigns can shard it.
+CAMPAIGN_PLANNABLE = True
+
+_BACKEND_ERROR = (
+    "fig10 pipeline gating consumes IPC and wrong-path execution, which only the "
+    "cycle backend models; re-run with --backend cycle"
+)
+
+
+def _config(benchmarks: Optional[Sequence[str]],
+            instructions: Optional[int],
+            warmup_instructions: Optional[int],
+            seed: int, quick: bool) -> GatingSweepConfig:
+    """The sweep configuration with campaign-level overrides applied."""
+    overrides: Dict[str, object] = {"seed": seed}
+    if benchmarks is not None:
+        overrides["benchmarks"] = tuple(benchmarks)
+    if instructions is not None:
+        overrides["instructions"] = instructions
+    if warmup_instructions is not None:
+        overrides["warmup_instructions"] = warmup_instructions
+    base = QUICK_CONFIG if quick else GatingSweepConfig()
+    return dataclasses.replace(base, **overrides)
+
+
+def jobs(*, benchmarks: Optional[Sequence[str]] = None,
+         instructions: Optional[int] = None,
+         warmup_instructions: Optional[int] = None,
+         seed: int = 1, quick: bool = False,
+         backend: Optional[str] = None) -> List[Job]:
+    """Every job ``report`` executes, for campaign planning / ``--dry-run``."""
+    if backend not in (None, "cycle"):
+        raise ValueError(_BACKEND_ERROR)
+    return sweep_jobs(_config(benchmarks, instructions, warmup_instructions,
+                              seed, quick))
 
 
 @dataclass
@@ -84,14 +126,18 @@ def run(config: Optional[GatingSweepConfig] = None,
     return Fig10Result(curves=curves, best_points=average_curves(curves))
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False,
-         backend: str = "cycle") -> str:
-    if backend != "cycle":
-        raise ValueError(
-            "fig10 pipeline gating consumes IPC and wrong-path execution, which only the "
-            "cycle backend models; re-run with --backend cycle"
-        )
-    result = run(quick=quick, runner=runner)
+def report(*, runner: Optional[SweepRunner] = None,
+           benchmarks: Optional[Sequence[str]] = None,
+           instructions: Optional[int] = None,
+           warmup_instructions: Optional[int] = None,
+           seed: int = 1, quick: bool = False,
+           backend: Optional[str] = None) -> str:
+    """Run the gating sweep and return the paper-shaped tables."""
+    if backend not in (None, "cycle"):
+        raise ValueError(_BACKEND_ERROR)
+    result = run(config=_config(benchmarks, instructions,
+                                warmup_instructions, seed, quick),
+                 runner=runner)
     text = format_table(
         ["policy", "parameter", "perf loss %", "badpath exec red. %",
          "badpath fetch red. %"],
@@ -103,6 +149,12 @@ def main(runner: Optional[SweepRunner] = None, quick: bool = False,
         ["policy", "parameter", "perf loss %", "badpath exec red. %"],
         result.summary_rows(),
     )
+    return text
+
+
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = "cycle") -> str:
+    text = report(runner=runner, quick=quick, backend=backend)
     print(text)
     return text
 

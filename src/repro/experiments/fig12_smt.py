@@ -9,17 +9,19 @@ PaCo-based policy.  PaCo improves on the best counter-based predictor by
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.applications.smt_prioritization import (
     SMT_PAIRS,
     SMTPairResult,
     SMTStudyConfig,
     run_smt_study,
+    single_ipc_jobs,
 )
 from repro.eval.reports import format_table
-from repro.runner import SweepRunner
+from repro.runner import Job, SweepRunner
 
 #: Reduced pair list / budgets for the quick (pytest-benchmark) configuration.
 QUICK_CONFIG = SMTStudyConfig(
@@ -30,6 +32,55 @@ QUICK_CONFIG = SMTStudyConfig(
     warmup_instructions=20_000,
     single_thread_instructions=25_000,
 )
+
+#: SMT prioritization consumes IPC and wrong-path execution, which only
+#: the cycle backend models.
+DEFAULT_BACKEND = "cycle"
+
+#: NOT campaign-plannable: the SMT stage's job identities embed the
+#: single-thread IPCs the first stage *measures*, so the full job list
+#: only exists after stage one has run.  ``jobs()`` returns the statically
+#: known stage-one jobs (for ``--dry-run`` listings); the campaign planner
+#: rejects fig12 with the reason below and a pointer at
+#: ``python -m repro run fig12``.
+CAMPAIGN_PLANNABLE = False
+CAMPAIGN_UNPLANNABLE_REASON = (
+    "its SMT-stage job identities embed the single-thread IPCs the first "
+    "stage measures, so the full job list is not statically enumerable"
+)
+
+_BACKEND_ERROR = (
+    "fig12 SMT prioritization consumes IPC and wrong-path execution, which only the "
+    "cycle backend models; re-run with --backend cycle"
+)
+
+
+def _config(instructions: Optional[int],
+            warmup_instructions: Optional[int],
+            seed: int, quick: bool) -> SMTStudyConfig:
+    """The study configuration with campaign-level overrides applied."""
+    overrides: Dict[str, object] = {"seed": seed}
+    if instructions is not None:
+        overrides["instructions"] = instructions
+    if warmup_instructions is not None:
+        overrides["warmup_instructions"] = warmup_instructions
+    base = QUICK_CONFIG if quick else SMTStudyConfig()
+    return dataclasses.replace(base, **overrides)
+
+
+def jobs(*, benchmarks: Optional[Sequence[str]] = None,
+         instructions: Optional[int] = None,
+         warmup_instructions: Optional[int] = None,
+         seed: int = 1, quick: bool = False,
+         backend: Optional[str] = None) -> List[Job]:
+    """The statically plannable subset: stage-one single-IPC baselines."""
+    if backend not in (None, "cycle"):
+        raise ValueError(_BACKEND_ERROR)
+    if benchmarks is not None:
+        raise ValueError("fig12 runs the paper's fixed benchmark pairs; "
+                         "a benchmark subset cannot be applied")
+    return single_ipc_jobs(_config(instructions, warmup_instructions,
+                                   seed, quick))
 
 
 @dataclass
@@ -88,14 +139,21 @@ def run(config: Optional[SMTStudyConfig] = None,
     return Fig12Result(pairs=run_smt_study(cfg, runner=runner))
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False,
-         backend: str = "cycle") -> str:
-    if backend != "cycle":
-        raise ValueError(
-            "fig12 SMT prioritization consumes IPC and wrong-path execution, which only the "
-            "cycle backend models; re-run with --backend cycle"
-        )
-    result = run(quick=quick, runner=runner)
+def report(*, runner: Optional[SweepRunner] = None,
+           benchmarks: Optional[Sequence[str]] = None,
+           instructions: Optional[int] = None,
+           warmup_instructions: Optional[int] = None,
+           seed: int = 1, quick: bool = False,
+           backend: Optional[str] = None) -> str:
+    """Run the study and return the paper-shaped table text."""
+    if backend not in (None, "cycle"):
+        raise ValueError(_BACKEND_ERROR)
+    if benchmarks is not None:
+        raise ValueError("fig12 runs the paper's fixed benchmark pairs; "
+                         "a benchmark subset cannot be applied")
+    result = run(config=_config(instructions, warmup_instructions,
+                                seed, quick),
+                 runner=runner)
     text = format_table(result.headers(), result.rows(),
                         title="Fig. 12 — SMT fetch prioritization (HMWIPC)")
     text += (
@@ -104,6 +162,12 @@ def main(runner: Optional[SweepRunner] = None, quick: bool = False,
         f"{100 * result.max_paco_improvement:+.2f}%, wins on "
         f"{result.paco_wins}/{len(result.pairs)} pairs"
     )
+    return text
+
+
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = "cycle") -> str:
+    text = report(runner=runner, quick=quick, backend=backend)
     print(text)
     return text
 

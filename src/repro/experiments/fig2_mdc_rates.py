@@ -10,10 +10,10 @@ useful stratifier and a fixed confidence threshold a poor one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.eval.reports import format_table
-from repro.runner import SweepRunner, accuracy_job, resolve_runner
+from repro.runner import Job, SweepRunner, accuracy_job, resolve_runner
 from repro.workloads.suite import benchmark_names
 
 #: Benchmarks highlighted in the paper's Fig. 2 discussion.
@@ -23,6 +23,13 @@ DEFAULT_BENCHMARKS = ("gcc", "vortex", "twolf", "gzip", "parser", "bzip2")
 #: fast trace-replay backend (parity with the cycle model is enforced by
 #: tests/test_backends.py; pass backend="cycle" for ground truth).
 DEFAULT_BACKEND = "trace"
+
+#: Full-scale budgets (the ``run`` defaults, shared with ``jobs``).
+DEFAULT_INSTRUCTIONS = 30_000
+DEFAULT_WARMUP_INSTRUCTIONS = 20_000
+
+#: The whole figure is enumerable up front, so campaigns can shard it.
+CAMPAIGN_PLANNABLE = True
 
 
 @dataclass
@@ -57,26 +64,59 @@ class Fig2Result:
         return True
 
 
-def run(benchmarks: Optional[Sequence[str]] = None,
-        instructions: int = 30_000,
-        warmup_instructions: int = 20_000,
-        seed: int = 1,
-        quick: bool = False,
-        runner: Optional[SweepRunner] = None,
-        backend: str = DEFAULT_BACKEND) -> Fig2Result:
-    """Measure per-MDC mispredict rates for the requested benchmarks."""
+def _plan(benchmarks: Optional[Sequence[str]], instructions: int,
+          warmup_instructions: int, seed: int, quick: bool,
+          backend: str) -> Tuple[List[str], List[Job]]:
+    """The figure's benchmark list and job list (shared by run/jobs)."""
     names = list(benchmarks) if benchmarks is not None else (
         list(DEFAULT_BENCHMARKS) if quick else benchmark_names()
     )
     if quick:
         instructions = min(instructions, 20_000)
         warmup_instructions = min(warmup_instructions, 10_000)
-    results = resolve_runner(runner).map([
+    return names, [
         accuracy_job(name, instructions=instructions,
                      warmup_instructions=warmup_instructions, seed=seed,
                      backend=backend, instrument="mdc")
         for name in names
-    ])
+    ]
+
+
+def _defaults(instructions: Optional[int],
+              warmup_instructions: Optional[int],
+              backend: Optional[str]):
+    """Resolve ``None`` overrides to this driver's full-scale defaults —
+    the single resolution shared by ``jobs`` and ``report``, so planned
+    and executed budgets cannot drift apart."""
+    return (DEFAULT_INSTRUCTIONS if instructions is None else instructions,
+            (DEFAULT_WARMUP_INSTRUCTIONS if warmup_instructions is None
+             else warmup_instructions),
+            DEFAULT_BACKEND if backend is None else backend)
+
+
+def jobs(*, benchmarks: Optional[Sequence[str]] = None,
+         instructions: Optional[int] = None,
+         warmup_instructions: Optional[int] = None,
+         seed: int = 1, quick: bool = False,
+         backend: Optional[str] = None) -> List[Job]:
+    """Every job ``report`` executes, for campaign planning / ``--dry-run``."""
+    instructions, warmup_instructions, backend = _defaults(
+        instructions, warmup_instructions, backend)
+    return _plan(benchmarks, instructions, warmup_instructions,
+                 seed, quick, backend)[1]
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_instructions: int = DEFAULT_WARMUP_INSTRUCTIONS,
+        seed: int = 1,
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> Fig2Result:
+    """Measure per-MDC mispredict rates for the requested benchmarks."""
+    names, job_list = _plan(benchmarks, instructions, warmup_instructions,
+                            seed, quick, backend)
+    results = resolve_runner(runner).map(job_list)
     rates: Dict[str, Dict[int, float]] = {
         name: result.mdc_mispredict_rates
         for name, result in zip(names, results)
@@ -84,13 +124,27 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return Fig2Result(rates=rates)
 
 
+def report(*, runner: Optional[SweepRunner] = None,
+           benchmarks: Optional[Sequence[str]] = None,
+           instructions: Optional[int] = None,
+           warmup_instructions: Optional[int] = None,
+           seed: int = 1, quick: bool = False,
+           backend: Optional[str] = None) -> str:
+    """Run the experiment and return the paper-shaped table text."""
+    instructions, warmup_instructions, backend = _defaults(
+        instructions, warmup_instructions, backend)
+    result = run(benchmarks=benchmarks, instructions=instructions,
+                 warmup_instructions=warmup_instructions,
+                 seed=seed, quick=quick, runner=runner, backend=backend)
+    headers = ["benchmark"] + [f"mdc{m}" for m in range(16)]
+    return format_table(headers, result.rows(),
+                        title="Fig. 2 — mispredict rate (%) per MDC value")
+
+
 def main(runner: Optional[SweepRunner] = None, quick: bool = False,
          backend: str = DEFAULT_BACKEND) -> str:
     """Run the experiment with paper-shaped defaults and return the table text."""
-    result = run(quick=quick, runner=runner, backend=backend)
-    headers = ["benchmark"] + [f"mdc{m}" for m in range(16)]
-    text = format_table(headers, result.rows(),
-                        title="Fig. 2 — mispredict rate (%) per MDC value")
+    text = report(runner=runner, quick=quick, backend=backend)
     print(text)
     return text
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.eval.reports import format_table
-from repro.runner import SweepRunner, accuracy_job, resolve_runner
+from repro.runner import Job, SweepRunner, accuracy_job, resolve_runner
 
 #: Benchmarks shown in the paper's Fig. 3(a).
 FIG3A_BENCHMARKS = ("crafty", "gzip", "bzip2", "vprRoute")
@@ -28,6 +28,13 @@ FIG3B_BENCHMARKS = ("gcc", "mcf")
 #: the fast trace-replay backend (parity with the cycle model is enforced
 #: by tests/test_backends.py; pass backend="cycle" for ground truth).
 DEFAULT_BACKEND = "trace"
+
+#: Full-scale budgets (the ``run`` defaults, shared with ``jobs``).
+DEFAULT_INSTRUCTIONS = 40_000
+DEFAULT_WARMUP_INSTRUCTIONS = 15_000
+
+#: The whole figure is enumerable up front, so campaigns can shard it.
+CAMPAIGN_PLANNABLE = True
 
 
 @dataclass
@@ -68,16 +75,16 @@ def _probability_near(counter_goodpath: Dict[int, float],
     return counter_goodpath.get(nearest, 0.0), occupancy[nearest]
 
 
-def run(counter_value: int = 5,
-        benchmarks: Optional[Sequence[str]] = None,
-        phase_benchmarks: Optional[Sequence[str]] = None,
-        instructions: int = 40_000,
-        warmup_instructions: int = 15_000,
-        seed: int = 1,
-        quick: bool = False,
-        runner: Optional[SweepRunner] = None,
-        backend: str = DEFAULT_BACKEND) -> Fig3Result:
-    """Measure P(good path | low-confidence count == ``counter_value``)."""
+def _plan(benchmarks: Optional[Sequence[str]],
+          phase_benchmarks: Optional[Sequence[str]],
+          instructions: int, warmup_instructions: int, seed: int,
+          quick: bool, backend: str
+          ) -> Tuple[List[str], List[str], List[Job]]:
+    """Both panels' benchmark lists and the combined job list.
+
+    One job list for both figure panels: benchmarks appearing in both
+    groups are deduplicated by the runner and simulated only once.
+    """
     names = list(benchmarks) if benchmarks is not None else list(FIG3A_BENCHMARKS)
     phase_names = (list(phase_benchmarks) if phase_benchmarks is not None
                    else list(FIG3B_BENCHMARKS))
@@ -86,17 +93,59 @@ def run(counter_value: int = 5,
         warmup_instructions = min(warmup_instructions, 10_000)
         phase_names = phase_names[:1]
 
-    # One job list for both figure panels: benchmarks appearing in both
-    # groups are deduplicated by the runner and simulated only once.
-    def job(name: str):
+    def job(name: str) -> Job:
         return accuracy_job(name, instructions=instructions,
                             warmup_instructions=warmup_instructions,
                             seed=seed, backend=backend,
                             instrument="counter")
 
-    results = resolve_runner(runner).map(
+    return names, phase_names, (
         [job(name) for name in names] + [job(name) for name in phase_names]
     )
+
+
+def _defaults(instructions: Optional[int],
+              warmup_instructions: Optional[int],
+              backend: Optional[str]):
+    """Resolve ``None`` overrides to this driver's full-scale defaults —
+    the single resolution shared by ``jobs`` and ``report``, so planned
+    and executed budgets cannot drift apart."""
+    return (DEFAULT_INSTRUCTIONS if instructions is None else instructions,
+            (DEFAULT_WARMUP_INSTRUCTIONS if warmup_instructions is None
+             else warmup_instructions),
+            DEFAULT_BACKEND if backend is None else backend)
+
+
+def jobs(*, benchmarks: Optional[Sequence[str]] = None,
+         instructions: Optional[int] = None,
+         warmup_instructions: Optional[int] = None,
+         seed: int = 1, quick: bool = False,
+         backend: Optional[str] = None) -> List[Job]:
+    """Every job ``report`` executes, for campaign planning / ``--dry-run``.
+
+    ``benchmarks`` overrides the Fig. 3(a) panel; the Fig. 3(b) phase
+    panel keeps its paper benchmarks (gcc, mcf).
+    """
+    instructions, warmup_instructions, backend = _defaults(
+        instructions, warmup_instructions, backend)
+    return _plan(benchmarks, None, instructions, warmup_instructions,
+                 seed, quick, backend)[2]
+
+
+def run(counter_value: int = 5,
+        benchmarks: Optional[Sequence[str]] = None,
+        phase_benchmarks: Optional[Sequence[str]] = None,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_instructions: int = DEFAULT_WARMUP_INSTRUCTIONS,
+        seed: int = 1,
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> Fig3Result:
+    """Measure P(good path | low-confidence count == ``counter_value``)."""
+    names, phase_names, job_list = _plan(
+        benchmarks, phase_benchmarks, instructions, warmup_instructions,
+        seed, quick, backend)
+    results = resolve_runner(runner).map(job_list)
 
     across: Dict[str, float] = {}
     occupancy: Dict[str, int] = {}
@@ -124,9 +173,18 @@ def run(counter_value: int = 5,
     )
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False,
-         backend: str = DEFAULT_BACKEND) -> str:
-    result = run(quick=quick, runner=runner, backend=backend)
+def report(*, runner: Optional[SweepRunner] = None,
+           benchmarks: Optional[Sequence[str]] = None,
+           instructions: Optional[int] = None,
+           warmup_instructions: Optional[int] = None,
+           seed: int = 1, quick: bool = False,
+           backend: Optional[str] = None) -> str:
+    """Run the experiment and return both panels' table text."""
+    instructions, warmup_instructions, backend = _defaults(
+        instructions, warmup_instructions, backend)
+    result = run(benchmarks=benchmarks, instructions=instructions,
+                 warmup_instructions=warmup_instructions,
+                 seed=seed, quick=quick, runner=runner, backend=backend)
     text_a = format_table(
         ["benchmark", "P(goodpath)", "instances"],
         result.rows_benchmarks(),
@@ -138,7 +196,12 @@ def main(runner: Optional[SweepRunner] = None, quick: bool = False,
         title=f"Fig. 3(b) — per-phase good-path probability at counter = "
               f"{result.counter_value}",
     )
-    text = text_a + "\n\n" + text_b
+    return text_a + "\n\n" + text_b
+
+
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = DEFAULT_BACKEND) -> str:
+    text = report(runner=runner, quick=quick, backend=backend)
     print(text)
     return text
 

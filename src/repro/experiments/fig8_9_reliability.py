@@ -13,11 +13,11 @@ cannot see).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.stats import ReliabilityDiagram
 from repro.eval.reports import format_table
-from repro.runner import SweepRunner, accuracy_job, resolve_runner
+from repro.runner import Job, SweepRunner, accuracy_job, resolve_runner
 from repro.workloads.suite import benchmark_names
 
 #: Benchmarks shown individually in the paper's Fig. 9.
@@ -28,6 +28,13 @@ FIG9_BENCHMARKS = ("twolf", "vprRoute", "crafty", "gcc", "perlbmk")
 #: enforced by tests/test_backends.py; pass backend="cycle" for ground
 #: truth).
 DEFAULT_BACKEND = "trace"
+
+#: Full-scale budgets (the ``run`` defaults, shared with ``jobs``).
+DEFAULT_INSTRUCTIONS = 40_000
+DEFAULT_WARMUP_INSTRUCTIONS = 20_000
+
+#: Both figures are enumerable up front, so campaigns can shard them.
+CAMPAIGN_PLANNABLE = True
 
 
 @dataclass
@@ -47,27 +54,60 @@ class ReliabilityStudyResult:
         ]
 
 
-def run(benchmarks: Optional[Sequence[str]] = None,
-        instructions: int = 40_000,
-        warmup_instructions: int = 20_000,
-        seed: int = 1,
-        num_bins: int = 100,
-        quick: bool = False,
-        runner: Optional[SweepRunner] = None,
-        backend: str = DEFAULT_BACKEND) -> ReliabilityStudyResult:
-    """Build PaCo reliability diagrams for the requested benchmarks."""
+def _plan(benchmarks: Optional[Sequence[str]], instructions: int,
+          warmup_instructions: int, seed: int, quick: bool,
+          backend: str) -> Tuple[List[str], List[Job]]:
+    """The study's benchmark list and job list (shared by run/jobs)."""
     names = list(benchmarks) if benchmarks is not None else (
         list(FIG9_BENCHMARKS) if quick else benchmark_names()
     )
     if quick:
         instructions = min(instructions, 20_000)
         warmup_instructions = min(warmup_instructions, 10_000)
-    results = resolve_runner(runner).map([
+    return names, [
         accuracy_job(name, instructions=instructions,
                      warmup_instructions=warmup_instructions, seed=seed,
                      backend=backend, instrument="paco")
         for name in names
-    ])
+    ]
+
+
+def _defaults(instructions: Optional[int],
+              warmup_instructions: Optional[int],
+              backend: Optional[str]):
+    """Resolve ``None`` overrides to this driver's full-scale defaults —
+    the single resolution shared by ``jobs`` and ``report``, so planned
+    and executed budgets cannot drift apart."""
+    return (DEFAULT_INSTRUCTIONS if instructions is None else instructions,
+            (DEFAULT_WARMUP_INSTRUCTIONS if warmup_instructions is None
+             else warmup_instructions),
+            DEFAULT_BACKEND if backend is None else backend)
+
+
+def jobs(*, benchmarks: Optional[Sequence[str]] = None,
+         instructions: Optional[int] = None,
+         warmup_instructions: Optional[int] = None,
+         seed: int = 1, quick: bool = False,
+         backend: Optional[str] = None) -> List[Job]:
+    """Every job ``report`` executes, for campaign planning / ``--dry-run``."""
+    instructions, warmup_instructions, backend = _defaults(
+        instructions, warmup_instructions, backend)
+    return _plan(benchmarks, instructions, warmup_instructions,
+                 seed, quick, backend)[1]
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_instructions: int = DEFAULT_WARMUP_INSTRUCTIONS,
+        seed: int = 1,
+        num_bins: int = 100,
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> ReliabilityStudyResult:
+    """Build PaCo reliability diagrams for the requested benchmarks."""
+    names, job_list = _plan(benchmarks, instructions, warmup_instructions,
+                            seed, quick, backend)
+    results = resolve_runner(runner).map(job_list)
     diagrams: Dict[str, ReliabilityDiagram] = {}
     rms_errors: Dict[str, float] = {}
     cumulative = ReliabilityDiagram(num_bins=num_bins)
@@ -99,9 +139,18 @@ def run_parser_diagram(instructions: int = 60_000,
     return result.diagrams["paco"]
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False,
-         backend: str = DEFAULT_BACKEND) -> str:
-    study = run(quick=quick, runner=runner, backend=backend)
+def report(*, runner: Optional[SweepRunner] = None,
+           benchmarks: Optional[Sequence[str]] = None,
+           instructions: Optional[int] = None,
+           warmup_instructions: Optional[int] = None,
+           seed: int = 1, quick: bool = False,
+           backend: Optional[str] = None) -> str:
+    """Run the study and return the Fig. 9 table plus the Fig. 8 diagram."""
+    instructions, warmup_instructions, backend = _defaults(
+        instructions, warmup_instructions, backend)
+    study = run(benchmarks=benchmarks, instructions=instructions,
+                warmup_instructions=warmup_instructions,
+                seed=seed, quick=quick, runner=runner, backend=backend)
     rows = [[name, round(err, 4)] for name, err in study.rms_errors.items()]
     rows.append(["cumulative", round(study.cumulative.rms_error(), 4)])
     text = format_table(["benchmark", "paco RMS error"], rows,
@@ -110,6 +159,12 @@ def main(runner: Optional[SweepRunner] = None, quick: bool = False,
     text += format_table(["predicted%", "observed%", "instances"],
                          study.rows("parser" if "parser" in study.diagrams
                                     else "cumulative", min_instances=25))
+    return text
+
+
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = DEFAULT_BACKEND) -> str:
+    text = report(runner=runner, quick=quick, backend=backend)
     print(text)
     return text
 

@@ -11,10 +11,10 @@ the per-branch table is far worse because it ignores recency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.eval.reports import format_table
-from repro.runner import SweepRunner, accuracy_job, resolve_runner
+from repro.runner import Job, SweepRunner, accuracy_job, resolve_runner
 from repro.workloads.suite import (
     PAPER_PACO_RMS_ERROR,
     PAPER_PER_BRANCH_MRT_RMS_ERROR,
@@ -28,6 +28,13 @@ from repro.workloads.suite import (
 #: model is enforced by tests/test_backends.py; pass backend="cycle"
 #: for ground truth).
 DEFAULT_BACKEND = "trace"
+
+#: Full-scale budgets (the ``run`` defaults, shared with ``jobs``).
+DEFAULT_INSTRUCTIONS = 40_000
+DEFAULT_WARMUP_INSTRUCTIONS = 20_000
+
+#: The whole table is enumerable up front, so campaigns can shard it.
+CAMPAIGN_PLANNABLE = True
 
 
 @dataclass
@@ -84,25 +91,58 @@ class TableA1Result:
         return table
 
 
-def run(benchmarks: Optional[Sequence[str]] = None,
-        instructions: int = 40_000,
-        warmup_instructions: int = 20_000,
-        seed: int = 1,
-        quick: bool = False,
-        runner: Optional[SweepRunner] = None,
-        backend: str = DEFAULT_BACKEND) -> TableA1Result:
-    """Measure the three designs' RMS errors over identical executions."""
+def _plan(benchmarks: Optional[Sequence[str]], instructions: int,
+          warmup_instructions: int, seed: int, quick: bool,
+          backend: str) -> Tuple[List[str], List[Job]]:
+    """The table's benchmark list and job list (shared by run/jobs)."""
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     if quick:
         names = names[:6]
         instructions = min(instructions, 20_000)
         warmup_instructions = min(warmup_instructions, 10_000)
-    results = resolve_runner(runner).map([
+    return names, [
         accuracy_job(name, instructions=instructions,
                      warmup_instructions=warmup_instructions, seed=seed,
                      backend=backend, instrument="mrt")
         for name in names
-    ])
+    ]
+
+
+def _defaults(instructions: Optional[int],
+              warmup_instructions: Optional[int],
+              backend: Optional[str]):
+    """Resolve ``None`` overrides to this driver's full-scale defaults —
+    the single resolution shared by ``jobs`` and ``report``, so planned
+    and executed budgets cannot drift apart."""
+    return (DEFAULT_INSTRUCTIONS if instructions is None else instructions,
+            (DEFAULT_WARMUP_INSTRUCTIONS if warmup_instructions is None
+             else warmup_instructions),
+            DEFAULT_BACKEND if backend is None else backend)
+
+
+def jobs(*, benchmarks: Optional[Sequence[str]] = None,
+         instructions: Optional[int] = None,
+         warmup_instructions: Optional[int] = None,
+         seed: int = 1, quick: bool = False,
+         backend: Optional[str] = None) -> List[Job]:
+    """Every job ``report`` executes, for campaign planning / ``--dry-run``."""
+    instructions, warmup_instructions, backend = _defaults(
+        instructions, warmup_instructions, backend)
+    return _plan(benchmarks, instructions, warmup_instructions,
+                 seed, quick, backend)[1]
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup_instructions: int = DEFAULT_WARMUP_INSTRUCTIONS,
+        seed: int = 1,
+        quick: bool = False,
+        runner: Optional[SweepRunner] = None,
+        backend: str = DEFAULT_BACKEND) -> TableA1Result:
+    """Measure the three designs' RMS errors over identical executions."""
+    names, job_list = _plan(benchmarks, instructions, warmup_instructions,
+                            seed, quick, backend)
+    results = resolve_runner(runner).map(job_list)
     rows: List[TableA1Row] = []
     for name, result in zip(names, results):
         rows.append(TableA1Row(
@@ -114,13 +154,27 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return TableA1Result(rows=rows)
 
 
-def main(runner: Optional[SweepRunner] = None, quick: bool = False,
-         backend: str = DEFAULT_BACKEND) -> str:
-    result = run(quick=quick, runner=runner, backend=backend)
+def report(*, runner: Optional[SweepRunner] = None,
+           benchmarks: Optional[Sequence[str]] = None,
+           instructions: Optional[int] = None,
+           warmup_instructions: Optional[int] = None,
+           seed: int = 1, quick: bool = False,
+           backend: Optional[str] = None) -> str:
+    """Run the experiment and return the paper-shaped table text."""
+    instructions, warmup_instructions, backend = _defaults(
+        instructions, warmup_instructions, backend)
+    result = run(benchmarks=benchmarks, instructions=instructions,
+                 warmup_instructions=warmup_instructions,
+                 seed=seed, quick=quick, runner=runner, backend=backend)
     headers = ["benchmark", "MRT", "StaticMRT", "PerBranchMRT",
                "MRT(paper)", "Static(paper)", "PerBranch(paper)"]
-    text = format_table(headers, result.as_table_rows(),
+    return format_table(headers, result.as_table_rows(),
                         title="Appendix Table 1 — RMS error of MRT variants")
+
+
+def main(runner: Optional[SweepRunner] = None, quick: bool = False,
+         backend: str = DEFAULT_BACKEND) -> str:
+    text = report(runner=runner, quick=quick, backend=backend)
     print(text)
     return text
 

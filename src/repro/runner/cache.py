@@ -27,12 +27,12 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Optional, Tuple
 
+from repro.common.fsutil import atomic_write
 from repro.runner.jobs import Job
 
 _SENTINEL = object()
@@ -126,23 +126,32 @@ class ResultCache:
         self.stats.hits += 1
         return True, entry["value"]
 
+    def contains(self, job: Job) -> bool:
+        """Whether an entry exists for ``job``, without loading it.
+
+        Unlike :meth:`get` this neither deserializes the entry nor bumps
+        the hit/miss counters — it is the cheap probe behind ``--dry-run``
+        job listings and campaign planning.
+        """
+        return self._path(self.key(job)).is_file()
+
     def put(self, job: Job, value: Any) -> None:
-        """Store one result atomically (temp file + rename)."""
-        path = self._path(self.key(job))
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Store one result atomically (temp file in the entry's cache
+        subdirectory, then :func:`os.replace` — see
+        :func:`repro.common.fsutil.atomic_write`).
+
+        Concurrent writers — e.g. campaign shards sharing one cache
+        directory — each publish via their own temp file, so a reader can
+        only ever observe a complete entry (the old one or a new one),
+        never a torn write.
+        """
         entry = {"payload": job.payload(), "value": value,
                  "code_version": self.version}
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=path.parent, prefix=path.name, suffix=".tmp",
-            delete=False,
+        atomic_write(
+            self._path(self.key(job)),
+            lambda handle: pickle.dump(entry, handle,
+                                       protocol=pickle.HIGHEST_PROTOCOL),
         )
-        try:
-            with handle:
-                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(handle.name, path)
-        except BaseException:
-            os.unlink(handle.name)
-            raise
         self.stats.stores += 1
 
     def entries(self) -> Iterator[Path]:

@@ -176,6 +176,30 @@ def benchmark_names() -> List[str]:
             "perlbmk", "twolf", "vortex", "vprPlace", "vprRoute"]
 
 
+def resolve_benchmarks(names=None) -> List[str]:
+    """Validate a benchmark subset for a sweep or campaign.
+
+    ``None`` means the whole suite (paper table order).  An explicit list
+    is validated against the suite and returned in the order given, so a
+    campaign spec naming an unknown benchmark fails at *plan* time rather
+    than deep inside a shard.
+    """
+    if names is None:
+        return benchmark_names()
+    resolved: List[str] = []
+    for name in names:
+        if name not in SPEC2000_INT:
+            known = ", ".join(benchmark_names())
+            raise ValueError(
+                f"unknown benchmark {name!r}; known benchmarks: {known}")
+        if name in resolved:
+            raise ValueError(f"duplicate benchmark {name!r}")
+        resolved.append(name)
+    if not resolved:
+        raise ValueError("benchmark list must not be empty")
+    return resolved
+
+
 def get_benchmark(name: str) -> BenchmarkSpec:
     """Return the spec for ``name``; raises ``KeyError`` with a helpful message."""
     try:

@@ -29,6 +29,18 @@ from repro.runner import (
 _CALLS = []
 
 
+def _hammer_cache_put(directory: str, worker: int) -> None:
+    """Child-process body: overwrite one shared cache entry repeatedly."""
+    cache = ResultCache(directory, version="shared")
+    job = Job.make("test-double", value=1)
+    payload = f"payload-{worker}" + "x" * 4096
+    for _ in range(50):
+        cache.put(job, payload)
+        hit, value = cache.get(job)
+        assert hit, "reader observed a missing/torn entry during puts"
+        assert value.startswith("payload-"), value
+
+
 @register_experiment("test-double")
 def _double(value: int = 0, seed: int = 1) -> int:
     _CALLS.append((value, seed))
@@ -190,6 +202,82 @@ class TestResultCache:
             cache.put(Job.make("test-double", value=value), value)
         assert cache.clear() == 3
         assert len(cache) == 0
+
+    def test_contains_probes_without_counting(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        job = Job.make("test-double", value=4)
+        assert not cache.contains(job)
+        cache.put(job, 8)
+        assert cache.contains(job)
+        assert (cache.stats.hits, cache.stats.misses) == (0, 0)
+
+
+class TestResultCacheAtomicPut:
+    """``put`` must publish via temp file + ``os.replace`` so concurrent
+    writers — e.g. campaign shards sharing one cache directory — can
+    never expose a torn entry to a reader."""
+
+    def test_overwrite_is_atomic_for_a_concurrent_reader(self, tmp_path,
+                                                         monkeypatch):
+        import os
+
+        cache = ResultCache(tmp_path, version="v1")
+        job = Job.make("test-double", value=4)
+        cache.put(job, "old")
+        observed = []
+        real_replace = os.replace
+
+        def snooping_replace(src, dst):
+            # The instant before the new entry is published, a concurrent
+            # reader must still see the complete old value.
+            hit, value = ResultCache(tmp_path, version="v1").get(job)
+            observed.append((hit, value))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", snooping_replace)
+        cache.put(job, "new")
+        monkeypatch.undo()
+        assert observed == [(True, "old")]
+        hit, value = ResultCache(tmp_path, version="v1").get(job)
+        assert (hit, value) == (True, "new")
+
+    def test_failed_put_leaves_no_temp_file_and_keeps_old_entry(
+            self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        job = Job.make("test-double", value=4)
+        cache.put(job, "old")
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("cannot pickle me")
+
+        with pytest.raises(RuntimeError, match="cannot pickle me"):
+            cache.put(job, Unpicklable())
+        leftovers = [path for path in tmp_path.rglob("*")
+                     if path.is_file() and path.suffix != ".pkl"]
+        assert leftovers == []
+        hit, value = cache.get(job)
+        assert (hit, value) == (True, "old")
+
+    def test_concurrent_writers_leave_a_complete_entry(self, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        processes = [
+            context.Process(target=_hammer_cache_put,
+                            args=(str(tmp_path), worker))
+            for worker in range(4)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+        cache = ResultCache(tmp_path, version="shared")
+        hit, value = cache.get(Job.make("test-double", value=1))
+        assert hit and value.startswith("payload-")
+        # No temp droppings survive the stampede.
+        assert [p for p in tmp_path.rglob("*.tmp")] == []
 
 
 class TestResultCachePrune:
