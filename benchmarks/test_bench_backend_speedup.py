@@ -22,8 +22,9 @@ BENCHMARKS = ("gzip", "twolf", "gcc")
 #: machine is recorded alongside; this guard only catches regressions
 #: that erase the trace engine's advantage, with headroom for noisy
 #: shared runners).  Observed on the 1-CPU dev container after the
-#: predictor-state-engine fusion: ~4-4.6x (was ~3.5x).
-MIN_SPEEDUP = 2.5
+#: batched branch-stream generation pipeline: ~6.2-6.3x (was ~4-4.6x
+#: after the predictor-state-engine fusion, ~3.5x before it).
+MIN_SPEEDUP = 4.0
 
 
 def _run(backend: str, quick: bool):

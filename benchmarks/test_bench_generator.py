@@ -1,0 +1,88 @@
+"""Bench: scalar vs block branch-stream generation throughput.
+
+Times :meth:`WorkloadGenerator.next_branch` against
+:meth:`WorkloadGenerator.next_branch_block` over the same branch budget
+(both on gzip, the flagship unphased benchmark, and gcc, the phased one)
+and records branches/second for each path.  The block path produces a
+bit-identical stream (pinned by ``tests/test_workloads_generator.py``);
+this benchmark captures the throughput gap so the perf trajectory shows
+the batching win.  The rendered comparison lands in
+``benchmarks/results/generator_throughput.txt`` and the rates ride in the
+pytest-benchmark JSON (``extra_info``) the CI backend-parity job uploads
+as ``BENCH_generator_throughput.json``.
+"""
+
+import time
+
+from repro.eval.reports import format_table
+from repro.workloads.generator import BranchBlock, WorkloadGenerator
+from repro.workloads.suite import get_benchmark
+
+from conftest import write_result
+
+#: The block path must beat per-branch generation by a clear margin on
+#: every benchmark shape (observed: ~2.5-3x on the 1-CPU dev container);
+#: the floor only catches regressions that erase the batching win.
+MIN_GENERATOR_SPEEDUP = 1.5
+
+BLOCK_CAPACITY = 256
+
+
+def _scalar_rate(spec, n):
+    generator = WorkloadGenerator(spec, seed=1)
+    start = time.perf_counter()
+    next_branch = generator.next_branch
+    for seq in range(n):
+        next_branch(seq)
+    return n / (time.perf_counter() - start)
+
+
+def _block_rate(spec, n):
+    generator = WorkloadGenerator(spec, seed=1)
+    block = BranchBlock(BLOCK_CAPACITY)
+    start = time.perf_counter()
+    seq = 0
+    next_block = generator.next_branch_block
+    while seq < n:
+        chunk = min(BLOCK_CAPACITY, n - seq)
+        next_block(seq, chunk, block)
+        seq += chunk
+    return n / (time.perf_counter() - start)
+
+
+def test_bench_generator_throughput(benchmark, results_dir, full_mode):
+    n = 400_000 if full_mode else 60_000
+    specs = [get_benchmark("gzip"), get_benchmark("gcc")]
+
+    scalar_rates = {spec.name: _scalar_rate(spec, n) for spec in specs}
+
+    def run_block_paths():
+        return {spec.name: _block_rate(spec, n) for spec in specs}
+
+    block_rates = benchmark.pedantic(run_block_paths, rounds=1, iterations=1)
+
+    rows = []
+    for spec in specs:
+        scalar = scalar_rates[spec.name]
+        blocked = block_rates[spec.name]
+        speedup = blocked / scalar
+        benchmark.extra_info[f"{spec.name}_scalar_branches_per_sec"] = \
+            round(scalar)
+        benchmark.extra_info[f"{spec.name}_block_branches_per_sec"] = \
+            round(blocked)
+        benchmark.extra_info[f"{spec.name}_speedup"] = round(speedup, 2)
+        rows.append([spec.name, round(scalar), round(blocked),
+                     f"{speedup:.2f}"])
+
+    text = format_table(
+        ["benchmark", "scalar branches/s", "block branches/s", "speedup"],
+        rows,
+        title=f"Branch-stream generation throughput — {n} branches, "
+              f"block size {BLOCK_CAPACITY} "
+              f"({'full' if full_mode else 'quick'} budget)",
+    )
+    write_result(results_dir, "generator_throughput", text)
+
+    for spec in specs:
+        assert (block_rates[spec.name] / scalar_rates[spec.name]
+                >= MIN_GENERATOR_SPEEDUP), spec.name

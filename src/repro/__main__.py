@@ -8,7 +8,9 @@ Subcommands
     ``--cache-dir`` / ``--no-cache``; ``--backend {cycle,trace}``
     overrides the driver's default simulation backend (predictor-level
     experiments default to the fast trace engine, fig10/fig12 to the
-    cycle model).
+    cycle model).  ``--block-size`` (or ``REPRO_TRACE_BLOCK``) sets the
+    trace backend's branch-generation batch — pure mechanism, results
+    are bit-identical for every value.
 ``sweep``
     Run several experiments (default: all of them) sharing one runner and
     one cache, and print a wall-clock summary.
@@ -27,6 +29,7 @@ Examples::
 
     python -m repro run table7 --workers 4
     python -m repro run table7 --backend cycle      # ground-truth numbers
+    python -m repro run table7 --block-size 1024    # trace generation batch
     python -m repro run table7 --dry-run            # list jobs, run nothing
     python -m repro run fig12 --quick --workers 2
     python -m repro sweep --experiments table7,fig2 --workers 4
@@ -43,12 +46,18 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.backends import backend_names
+from repro.backends.trace import (
+    DEFAULT_TRACE_BLOCK,
+    TRACE_BLOCK_ENV,
+    resolve_trace_block_size,
+)
 from repro.pipeline.core import SimulationTruncated
 from repro.experiments import (
     ablations,
@@ -89,6 +98,14 @@ def _worker_count(value: str) -> int:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _block_size(value: str) -> int:
+    """argparse type for ``--block-size``: an integer >= 1, rejected loudly."""
+    try:
+        return resolve_trace_block_size(value, source="--block-size")
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=_worker_count, default=1,
                         help="worker processes for the sweep (default: 1, "
@@ -101,6 +118,13 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                              "driver's own default — trace for "
                              "predictor-level experiments, cycle for "
                              "fig10/fig12)")
+    parser.add_argument("--block-size", type=_block_size, default=None,
+                        help="trace-backend generation block size "
+                             "(default: $REPRO_TRACE_BLOCK or "
+                             f"{DEFAULT_TRACE_BLOCK}; results are "
+                             "bit-identical for every value >= 1, so this "
+                             "is pure mechanism and never part of a cache "
+                             "key)")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="result cache directory "
                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
@@ -120,6 +144,12 @@ def _driver_kwargs(args: argparse.Namespace) -> Dict[str, object]:
 
 
 def _build_runner(args: argparse.Namespace) -> SweepRunner:
+    if getattr(args, "block_size", None) is not None:
+        # Exported through the environment so forked worker processes
+        # inherit it; block size is pure mechanism (results are
+        # bit-identical for every value), so it deliberately rides in no
+        # job identity or cache key.
+        os.environ[TRACE_BLOCK_ENV] = str(args.block_size)
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)

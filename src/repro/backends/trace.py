@@ -11,11 +11,38 @@ model's for unphased benchmarks, and statistically identical for phased
 ones (branch positions, and therefore phase assignment near boundaries,
 come from the replay's own gap process).
 
-The replay is *branch-driven*: non-branch instructions are never
-generated at all.  The gap between consecutive branches is drawn in
-closed form from the same geometric distribution the per-instruction
-Bernoulli process induces (one uniform draw per branch instead of one per
-instruction), and everything a gap contributes — fetch/retire counters,
+The replay is *branch-driven and batched*: non-branch instructions are
+never generated at all, and branches are produced and consumed in blocks.
+Per block (``--block-size`` / ``REPRO_TRACE_BLOCK``, default
+:data:`DEFAULT_TRACE_BLOCK`):
+
+* the geometric inter-branch gaps are drawn in one
+  :meth:`~repro.common.rng.DeterministicRng.geometric_block` call (one
+  uniform per branch, exactly the draws the scalar path made);
+* the branches themselves come from
+  :meth:`~repro.workloads.generator.WorkloadGenerator.next_branch_block`
+  as struct-of-arrays :class:`~repro.workloads.generator.BranchBlock`
+  columns — no :class:`~repro.isa.instruction.Instruction` objects exist
+  on this path at all (the cycle backend keeps them, bit-identically);
+* prediction and resolution run straight over the columns through the
+  record-based engine entry points
+  (:meth:`~repro.pipeline.fetch.FetchEngine.predict_from_block` /
+  :meth:`~repro.pipeline.fetch.FetchEngine.resolve_record`), with the
+  in-flight window holding the
+  :class:`~repro.branch_predictor.engine.BranchRecord` itself.
+
+Blocking changes *when* values are computed, never *which*: every stream
+is consumed in the same per-branch order as the scalar path, phased
+benchmarks split blocks at phase boundaries (a boundary block falls back
+to slot-by-slot stepping so phase-aware observers read the right phase at
+every flush), and the observer-run flush points — branch fetch/resolve/
+squash, re-log passes, phase boundaries — are exactly the scalar ones.
+Results are byte-identical to the pre-batching replay, which is itself
+parity-gated against the cycle model.
+
+The gap between consecutive branches is drawn in closed form from the
+same geometric distribution the per-instruction Bernoulli process
+induces, and everything a gap contributes — fetch/retire counters,
 instance observations, window residency — is pure integer arithmetic.
 Timing is replaced by two calibrated windows:
 
@@ -49,6 +76,7 @@ rejects gating instrumentation outright.
 from __future__ import annotations
 
 import math
+import os
 from collections import deque
 from typing import Deque, Optional
 
@@ -59,38 +87,86 @@ from repro.backends.base import (
     Workload,
 )
 from repro.backends.cycle import build_fetch_engine
+from repro.branch_predictor.engine import BranchRecord
 from repro.common.rng import RngPool
-from repro.isa.instruction import Instruction
 from repro.isa.types import BranchKind
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.core import CoreStats, InstanceObserver, SimulationTruncated
 from repro.pipeline.fetch import FetchEngine
 from repro.pipeline.gating import NoGating
+from repro.workloads.generator import BranchBlock
+
+#: Branches generated (and gaps drawn) per batch.  Block size is pure
+#: mechanism — results are bit-identical for every value >= 1 (pinned by
+#: ``tests/test_backends.py``) — so it rides in neither Job identities
+#: nor result-cache keys.
+DEFAULT_TRACE_BLOCK = 256
+
+#: Environment knob overriding the default block size (the CLI's
+#: ``--block-size`` flag sets it so worker processes inherit the value).
+TRACE_BLOCK_ENV = "REPRO_TRACE_BLOCK"
+
+
+def resolve_trace_block_size(value: object,
+                             source: str = "block size") -> int:
+    """Validate a trace block size from a CLI flag or environment knob.
+
+    Accepts an ``int`` or an integer-shaped string and requires it to be
+    at least 1; ``source`` names the knob in the error message (the same
+    contract as :func:`repro.runner.sweep.resolve_worker_count`).
+    """
+    try:
+        size = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid {source} value {value!r}: expected an integer >= 1"
+        ) from None
+    if size < 1:
+        raise ValueError(
+            f"invalid {source} value {value!r}: block sizes must be >= 1"
+        )
+    return size
 
 
 class TraceSession(SimulationSession):
     """One branch-driven replay: a fetch engine plus a slot window.
 
-    The in-flight window is a deque whose entries are either an
-    :class:`Instruction` (a branch occupying one slot) or an ``int`` run
-    of non-branch slots — positive for good-path slots, negative for
-    wrong-path slots.  ``_inflight`` tracks the total slot count so drains
-    are O(1) amortized per branch, not per instruction.
+    The in-flight window is a deque whose entries are either a
+    :class:`~repro.branch_predictor.engine.BranchRecord` (a branch
+    occupying one slot) or an ``int`` run of non-branch slots — positive
+    for good-path slots, negative for wrong-path slots.  ``_inflight``
+    tracks the total slot count so drains are O(1) amortized per branch,
+    not per instruction.
+
+    Branches arrive through a reusable :class:`BranchBlock` buffer that
+    carries over between :meth:`run` legs: a leg that stops mid-block
+    (budget or cycle limit) resumes from the buffered position, so the
+    consumed stream order — and therefore every statistic — matches the
+    scalar one-branch-at-a-time replay bit for bit.
     """
 
     def __init__(self, fetch_engine: FetchEngine, config: MachineConfig,
                  observers, resolve_window: int,
-                 mispredict_window: int) -> None:
+                 mispredict_window: int,
+                 block_size: Optional[int] = None) -> None:
         if resolve_window < 1:
             raise ValueError("resolve window must be at least one instruction")
         if mispredict_window < 1:
             raise ValueError("mispredict window must be at least one instruction")
+        if block_size is None:
+            block_size = resolve_trace_block_size(
+                os.environ.get(TRACE_BLOCK_ENV, DEFAULT_TRACE_BLOCK),
+                source=TRACE_BLOCK_ENV,
+            )
+        else:
+            block_size = resolve_trace_block_size(block_size)
         self.fetch_engine = fetch_engine
         self.config = config
         self.stats = CoreStats()
         self.observers = list(observers)
         self.resolve_window = resolve_window
         self.mispredict_window = mispredict_window
+        self.block_size = block_size
 
         spec = fetch_engine.generator.spec
         pool = RngPool(fetch_engine.generator._pool.master_seed).fork("trace-gaps")
@@ -107,6 +183,20 @@ class TraceSession(SimulationSession):
         self._cycle = 0
         self._next_seq = 0
         self._started = False
+
+        # Batched generation buffers.  Good-path gaps and branches are
+        # drawn block-at-a-time and consumed in lockstep; a phase
+        # boundary splits a block (``_refill_block`` returns 0 and the
+        # boundary branch is stepped slot-by-slot instead).
+        self._block = BranchBlock(block_size)
+        self._boundary_block = BranchBlock(1)
+        self._wp_block = BranchBlock(1)
+        self._gap_buf = [0] * block_size
+        self._gap_pos = 0
+        self._gap_len = 0
+        self._branch_pos = 0
+        self._branch_len = 0
+        self._wp_gap_scratch = [0]
 
         # Batched instance recording (see module docstring).
         self._run_fetch = 0
@@ -138,7 +228,7 @@ class TraceSession(SimulationSession):
         stats = self.stats
         while (stats.retired_instructions < max_instructions
                and self._cycle < max_cycles):
-            self._step_branch()
+            self._step_block(max_instructions, max_cycles)
         self._flush_runs()
         stats.cycles = self._cycle
         if stats.retired_instructions < max_instructions:
@@ -154,64 +244,352 @@ class TraceSession(SimulationSession):
         return self._inflight
 
     # ------------------------------------------------------------------ #
-    # replay mechanics
+    # batched replay mechanics
     # ------------------------------------------------------------------ #
 
-    def _gap(self, rng) -> int:
-        """Draw one geometric inter-branch gap (non-branch slots)."""
-        log1p = self._log_one_minus_p
-        if log1p is None:
-            return 0
-        u = rng.random()
-        if u <= 0.0:
-            return 0
-        return int(math.log(u) / log1p)
+    def _refill_block(self) -> int:
+        """Refill the branch buffer; return the number of branches staged.
 
-    def _step_branch(self) -> None:
-        """Advance the replay by one good-path inter-branch gap + branch."""
+        Draws a fresh gap block when the gap buffer is spent, then
+        generates as many branches as fit before the next phase boundary
+        (all of them for unphased benchmarks).  Generator-side state
+        (instruction count, phase schedule, RNG streams) is advanced for
+        the whole staged block up front; because no boundary falls inside
+        it, nothing observable differs from slot-by-slot advancement.
+        Returns 0 when the very next branch straddles a boundary — the
+        caller steps that one branch with :meth:`_step_boundary_branch`.
+        """
+        generator = self.fetch_engine.generator
+        if self._gap_pos >= self._gap_len:
+            n = self.block_size
+            self._gap_rng.geometric_block(self._log_one_minus_p,
+                                          self._gap_buf, n)
+            self._gap_pos = 0
+            self._gap_len = n
+        available = self._gap_len - self._gap_pos
+        if not self._has_phases:
+            m = available
+            pos = self._gap_pos
+            gap_slots = sum(self._gap_buf[pos:pos + m])
+        else:
+            # Largest prefix of (gap + branch) steps that leaves at least
+            # one slot of the current phase unconsumed (i.e. no roll).
+            remaining_budget = generator._phase_remaining - 1
+            gaps = self._gap_buf
+            pos = self._gap_pos
+            m = 0
+            total = 0
+            for k in range(available):
+                step = gaps[pos + k] + 1
+                if total + step > remaining_budget:
+                    break
+                total += step
+                m += 1
+            if m == 0:
+                return 0
+            gap_slots = total - m
+        if gap_slots:
+            taken = generator.advance_instructions(gap_slots)
+            assert taken == gap_slots  # no boundary inside the block
+        generator.next_branch_block(self._next_seq, m, self._block)
+        self._branch_pos = 0
+        self._branch_len = m
+        return m
+
+    def _step_block(self, max_instructions: int, max_cycles: int) -> None:
+        """Advance the replay by up to one block of gap+branch steps.
+
+        The batched twin of the scalar per-branch step: per staged branch
+        it accounts the inter-branch gap, flushes the pending observer
+        run, predicts the branch straight from the block columns, and
+        either appends the record to the in-flight window (draining and
+        running the per-cycle confidence work exactly as the scalar path
+        does) or replays the calibrated wrong-path episode.  Stops early
+        — leaving the buffer position for the next call or :meth:`run`
+        leg — when the instruction budget or cycle limit is reached.
+        """
+        if self._branch_pos >= self._branch_len:
+            if not self._refill_block():
+                self._step_boundary_branch()
+                return
+
         engine = self.fetch_engine
-        generator = engine.generator
         stats = self.stats
         window = self._window
-        # _gap() inlined (one geometric draw per good-path branch).
-        log1p = self._log_one_minus_p
-        if log1p is None:
-            gap = 0
-        else:
-            u = self._gap_rng.random()
-            gap = int(math.log(u) / log1p) if u > 0.0 else 0
-        if gap:
-            if not self._has_phases:
-                # Unphased fast path: the whole gap is one arithmetic step.
-                generator.instructions_generated += gap
-                self._fetch_good_gap(gap)
-            else:
-                while gap:
-                    taken = generator.advance_instructions(gap)
-                    self._fetch_good_gap(taken)
-                    gap -= taken
-                    if gap:
-                        # Phase boundary inside the gap: instances on either
-                        # side belong to different phases; close the run.
-                        self._flush_runs()
-        # The branch itself: prediction mutates predictor state, so the
-        # pending run ends here and the branch's own fetch instance starts
-        # the next one.
+        observers = self.observers
+        path_confidence = engine.path_confidence
+        resolve_window = self.resolve_window
+        kind_conditional = BranchKind.CONDITIONAL
+        block = self._block
+        gaps = self._gap_buf
+        gap_pos = self._gap_pos
+        i = self._branch_pos
+        stop = self._branch_len
+        next_seq = self._next_seq
+        cycle = self._cycle
+        inflight = self._inflight
+        run_fetch = self._run_fetch
+        run_execute = self._run_execute
+        run_goodpath = self._run_goodpath
+        # Stats deltas, folded into the CoreStats record (and the fetch
+        # engine's mirror counters) at sync points only.
+        retired_base = stats.retired_instructions
+        good_fetched = 0
+        good_executed = 0
+        bad_executed = 0
+        retired = 0
+        branches_retired = 0
+        branch_misp_retired = 0
+        cond_retired = 0
+        cond_misp_retired = 0
+
+        while i < stop:
+            if retired_base + retired >= max_instructions or cycle >= max_cycles:
+                break
+            gap = gaps[gap_pos]
+            gap_pos += 1
+            if gap:
+                # _fetch_good_gap, inlined.
+                good_fetched += gap
+                cycle += gap
+                run_fetch += gap
+                if window and type(window[-1]) is int and window[-1] > 0:
+                    window[-1] += gap
+                else:
+                    window.append(gap)
+                inflight += gap
+                if inflight > resolve_window:
+                    # _drain, inlined (gap variant).
+                    excess = inflight - resolve_window
+                    while excess > 0:
+                        entry = window[0]
+                        if type(entry) is int:
+                            if entry > 0:
+                                take = entry if entry <= excess else excess
+                                good_executed += take
+                                retired += take
+                            else:
+                                take = -entry if -entry <= excess else excess
+                                bad_executed += take
+                            run_execute += take
+                            if take < (entry if entry > 0 else -entry):
+                                window[0] = (entry - take if entry > 0
+                                             else entry + take)
+                            else:
+                                window.popleft()
+                            excess -= take
+                            inflight -= take
+                        else:
+                            window.popleft()
+                            inflight -= 1
+                            excess -= 1
+                            # A branch resolution changes predictor
+                            # state: close the pending run first.
+                            if run_fetch or run_execute:
+                                for observer in observers:
+                                    if run_fetch:
+                                        observer.record_run(
+                                            "fetch", run_goodpath, cycle,
+                                            run_fetch)
+                                    if run_execute:
+                                        observer.record_run(
+                                            "execute", run_goodpath, cycle,
+                                            run_execute)
+                                run_fetch = 0
+                                run_execute = 0
+                            engine.resolve_record(entry)
+                            run_goodpath = not engine.on_wrong_path
+                            if entry.on_goodpath:
+                                good_executed += 1
+                                retired += 1
+                                branches_retired += 1
+                                if entry.mispredicted:
+                                    branch_misp_retired += 1
+                                if entry.kind is kind_conditional:
+                                    cond_retired += 1
+                                    if entry.mispredicted:
+                                        cond_misp_retired += 1
+                            else:
+                                bad_executed += 1
+                            run_execute += 1
+            # The branch itself: prediction mutates predictor state, so
+            # the pending run ends here and the branch's own fetch
+            # instance starts the next one (_flush_runs, inlined).
+            if run_fetch or run_execute:
+                for observer in observers:
+                    if run_fetch:
+                        observer.record_run("fetch", run_goodpath, cycle,
+                                            run_fetch)
+                    if run_execute:
+                        observer.record_run("execute", run_goodpath, cycle,
+                                            run_execute)
+                run_fetch = 0
+                run_execute = 0
+            seq = next_seq
+            next_seq += 1
+            record = engine.predict_from_block(block, i, seq)
+            i += 1
+            good_fetched += 1
+            cycle += 1
+            run_fetch += 1
+            if engine.on_wrong_path:
+                run_goodpath = False
+                # Sync everything and take the (rare) wrong-path episode
+                # through the self-state method, then reload.
+                self._next_seq = next_seq
+                self._cycle = cycle
+                self._inflight = inflight
+                self._run_fetch = run_fetch
+                self._run_execute = run_execute
+                self._run_goodpath = run_goodpath
+                stats.goodpath_fetched += good_fetched
+                engine.goodpath_fetched += good_fetched
+                stats.goodpath_executed += good_executed
+                stats.badpath_executed += bad_executed
+                stats.retired_instructions += retired
+                stats.branches_retired += branches_retired
+                stats.branch_mispredicts_retired += branch_misp_retired
+                stats.conditional_branches_retired += cond_retired
+                stats.conditional_mispredicts_retired += cond_misp_retired
+                good_fetched = good_executed = bad_executed = retired = 0
+                branches_retired = branch_misp_retired = 0
+                cond_retired = cond_misp_retired = 0
+
+                self._replay_wrongpath(record)
+
+                next_seq = self._next_seq
+                cycle = self._cycle
+                inflight = self._inflight
+                run_fetch = self._run_fetch
+                run_execute = self._run_execute
+                run_goodpath = self._run_goodpath
+                retired_base = stats.retired_instructions
+                continue
+            run_goodpath = True
+            window.append(record)
+            inflight += 1
+            if inflight > resolve_window:
+                # _drain, inlined (post-branch variant; identical body).
+                excess = inflight - resolve_window
+                while excess > 0:
+                    entry = window[0]
+                    if type(entry) is int:
+                        if entry > 0:
+                            take = entry if entry <= excess else excess
+                            good_executed += take
+                            retired += take
+                        else:
+                            take = -entry if -entry <= excess else excess
+                            bad_executed += take
+                        run_execute += take
+                        if take < (entry if entry > 0 else -entry):
+                            window[0] = (entry - take if entry > 0
+                                         else entry + take)
+                        else:
+                            window.popleft()
+                        excess -= take
+                        inflight -= take
+                    else:
+                        window.popleft()
+                        inflight -= 1
+                        excess -= 1
+                        if run_fetch or run_execute:
+                            for observer in observers:
+                                if run_fetch:
+                                    observer.record_run(
+                                        "fetch", run_goodpath, cycle,
+                                        run_fetch)
+                                if run_execute:
+                                    observer.record_run(
+                                        "execute", run_goodpath, cycle,
+                                        run_execute)
+                            run_fetch = 0
+                            run_execute = 0
+                        engine.resolve_record(entry)
+                        run_goodpath = not engine.on_wrong_path
+                        if entry.on_goodpath:
+                            good_executed += 1
+                            retired += 1
+                            branches_retired += 1
+                            if entry.mispredicted:
+                                branch_misp_retired += 1
+                            if entry.kind is kind_conditional:
+                                cond_retired += 1
+                                if entry.mispredicted:
+                                    cond_misp_retired += 1
+                        else:
+                            bad_executed += 1
+                        run_execute += 1
+            if path_confidence.on_cycle(cycle):
+                if run_fetch or run_execute:
+                    for observer in observers:
+                        if run_fetch:
+                            observer.record_run("fetch", run_goodpath,
+                                                cycle, run_fetch)
+                        if run_execute:
+                            observer.record_run("execute", run_goodpath,
+                                                cycle, run_execute)
+                    run_fetch = 0
+                    run_execute = 0
+
+        # Sync the locals back (loop finished or budget/cycle stop).
+        self._branch_pos = i
+        self._gap_pos = gap_pos
+        self._next_seq = next_seq
+        self._cycle = cycle
+        self._inflight = inflight
+        self._run_fetch = run_fetch
+        self._run_execute = run_execute
+        self._run_goodpath = run_goodpath
+        stats.goodpath_fetched += good_fetched
+        engine.goodpath_fetched += good_fetched
+        stats.goodpath_executed += good_executed
+        stats.badpath_executed += bad_executed
+        stats.retired_instructions += retired
+        stats.branches_retired += branches_retired
+        stats.branch_mispredicts_retired += branch_misp_retired
+        stats.conditional_branches_retired += cond_retired
+        stats.conditional_mispredicts_retired += cond_misp_retired
+
+    def _step_boundary_branch(self) -> None:
+        """One gap+branch step with the gap applied slot-by-slot.
+
+        Taken when a phase boundary falls inside the next branch's gap
+        (or on the branch itself): instances on either side of the
+        boundary belong to different phases, so the gap is advanced in
+        boundary-bounded chunks with an observer flush between them —
+        exactly the scalar path — and the branch is generated only after
+        the schedule has settled, so phase-aware observers and the
+        per-phase site selection read the right phase.
+        """
+        generator = self.fetch_engine.generator
+        gap = self._gap_buf[self._gap_pos]
+        self._gap_pos += 1
+        while gap:
+            taken = generator.advance_instructions(gap)
+            self._fetch_good_gap(taken)
+            gap -= taken
+            if gap:
+                # Phase boundary inside the gap: instances on either
+                # side belong to different phases; close the run.
+                self._flush_runs()
         self._flush_runs()
         seq = self._next_seq
         self._next_seq = seq + 1
-        branch = generator.next_branch(seq)
-        branch.fetch_cycle = self._cycle
+        block = self._boundary_block
+        generator.next_branch_block(seq, 1, block)
+        engine = self.fetch_engine
+        stats = self.stats
+        record = engine.predict_from_block(block, 0, seq)
         engine.goodpath_fetched += 1
-        engine._predict_branch(branch)
         stats.goodpath_fetched += 1
         self._cycle += 1
         self._run_goodpath = not engine.on_wrong_path
         self._run_fetch += 1
         if engine.on_wrong_path:
-            self._replay_wrongpath(branch)
+            self._replay_wrongpath(record)
             return
-        window.append(branch)
+        self._window.append(record)
         self._inflight += 1
         if self._inflight > self.resolve_window:
             self._drain()
@@ -254,14 +632,21 @@ class TraceSession(SimulationSession):
         if self._inflight > self.resolve_window:
             self._drain()
 
-    def _replay_wrongpath(self, branch: Instruction) -> None:
+    def _replay_wrongpath(self, record: BranchRecord) -> None:
         """Replay the wrong-path stream for the calibrated resolution window."""
         engine = self.fetch_engine
         wrongpath = engine.wrongpath_generator
         stats = self.stats
+        wp_block = self._wp_block
+        gap_scratch = self._wp_gap_scratch
+        log1p = self._log_one_minus_p
+        wp_rng = self._wp_gap_rng
         remaining = self.mispredict_window
         while remaining:
-            gap = min(self._gap(self._wp_gap_rng), remaining)
+            wp_rng.geometric_block(log1p, gap_scratch, 1)
+            gap = gap_scratch[0]
+            if gap > remaining:
+                gap = remaining
             if gap:
                 self._fetch_bad_gap(gap)
                 remaining -= gap
@@ -270,12 +655,14 @@ class TraceSession(SimulationSession):
             self._flush_runs()
             seq = self._next_seq
             self._next_seq = seq + 1
-            wp_branch = wrongpath.next_branch(seq)
-            engine.fetch_generated(wp_branch, self._cycle)
+            wrongpath.next_branch_into(wp_block, 0)
+            wp_record = engine.predict_from_block(wp_block, 0, seq,
+                                                  on_goodpath=False)
+            engine.badpath_fetched += 1
             stats.badpath_fetched += 1
             self._cycle += 1
             self._run_fetch += 1
-            self._window.append(wp_branch)
+            self._window.append(wp_record)
             self._inflight += 1
             if self._inflight > self.resolve_window:
                 self._drain()
@@ -287,7 +674,7 @@ class TraceSession(SimulationSession):
         # younger, redirect fetch, then record the execute instance.
         self._flush_runs()
         stats.flushes += 1
-        engine.resolve_branch(branch)
+        engine.resolve_record(record)
         window = self._window
         while window:
             entry = window[-1]
@@ -301,9 +688,9 @@ class TraceSession(SimulationSession):
             else:
                 window.pop()
                 self._inflight -= 1
-                engine.squash_branch(entry)
-        engine.recover(branch)
-        self._retire_branch(branch)
+                engine.squash_record(entry)
+        engine.recover(record)
+        self._retire_branch(record)
         self._run_goodpath = not engine.on_wrong_path
         self._run_execute += 1
         stats.fetch_stall_cycles += self.config.redirect_penalty
@@ -312,7 +699,12 @@ class TraceSession(SimulationSession):
             self._flush_runs()
 
     def _drain(self) -> None:
-        """Complete the oldest slots once the window exceeds its depth."""
+        """Complete the oldest slots once the window exceeds its depth.
+
+        The self-state twin of the drain loop inlined in
+        :meth:`_step_block`; used by the wrong-path episode and the
+        boundary step, whose bookkeeping lives on ``self``.
+        """
         excess = self._inflight - self.resolve_window
         if excess <= 0:
             return
@@ -343,7 +735,7 @@ class TraceSession(SimulationSession):
                 # pending run first, as the cycle model's per-instance
                 # recording would.
                 self._flush_runs()
-                self.fetch_engine.resolve_branch(entry)
+                self.fetch_engine.resolve_record(entry)
                 self._run_goodpath = not self.fetch_engine.on_wrong_path
                 if entry.on_goodpath:
                     self._retire_branch(entry)
@@ -351,16 +743,16 @@ class TraceSession(SimulationSession):
                     stats.badpath_executed += 1
                 self._run_execute += 1
 
-    def _retire_branch(self, instr: Instruction) -> None:
+    def _retire_branch(self, record: BranchRecord) -> None:
         stats = self.stats
         stats.goodpath_executed += 1
         stats.retired_instructions += 1
         stats.branches_retired += 1
-        if instr.mispredicted:
+        if record.mispredicted:
             stats.branch_mispredicts_retired += 1
-        if instr.branch_kind is BranchKind.CONDITIONAL:
+        if record.kind is BranchKind.CONDITIONAL:
             stats.conditional_branches_retired += 1
-            if instr.mispredicted:
+            if record.mispredicted:
                 stats.conditional_mispredicts_retired += 1
 
     # ------------------------------------------------------------------ #
@@ -398,6 +790,11 @@ class TraceBackend(SimulationBackend):
         Wrong-path slots replayed per good-path misprediction.  Defaults
         to ``2 * min_mispredict_penalty`` (calibrated against the cycle
         model's wrong-path fetches per flush).
+    block_size:
+        Branches generated per batch.  Defaults to the
+        ``REPRO_TRACE_BLOCK`` environment knob (or
+        :data:`DEFAULT_TRACE_BLOCK`); results are bit-identical for any
+        value >= 1, so this is never part of a job identity or cache key.
     """
 
     name = "trace"
@@ -405,9 +802,11 @@ class TraceBackend(SimulationBackend):
     supports_gating = False
 
     def __init__(self, resolve_window: Optional[int] = None,
-                 mispredict_window: Optional[int] = None) -> None:
+                 mispredict_window: Optional[int] = None,
+                 block_size: Optional[int] = None) -> None:
         self.resolve_window = resolve_window
         self.mispredict_window = mispredict_window
+        self.block_size = block_size
 
     def build(self, workload: Workload, config: MachineConfig,
               instrument: Instrumentation) -> TraceSession:
@@ -424,5 +823,6 @@ class TraceBackend(SimulationBackend):
                              if self.mispredict_window is not None
                              else 2 * config.min_mispredict_penalty)
         session = TraceSession(fetch_engine, config, instrument.observers,
-                               resolve_window, mispredict_window)
+                               resolve_window, mispredict_window,
+                               block_size=self.block_size)
         return session

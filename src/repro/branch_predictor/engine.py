@@ -101,6 +101,15 @@ class BranchRecord:
         # in-flight bookkeeping
         "resolved",
         "is_conditional",
+        # trace block path only: the architectural outcome rides in the
+        # record because no Instruction is materialized.  Set by
+        # FetchEngine.predict_from_block, never by __init__ (the cycle
+        # path pays nothing for them).
+        "kind",
+        "out_taken",
+        "out_target",
+        "on_goodpath",
+        "seq",
     )
 
     def __init__(self, pc: int = 0, mdc_value: int = 0, mdc_index: int = 0,
@@ -385,3 +394,163 @@ class PredictorStateEngine:
         elif kind in (BranchKind.INDIRECT, BranchKind.INDIRECT_CALL):
             self._indirect.update(instr.pc, outcome.target, record.history)
             self._btb.update(instr.pc, outcome.target)
+
+    # ------------------------------------------------------------------ #
+    # block entry points (the trace backend's Instruction-free hot path)
+    #
+    # ``predict_columns`` / ``resolve_record`` are behaviour-identical
+    # twins of :meth:`predict_branch` / :meth:`resolve_branch` that read
+    # the branch from :class:`~repro.workloads.generator.BranchBlock`
+    # columns (respectively from the outcome slots the fetch engine
+    # stashed in the record) instead of an Instruction.  The bodies are
+    # deliberately duplicated rather than layered — this is the
+    # per-branch hot path of both backends, and an extra call frame per
+    # branch is exactly what this module exists to remove;
+    # ``tests/test_predictor_engine.py`` pins the twins together.
+    # ------------------------------------------------------------------ #
+
+    def predict_columns(self, pc: int, kind: BranchKind,
+                        static_branch_id: Optional[int],
+                        thread_id: int) -> BranchRecord:
+        """Predict one branch given as plain columns (no Instruction).
+
+        Bit-identical table reads, speculative history/RAS updates, BTB
+        LRU touches and JRS lookup to :meth:`predict_branch`.
+        """
+        history = self._history
+        history_now = history.value
+
+        if kind is BranchKind.CONDITIONAL:
+            pc_bits = pc >> 2
+            gshare_index = ((pc_bits ^ (history_now & self._gshare_hist_mask))
+                            & self._gshare_mask)
+            gshare_taken = (self._gshare_table[gshare_index]
+                            >= self._gshare_threshold)
+            bimodal_index = pc_bits & self._bimodal_mask
+            bimodal_taken = (self._bimodal_table[bimodal_index]
+                             >= self._bimodal_threshold)
+            chooser_index = ((pc_bits ^ (history_now & self._chooser_hist_mask))
+                             & self._chooser_mask)
+            chose_gshare = self._chooser[chooser_index] >= 2
+            taken = gshare_taken if chose_gshare else bimodal_taken
+
+            btb_target = self._btb.predict_target(pc)
+
+            record = BranchRecord(pc, 0, 0, taken, history_now,
+                                  static_branch_id, thread_id)
+            record.target = btb_target if taken else None
+            record.btb_hit = btb_target is not None
+            record.gshare_taken = gshare_taken
+            record.gshare_index = gshare_index
+            record.bimodal_taken = bimodal_taken
+            record.bimodal_index = bimodal_index
+            record.chooser_index = chooser_index
+            record.chose_gshare = chose_gshare
+
+            jrs_table = self._jrs_table
+            if jrs_table is not None:
+                index = ((pc_bits ^ (history_now & self._jrs_hist_mask))
+                         & self._jrs_mask)
+                shift = self._jrs_enhanced_shift
+                if shift >= 0 and taken:
+                    index = (index ^ (1 << shift)) & self._jrs_mask
+                confidence = self.confidence
+                confidence.lookups += 1
+                record.mdc_index = index
+                record.mdc_value = jrs_table[index]
+
+            # Speculative global-history update with the predicted direction.
+            history.value = (((history_now << 1) | (1 if taken else 0))
+                             & history.mask)
+            return record
+
+        record = BranchRecord(pc, 0, 0, True, history_now,
+                              static_branch_id, thread_id)
+        record.is_conditional = False
+        if kind in (BranchKind.UNCONDITIONAL, BranchKind.CALL):
+            target = self._btb.predict_target(pc)
+            if kind is BranchKind.CALL:
+                self._ras.push(pc + 4)
+        elif kind is BranchKind.RETURN:
+            target = self._ras.pop()
+        else:  # indirect jump / indirect call
+            target = self._indirect.predict_target(pc, history_now)
+            if target is None:
+                target = self._btb.predict_target(pc)
+            if kind is BranchKind.INDIRECT_CALL:
+                self._ras.push(pc + 4)
+        record.target = target
+        record.btb_hit = target is not None
+        return record
+
+    def resolve_record(self, record: BranchRecord, train: bool) -> None:
+        """Resolve a branch whose outcome rides in the record itself.
+
+        Behaviour-identical to :meth:`resolve_branch` with an Instruction
+        carrying the same ``(pc, branch_kind, outcome)``; the trace block
+        path stores them in ``record.kind`` / ``record.out_taken`` /
+        ``record.out_target`` at predict time.
+        """
+        if record.is_conditional:
+            actual_taken = record.out_taken
+            if record.mispredicted:
+                history = self._history
+                history.value = ((((record.history & history.mask) << 1)
+                                  | (1 if actual_taken else 0)) & history.mask)
+            if not train:
+                return
+            # Tournament training with the indices consulted at fetch:
+            # chooser first (only on component disagreement), then both
+            # component tables — exactly the reference update order.
+            gshare_correct = record.gshare_taken == actual_taken
+            bimodal_correct = record.bimodal_taken == actual_taken
+            if gshare_correct != bimodal_correct:
+                chooser = self._chooser
+                index = record.chooser_index
+                value = chooser[index]
+                if gshare_correct:
+                    if value < 3:
+                        chooser[index] = value + 1
+                elif value > 0:
+                    chooser[index] = value - 1
+            table = self._gshare_table
+            index = record.gshare_index
+            value = table[index]
+            if actual_taken:
+                if value < self._gshare_max:
+                    table[index] = value + 1
+            elif value > 0:
+                table[index] = value - 1
+            table = self._bimodal_table
+            index = record.bimodal_index
+            value = table[index]
+            if actual_taken:
+                if value < self._bimodal_max:
+                    table[index] = value + 1
+            elif value > 0:
+                table[index] = value - 1
+            if actual_taken:
+                self._btb.update(record.pc, record.out_target)
+            # JRS miss-distance-counter update on the entry read at fetch.
+            jrs_table = self._jrs_table
+            if jrs_table is not None:
+                confidence = self.confidence
+                confidence.updates += 1
+                index = record.mdc_index
+                if record.mispredicted:
+                    confidence.resets += 1
+                    jrs_table[index] = 0
+                else:
+                    value = jrs_table[index]
+                    if value < self._jrs_max:
+                        jrs_table[index] = value + 1
+            return
+
+        if not train:
+            return
+        kind = record.kind
+        if kind in (BranchKind.UNCONDITIONAL, BranchKind.CALL):
+            self._btb.update(record.pc, record.out_target)
+        elif kind in (BranchKind.INDIRECT, BranchKind.INDIRECT_CALL):
+            self._indirect.update(record.pc, record.out_target, record.history)
+            self._btb.update(record.pc, record.out_target)

@@ -15,6 +15,7 @@ the simulator's needs and independent of the version-to-version behaviour of
 from __future__ import annotations
 
 import hashlib
+import math
 from typing import Dict, Sequence, TypeVar
 
 _T = TypeVar("_T")
@@ -126,6 +127,89 @@ class DeterministicRng:
             if target < acc:
                 return item
         return items[-1]
+
+    # ------------------------------------------------------------------ #
+    # block APIs
+    #
+    # Each block method replays the *exact* scalar draw sequence of its
+    # per-call counterpart into a preallocated list: ``fill_uniforms(out,
+    # n)`` consumes the stream precisely as ``n`` calls to :meth:`random`
+    # would, and likewise for :meth:`geometric_block` /
+    # :meth:`cumulative_choice_block`.  The bit-identity is pinned by
+    # ``tests/test_common_rng.py``.  :meth:`geometric_block` is the gap
+    # draw shared by the trace backend's scalar and blocked paths; the
+    # other two are the general block entry points of the same contract
+    # for streams whose per-item draw count is fixed.
+    # ------------------------------------------------------------------ #
+
+    def fill_uniforms(self, out: list, n: int, start: int = 0) -> list:
+        """Fill ``out[start:start + n]`` with the next ``n`` uniforms.
+
+        Bit-identical to ``n`` successive :meth:`random` calls; the
+        xorshift step is inlined once for the whole block instead of once
+        per draw.
+        """
+        state = self._state
+        for i in range(start, start + n):
+            state ^= (state >> 12)
+            state ^= (state << 25) & _MASK64
+            state ^= (state >> 27)
+            out[i] = (((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11) \
+                / 9007199254740992.0
+        self._state = state
+        return out
+
+    def geometric_block(self, log_one_minus_p: "float | None", out: list,
+                        n: int, start: int = 0) -> list:
+        """Draw ``n`` closed-form geometric gap lengths into ``out``.
+
+        ``log_one_minus_p`` is the precomputed ``log(1 - p)`` of the
+        per-trial success probability; ``None`` means ``p == 1`` (every
+        gap is 0 and **no** draws are consumed, matching the scalar gap
+        path of the trace backend).  Each gap consumes exactly one
+        uniform and equals ``int(log(u) / log(1 - p))`` (0 when ``u``
+        underflows to 0.0) — bit-identical to ``n`` scalar draws.
+        """
+        if log_one_minus_p is None:
+            for i in range(start, start + n):
+                out[i] = 0
+            return out
+        log = math.log
+        state = self._state
+        for i in range(start, start + n):
+            state ^= (state >> 12)
+            state ^= (state << 25) & _MASK64
+            state ^= (state >> 27)
+            u = (((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11) \
+                / 9007199254740992.0
+            out[i] = int(log(u) / log_one_minus_p) if u > 0.0 else 0
+        self._state = state
+        return out
+
+    def cumulative_choice_block(self, items: Sequence[_T],
+                                cumulative: Sequence[float], total: float,
+                                out: list, n: int, start: int = 0) -> list:
+        """Draw ``n`` weighted choices over one precomputed cumulative table.
+
+        Bit-identical to ``n`` successive :meth:`cumulative_choice` calls
+        with the same ``(items, cumulative, total)`` arguments.
+        """
+        state = self._state
+        last = items[-1]
+        for i in range(start, start + n):
+            state ^= (state >> 12)
+            state ^= (state << 25) & _MASK64
+            state ^= (state >> 27)
+            target = ((((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                      / 9007199254740992.0) * total
+            chosen = last
+            for item, acc in zip(items, cumulative):
+                if target < acc:
+                    chosen = item
+                    break
+            out[i] = chosen
+        self._state = state
+        return out
 
     @staticmethod
     def cumulative_weights(weights: Sequence[float]) -> "tuple[list, float]":

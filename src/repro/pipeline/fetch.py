@@ -78,24 +78,6 @@ class FetchEngine:
             self._predict_branch(instr)
         return instr
 
-    def fetch_generated(self, instr: Optional[Instruction], cycle: int) -> None:
-        """Account one externally generated instruction (trace backend).
-
-        The trace-replay engine pulls instructions straight from the
-        generators' elided-event stream (``None`` stands for a non-branch
-        it never materialised); this hook keeps the engine's fetch
-        accounting, branch prediction and wrong-path switching identical
-        to :meth:`fetch_one`.
-        """
-        if self.on_wrong_path:
-            self.badpath_fetched += 1
-        else:
-            self.goodpath_fetched += 1
-        if instr is not None:
-            instr.fetch_cycle = cycle
-            if instr.branch_kind is not BranchKind.NOT_A_BRANCH:
-                self._predict_branch(instr)
-
     def _predict_branch(self, instr: Instruction) -> None:
         self.branches_fetched += 1
         record = self.state_engine.predict_branch(instr)
@@ -132,6 +114,82 @@ class FetchEngine:
         if mispredicted and instr.on_goodpath and not self.on_wrong_path:
             self.on_wrong_path = True
             self._pending_mispredict_seq = instr.seq
+
+    # ------------------------------------------------------------------ #
+    # block entry points (the trace backend's Instruction-free hot path)
+    # ------------------------------------------------------------------ #
+
+    def predict_from_block(self, block, i: int, seq: int,
+                           on_goodpath: bool = True) -> BranchRecord:
+        """Predict branch ``i`` of a generated branch block.
+
+        The record-based twin of :meth:`_predict_branch`: same predictor
+        work (through
+        :meth:`~repro.branch_predictor.engine.PredictorStateEngine.predict_columns`),
+        same accuracy bookkeeping, same wrong-path switching — but the
+        branch arrives as :class:`~repro.workloads.generator.BranchBlock`
+        columns and its architectural outcome is stashed in the record's
+        outcome slots for resolution, so no Instruction ever exists.
+        Fetch counters (``goodpath_fetched`` / ``badpath_fetched``) stay
+        with the caller, mirroring how the trace session splits them from
+        prediction bookkeeping on the scalar path.
+        """
+        self.branches_fetched += 1
+        kind = block.kind[i]
+        record = self.state_engine.predict_columns(
+            block.pc[i], kind, block.static_branch_id[i],
+            self.generator.thread_id)
+        if record.is_conditional:
+            mispredicted = record.taken != block.taken[i]
+        else:
+            mispredicted = record.target != block.target[i]
+        record.mispredicted = mispredicted
+        # Accuracy bookkeeping (note_prediction_outcome, inlined).
+        frontend = self.frontend
+        frontend.total_predictions += 1
+        if record.is_conditional:
+            frontend.conditional_predictions += 1
+            if mispredicted:
+                frontend.total_mispredictions += 1
+                frontend.conditional_mispredictions += 1
+            self.conditional_branches_fetched += 1
+            record.path_token = self.path_confidence.on_branch_fetch(record)
+        elif mispredicted:
+            frontend.total_mispredictions += 1
+        record.kind = kind
+        record.out_taken = block.taken[i]
+        record.out_target = block.target[i]
+        record.on_goodpath = on_goodpath
+        record.seq = seq
+
+        if mispredicted and on_goodpath and not self.on_wrong_path:
+            self.on_wrong_path = True
+            self._pending_mispredict_seq = seq
+        return record
+
+    def resolve_record(self, record: BranchRecord) -> None:
+        """Record-based twin of :meth:`resolve_branch` (trace block path)."""
+        if record.resolved:
+            return
+        record.resolved = True
+        train = record.on_goodpath
+        self.state_engine.resolve_record(record, train)
+        token = record.path_token
+        if token is not None:
+            if train:
+                self.path_confidence.on_branch_resolve(
+                    token, mispredicted=record.mispredicted
+                )
+            else:
+                self.path_confidence.on_branch_squash(token)
+
+    def squash_record(self, record: BranchRecord) -> None:
+        """Record-based twin of :meth:`squash_branch` (trace block path)."""
+        if record.resolved:
+            return
+        record.resolved = True
+        if record.path_token is not None:
+            self.path_confidence.on_branch_squash(record.path_token)
 
     # ------------------------------------------------------------------ #
     # resolution / recovery

@@ -41,7 +41,7 @@ from __future__ import annotations
 import abc
 from typing import List, Optional, Sequence
 
-from repro.common.rng import DeterministicRng
+from repro.common.rng import _MASK64, DeterministicRng
 
 
 class GlobalCorrelationState:
@@ -79,6 +79,21 @@ class BranchBehavior(abc.ABC):
     def next_outcome(self, rng: DeterministicRng, phase: int = 0) -> bool:
         """Return True if the branch is taken on this dynamic instance."""
 
+    def next_outcomes(self, rng: DeterministicRng, n: int, out: list,
+                      start: int = 0, phase: int = 0) -> list:
+        """Draw ``n`` outcomes into ``out[start:start + n]``.
+
+        Bit-identical to ``n`` successive :meth:`next_outcome` calls with
+        the same ``rng`` and ``phase`` (pinned by
+        ``tests/test_workloads_branch_models.py``).  Subclasses override
+        this with a loop that hoists their per-call state; the batched
+        branch-stream generator uses it as the block entry point for
+        behaviours whose draws it does not inline.
+        """
+        for i in range(start, start + n):
+            out[i] = self.next_outcome(rng, phase=phase)
+        return out
+
     def reset(self) -> None:
         """Reset any per-branch dynamic state (loop counters, etc.)."""
 
@@ -95,6 +110,21 @@ class BiasedRandomBranch(BranchBehavior):
 
     def next_outcome(self, rng: DeterministicRng, phase: int = 0) -> bool:
         return rng.bernoulli(self.taken_probability)
+
+    def next_outcomes(self, rng: DeterministicRng, n: int, out: list,
+                      start: int = 0, phase: int = 0) -> list:
+        # n independent Bernoulli draws with the xorshift step inlined
+        # once for the whole block (bit-identical to n bernoulli calls).
+        p = self.taken_probability
+        state = rng._state
+        for i in range(start, start + n):
+            state ^= (state >> 12)
+            state ^= (state << 25) & _MASK64
+            state ^= (state >> 27)
+            out[i] = ((((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                      / 9007199254740992.0) < p
+        rng._state = state
+        return out
 
 
 class LoopBranch(BranchBehavior):
@@ -128,6 +158,22 @@ class LoopBranch(BranchBehavior):
             self._remaining = self._new_trip(rng)
             return False  # loop exit: fall through
         return True
+
+    def next_outcomes(self, rng: DeterministicRng, n: int, out: list,
+                      start: int = 0, phase: int = 0) -> list:
+        # In-trip iterations draw nothing; only loop exits hit the rng
+        # (the jitter draws), so the hoisted counter covers almost every
+        # outcome of a long block.
+        remaining = self._remaining
+        for i in range(start, start + n):
+            remaining -= 1
+            if remaining <= 0:
+                remaining = self._new_trip(rng)
+                out[i] = False
+            else:
+                out[i] = True
+        self._remaining = remaining
+        return out
 
     def reset(self) -> None:
         self._remaining = self.trip_count
@@ -167,6 +213,24 @@ class PatternBranch(BranchBehavior):
             outcome = not outcome
         return outcome
 
+    def next_outcomes(self, rng: DeterministicRng, n: int, out: list,
+                      start: int = 0, phase: int = 0) -> list:
+        pattern = self.pattern
+        length = len(pattern)
+        index = self._index
+        noise = self.noise_probability
+        if noise > 0.0:
+            for i in range(start, start + n):
+                outcome = pattern[index]
+                index = (index + 1) % length
+                out[i] = (not outcome) if rng.bernoulli(noise) else outcome
+        else:
+            for i in range(start, start + n):
+                out[i] = pattern[index]
+                index = (index + 1) % length
+        self._index = index
+        return out
+
     def reset(self) -> None:
         self._index = 0
 
@@ -191,6 +255,38 @@ class CorrelatedBranch(BranchBehavior):
         )
         return rng.bernoulli(probability)
 
+    def next_outcomes(self, rng: DeterministicRng, n: int, out: list,
+                      start: int = 0, phase: int = 0) -> list:
+        # Two Bernoulli draws per outcome (the Markov step and the
+        # outcome itself), inlined with the hidden state hoisted.
+        state_obj = self.state
+        turbulent = state_obj.turbulent
+        enter = state_obj.enter_probability
+        exit_p = state_obj.exit_probability
+        calm_p = self.calm_probability
+        turb_p = self.turbulent_probability
+        rng_state = rng._state
+        for i in range(start, start + n):
+            rng_state ^= (rng_state >> 12)
+            rng_state ^= (rng_state << 25) & _MASK64
+            rng_state ^= (rng_state >> 27)
+            u = ((((rng_state * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                 / 9007199254740992.0)
+            if turbulent:
+                if u < exit_p:
+                    turbulent = False
+            elif u < enter:
+                turbulent = True
+            rng_state ^= (rng_state >> 12)
+            rng_state ^= (rng_state << 25) & _MASK64
+            rng_state ^= (rng_state >> 27)
+            u = ((((rng_state * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                 / 9007199254740992.0)
+            out[i] = u < (turb_p if turbulent else calm_p)
+        rng._state = rng_state
+        state_obj.turbulent = turbulent
+        return out
+
 
 class PhaseSensitiveBranch(BranchBehavior):
     """A branch whose taken-probability depends on the current program phase."""
@@ -208,6 +304,21 @@ class PhaseSensitiveBranch(BranchBehavior):
     def next_outcome(self, rng: DeterministicRng, phase: int = 0) -> bool:
         probability = self.phase_probabilities[phase % len(self.phase_probabilities)]
         return rng.bernoulli(probability)
+
+    def next_outcomes(self, rng: DeterministicRng, n: int, out: list,
+                      start: int = 0, phase: int = 0) -> list:
+        # All n outcomes share one phase (the block generator splits
+        # blocks at phase boundaries), so the probability is constant.
+        p = self.phase_probabilities[phase % len(self.phase_probabilities)]
+        state = rng._state
+        for i in range(start, start + n):
+            state ^= (state >> 12)
+            state ^= (state << 25) & _MASK64
+            state ^= (state >> 27)
+            out[i] = ((((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                      / 9007199254740992.0) < p
+        rng._state = state
+        return out
 
 
 class IndirectTargetModel:

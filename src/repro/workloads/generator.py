@@ -41,6 +41,19 @@ _CLASS_LOOP = "loop"
 _CLASS_PATTERN = "pattern"
 _CLASS_BIASED = "biased"
 
+_MASK64 = (1 << 64) - 1
+
+#: Small integer codes for the branch-kind dispatch in the block
+#: generation loop (string comparisons per branch add up).
+_KIND_CODES = {
+    "conditional": 0,
+    "unconditional": 1,
+    "call": 2,
+    "ret": 3,
+    "indirect": 4,
+    "indirect_call": 5,
+}
+
 #: Taken-probability of the 'leftover' mildly biased population.
 _LEFTOVER_BIAS = 0.985
 
@@ -48,6 +61,33 @@ _LEFTOVER_BIAS = 0.985
 _CODE_BASE = 0x0040_0000
 _INDIRECT_TARGET_BASE = 0x0080_0000
 _WRONGPATH_CODE_BASE = 0x00C0_0000
+
+
+class BranchBlock:
+    """A reusable struct-of-arrays batch of generated branches.
+
+    Parallel columns, one entry per branch: program counter, branch kind,
+    architectural direction, architectural target, static branch id
+    (``None`` for non-conditional branches) and dependence distance.
+    ``count`` is the number of valid entries; the columns are preallocated
+    to ``capacity`` and overwritten in place so a hot loop reuses one
+    block instead of allocating per-branch objects.
+    """
+
+    __slots__ = ("capacity", "count", "pc", "kind", "taken", "target",
+                 "static_branch_id", "dep_distance")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("block capacity must be at least 1")
+        self.capacity = capacity
+        self.count = 0
+        self.pc = [0] * capacity
+        self.kind: List[BranchKind] = [BranchKind.CONDITIONAL] * capacity
+        self.taken = [False] * capacity
+        self.target = [0] * capacity
+        self.static_branch_id: List[Optional[int]] = [None] * capacity
+        self.dep_distance = [0] * capacity
 
 
 class _ConditionalSite:
@@ -121,8 +161,10 @@ class WorkloadGenerator:
         self._kind_weights = list(kinds.values())
         self._kind_cum, self._kind_total = DeterministicRng.cumulative_weights(
             self._kind_weights)
-        #: Site-selection cumulative tables keyed by the phase's effective
-        #: hard fraction (a small, finite set per benchmark).
+        self._kind_codes = [_KIND_CODES[name] for name in self._kind_names]
+        #: Site-selection entries ``(classes, cumulative, total,
+        #: site_lists)`` keyed by the phase's effective hard fraction (a
+        #: small, finite set per benchmark).
         self._site_choice_cache: dict = {}
 
     # ------------------------------------------------------------------ #
@@ -313,6 +355,263 @@ class WorkloadGenerator:
         )
         return 1
 
+    def next_branch_block(self, seq: int, n: int,
+                          block: Optional[BranchBlock] = None) -> BranchBlock:
+        """Generate the next ``n`` good-path branches as one column block.
+
+        ``seq`` is the caller's sequence number for the first branch;
+        generation itself never consumes it (the block carries no seq
+        column — the trace session stamps records at predict time), it
+        exists so call sites read like their scalar counterparts.
+
+        Bit-identical to ``n`` successive :meth:`next_branch` calls with
+        sequence numbers ``seq .. seq + n - 1``: the same draws leave the
+        same streams in the same order (``site-selection`` and
+        ``branch-outcomes`` interleave per branch *within* each stream,
+        never across streams), the phase schedule advances one slot per
+        branch, and the call stack sees the same pushes and pops — so the
+        RNG stream states afterwards are identical too
+        (``tests/test_workloads_generator.py`` pins all of this).  No
+        :class:`~repro.isa.instruction.Instruction` objects are
+        materialized; the trace-replay backend consumes the columns
+        directly.
+
+        Site selection is batched per behaviour class: the per-phase
+        ``(classes, cumulative, total, site_lists)`` entry is hoisted out
+        of the loop (refreshed only at phase rolls), the dominant
+        biased-random outcome draw is inlined, and other behaviours are
+        invoked through their ``next_outcomes`` block entry point.
+        """
+        if n < 1:
+            raise ValueError("block size must be at least 1")
+        if block is None:
+            block = BranchBlock(n)
+        elif block.capacity < n:
+            raise ValueError(
+                f"block capacity {block.capacity} cannot hold {n} branches")
+        block.count = n
+        out_pc = block.pc
+        out_kind = block.kind
+        out_taken = block.taken
+        out_target = block.target
+        out_sid = block.static_branch_id
+        out_dep = block.dep_distance
+
+        spec = self.spec
+        rng_branch = self._rng_branch
+        sel_state = self._rng_select._state
+        dep_state = self._rng_dep._state
+        br_state = rng_branch._state
+
+        kind_cum = self._kind_cum
+        kind_total = self._kind_total
+        kind_codes = self._kind_codes
+        num_kinds = len(kind_codes)
+        uncond_pcs = self._uncond_pcs
+        call_pcs = self._call_pcs
+        return_pcs = self._return_pcs
+        n_uncond = len(uncond_pcs)
+        n_call = len(call_pcs)
+        n_ret = len(return_pcs)
+        indirect_sites = self._indirect_sites
+        indirect_cum = self._indirect_cum
+        indirect_total = self._indirect_total
+        num_indirect = len(indirect_cum)
+        call_stack = self._call_stack
+
+        has_phases = self._has_phases
+        phases = spec.phases
+        phase_index = self._phase_index
+        phase_remaining = self._phase_remaining
+        num_phases = len(phases)
+        base_bias = spec.hard_taken_bias
+        if has_phases:
+            phase = phases[phase_index]
+            hard_fraction = (phase.hard_fraction
+                             if phase.hard_fraction is not None
+                             else spec.hard_fraction)
+            shift = ((phase.hard_taken_bias - base_bias)
+                     if phase.hard_taken_bias is not None else 0.0)
+        else:
+            hard_fraction = spec.hard_fraction
+            shift = 0.0
+        entry = self._site_entry(hard_fraction)
+        entry_cum = entry[1]
+        entry_total = entry[2]
+        entry_sites = entry[3]
+
+        kind_cond = BranchKind.CONDITIONAL
+        kind_uncond = BranchKind.UNCONDITIONAL
+        kind_call = BranchKind.CALL
+        kind_ret = BranchKind.RETURN
+        kind_ind = BranchKind.INDIRECT
+        kind_ind_call = BranchKind.INDIRECT_CALL
+
+        for i in range(n):
+            if has_phases:
+                # _advance_phase inlined: the branch consuming a phase's
+                # last slot already reads as the next phase.
+                phase_remaining -= 1
+                if phase_remaining <= 0:
+                    phase_index = (phase_index + 1) % num_phases
+                    phase = phases[phase_index]
+                    phase_remaining = phase.length_instructions
+                    hard_fraction = (phase.hard_fraction
+                                     if phase.hard_fraction is not None
+                                     else spec.hard_fraction)
+                    shift = ((phase.hard_taken_bias - base_bias)
+                             if phase.hard_taken_bias is not None else 0.0)
+                    entry = self._site_entry(hard_fraction)
+                    entry_cum = entry[1]
+                    entry_total = entry[2]
+                    entry_sites = entry[3]
+            # Branch-kind selection (cumulative_choice inlined).
+            sel_state ^= (sel_state >> 12)
+            sel_state ^= (sel_state << 25) & _MASK64
+            sel_state ^= (sel_state >> 27)
+            target_w = ((((sel_state * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                        / 9007199254740992.0) * kind_total
+            code = kind_codes[num_kinds - 1]
+            for j in range(num_kinds):
+                if target_w < kind_cum[j]:
+                    code = kind_codes[j]
+                    break
+            if code == 0:  # conditional
+                # Behaviour-class selection over the hoisted per-phase
+                # entry (cumulative_choice inlined).
+                sel_state ^= (sel_state >> 12)
+                sel_state ^= (sel_state << 25) & _MASK64
+                sel_state ^= (sel_state >> 27)
+                target_w = ((((sel_state * 0x2545F4914F6CDD1D) & _MASK64)
+                             >> 11) / 9007199254740992.0) * entry_total
+                sites = entry_sites[-1]
+                for j in range(len(entry_cum)):
+                    if target_w < entry_cum[j]:
+                        sites = entry_sites[j]
+                        break
+                # Site selection (choice inlined).
+                sel_state ^= (sel_state >> 12)
+                sel_state ^= (sel_state << 25) & _MASK64
+                sel_state ^= (sel_state >> 27)
+                site = sites[((sel_state * 0x2545F4914F6CDD1D) & _MASK64)
+                             % len(sites)]
+                static = site.static
+                behavior = site.behavior
+                if shift and site.klass == _CLASS_HARD:
+                    bias = site.bias + shift
+                    if bias < 0.02:
+                        bias = 0.02
+                    elif bias > 0.98:
+                        bias = 0.98
+                    br_state ^= (br_state >> 12)
+                    br_state ^= (br_state << 25) & _MASK64
+                    br_state ^= (br_state >> 27)
+                    taken = ((((br_state * 0x2545F4914F6CDD1D) & _MASK64)
+                              >> 11) / 9007199254740992.0) < bias
+                elif type(behavior) is BiasedRandomBranch:
+                    # The dominant populations (hard, pattern, leftover)
+                    # are all biased-random: one Bernoulli, inlined.
+                    br_state ^= (br_state >> 12)
+                    br_state ^= (br_state << 25) & _MASK64
+                    br_state ^= (br_state >> 27)
+                    taken = ((((br_state * 0x2545F4914F6CDD1D) & _MASK64)
+                              >> 11) / 9007199254740992.0) \
+                        < behavior.taken_probability
+                else:
+                    rng_branch._state = br_state
+                    behavior.next_outcomes(rng_branch, 1, out_taken, i,
+                                           phase=phase_index)
+                    taken = out_taken[i]
+                    br_state = rng_branch._state
+                out_pc[i] = static.pc
+                out_kind[i] = kind_cond
+                out_taken[i] = taken
+                out_target[i] = (static.taken_target if taken
+                                 else static.fallthrough)
+                out_sid[i] = static.branch_id
+            elif code == 1:  # unconditional
+                sel_state ^= (sel_state >> 12)
+                sel_state ^= (sel_state << 25) & _MASK64
+                sel_state ^= (sel_state >> 27)
+                pc = uncond_pcs[((sel_state * 0x2545F4914F6CDD1D) & _MASK64)
+                                % n_uncond]
+                out_pc[i] = pc
+                out_kind[i] = kind_uncond
+                out_taken[i] = True
+                out_target[i] = pc + 0x200
+                out_sid[i] = None
+            elif code == 2:  # call
+                sel_state ^= (sel_state >> 12)
+                sel_state ^= (sel_state << 25) & _MASK64
+                sel_state ^= (sel_state >> 27)
+                pc = call_pcs[((sel_state * 0x2545F4914F6CDD1D) & _MASK64)
+                              % n_call]
+                call_stack.append(pc + 4)
+                out_pc[i] = pc
+                out_kind[i] = kind_call
+                out_taken[i] = True
+                out_target[i] = pc + 0x1000
+                out_sid[i] = None
+            elif code == 3:  # ret
+                sel_state ^= (sel_state >> 12)
+                sel_state ^= (sel_state << 25) & _MASK64
+                sel_state ^= (sel_state >> 27)
+                pc = return_pcs[((sel_state * 0x2545F4914F6CDD1D) & _MASK64)
+                                % n_ret]
+                out_pc[i] = pc
+                out_kind[i] = kind_ret
+                out_taken[i] = True
+                out_target[i] = (call_stack.pop() if call_stack
+                                 else _CODE_BASE)
+                out_sid[i] = None
+            else:  # indirect / indirect call
+                sel_state ^= (sel_state >> 12)
+                sel_state ^= (sel_state << 25) & _MASK64
+                sel_state ^= (sel_state >> 27)
+                target_w = ((((sel_state * 0x2545F4914F6CDD1D) & _MASK64)
+                             >> 11) / 9007199254740992.0) * indirect_total
+                pair = indirect_sites[-1]
+                for j in range(num_indirect):
+                    if target_w < indirect_cum[j]:
+                        pair = indirect_sites[j]
+                        break
+                pc, model = pair
+                rng_branch._state = br_state
+                indirect_target = model.next_target(rng_branch)
+                br_state = rng_branch._state
+                if code == 5:
+                    call_stack.append(pc + 4)
+                    out_kind[i] = kind_ind_call
+                else:
+                    out_kind[i] = kind_ind
+                out_pc[i] = pc
+                out_taken[i] = True
+                out_target[i] = indirect_target
+                out_sid[i] = None
+            # Dependence distance (bernoulli(0.35) then randint(1, 12),
+            # both inlined from the dependences stream).
+            dep_state ^= (dep_state >> 12)
+            dep_state ^= (dep_state << 25) & _MASK64
+            dep_state ^= (dep_state >> 27)
+            if ((((dep_state * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                    / 9007199254740992.0) < 0.35:
+                out_dep[i] = 0
+            else:
+                dep_state ^= (dep_state >> 12)
+                dep_state ^= (dep_state << 25) & _MASK64
+                dep_state ^= (dep_state >> 27)
+                out_dep[i] = 1 + ((dep_state * 0x2545F4914F6CDD1D)
+                                  & _MASK64) % 12
+
+        self._rng_select._state = sel_state
+        self._rng_dep._state = dep_state
+        rng_branch._state = br_state
+        self.instructions_generated += n
+        if has_phases:
+            self._phase_index = phase_index
+            self._phase_remaining = phase_remaining
+        return block
+
     # -- branches ------------------------------------------------------- #
 
     def _generate_branch(self, seq: int) -> Instruction:
@@ -362,9 +661,13 @@ class WorkloadGenerator:
         instr.static_branch_id = static.branch_id
         return instr
 
-    def _select_conditional_site(self) -> _ConditionalSite:
-        """Sample which population the next dynamic conditional comes from."""
-        hard_fraction = self._phase_hard_fraction()
+    def _site_entry(self, hard_fraction: float) -> tuple:
+        """The cached site-selection tables for one effective hard fraction.
+
+        ``(classes, cumulative, total, site_lists)`` — ``site_lists`` is
+        parallel to ``classes`` so the block generation loop indexes a
+        population without per-branch dict lookups.
+        """
         entry = self._site_choice_cache.get(hard_fraction)
         if entry is None:
             spec = self.spec
@@ -388,8 +691,14 @@ class WorkloadGenerator:
                          if self._sites_by_class.get(klass)]
             cum, total = DeterministicRng.cumulative_weights(
                 [max(a[1], 1e-9) for a in available])
-            entry = ([a[0] for a in available], cum, total)
+            entry = ([a[0] for a in available], cum, total,
+                     [self._sites_by_class[a[0]] for a in available])
             self._site_choice_cache[hard_fraction] = entry
+        return entry
+
+    def _select_conditional_site(self) -> _ConditionalSite:
+        """Sample which population the next dynamic conditional comes from."""
+        entry = self._site_entry(self._phase_hard_fraction())
         klass = self._rng_select.cumulative_choice(entry[0], entry[1], entry[2])
         return self._rng_select.choice(self._sites_by_class[klass])
 
@@ -446,8 +755,11 @@ class WorkloadGenerator:
     def _next_data_address(self) -> int:
         spec = self.spec.memory
         rng = self._rng_memory
-        if self._recent_lines and rng.bernoulli(spec.reuse_probability):
-            line = rng.choice(list(self._recent_lines))
+        recent = self._recent_lines
+        if recent and rng.bernoulli(spec.reuse_probability):
+            # Same single next_u64 draw rng.choice(list(recent)) would
+            # make, without materializing the deque on every reuse hit.
+            line = recent[rng.next_u64() % len(recent)]
         elif rng.bernoulli(spec.stride_fraction):
             self._stride_pointer = (self._stride_pointer + 1) % spec.working_set_lines
             line = self._stride_pointer
@@ -524,6 +836,27 @@ class WrongPathGenerator:
             thread_id=thread_id,
             on_goodpath=False,
         )
+
+    def next_branch_into(self, block: BranchBlock, i: int) -> None:
+        """Write the next wrong-path branch into column ``i`` of ``block``.
+
+        Bit-identical draws to :meth:`next_branch` (same ``main``-stream
+        order: site choice, direction, dependence distance) without
+        materializing an :class:`~repro.isa.instruction.Instruction`;
+        the trace backend's block path fetches wrong-path branches
+        through this entry point.
+        """
+        rng = self._rng
+        sites = self._parent._conditional_sites
+        site = sites[rng.next_u64() % len(sites)]
+        taken = rng.bernoulli(0.55)
+        static = site.static
+        block.pc[i] = static.pc + 0x8  # a nearby, but distinct, wrong-path PC
+        block.kind[i] = BranchKind.CONDITIONAL
+        block.taken[i] = taken
+        block.target[i] = static.taken_target if taken else static.fallthrough
+        block.static_branch_id[i] = static.branch_id
+        block.dep_distance[i] = rng.randint(0, 8)
 
     def next_branch(self, seq: int) -> Instruction:
         """Generate the next wrong-path *branch*, skipping non-branch draws.

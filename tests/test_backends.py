@@ -399,3 +399,83 @@ class TestTraceCycleParity:
             total = sum(occ.values())
             return sum(k * v for k, v in occ.items()) / total if total else 0.0
         assert mean(trace) == pytest.approx(mean(cycle), abs=0.75)
+
+
+class TestTraceBlockSize:
+    """Block size is pure mechanism: results are bit-identical for every
+    value, the knob is validated like a worker count, and it never rides
+    in a job identity or cache key."""
+
+    def _stats(self, spec, machine, block_size):
+        session = TraceBackend(block_size=block_size).build(
+            Workload(spec=spec, seed=3), machine,
+            Instrumentation(path_confidence=PaCoPredictor(
+                relog_period_cycles=5_000)),
+        )
+        return session.run(max_instructions=4_000)
+
+    @pytest.mark.parametrize("block_size", [1, 3, 17, 4096])
+    def test_stats_identical_across_block_sizes(self, tiny_spec,
+                                                small_machine, block_size):
+        reference = self._stats(tiny_spec, small_machine, 256)
+        assert self._stats(tiny_spec, small_machine, block_size) == reference
+
+    @pytest.mark.parametrize("block_size", [1, 7, 256])
+    def test_phased_observer_results_identical(self, phased_spec,
+                                               monkeypatch, block_size):
+        """Phase-aware observers must see the same per-phase instances at
+        every block size (boundary blocks fall back to slot-by-slot)."""
+        monkeypatch.setenv("REPRO_TRACE_BLOCK", str(block_size))
+        result = run_accuracy_experiment(
+            phased_spec, instructions=6_000, warmup_instructions=1_000,
+            backend="trace", instrument="counter")
+        monkeypatch.setenv("REPRO_TRACE_BLOCK", "64")
+        reference = run_accuracy_experiment(
+            phased_spec, instructions=6_000, warmup_instructions=1_000,
+            backend="trace", instrument="counter")
+        assert result == reference
+
+    def test_env_knob_overrides_default(self, tiny_spec, small_machine,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_BLOCK", "32")
+        session = TraceBackend().build(
+            Workload(spec=tiny_spec, seed=1), small_machine,
+            Instrumentation(path_confidence=PaCoPredictor()),
+        )
+        assert session.block_size == 32
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "many", ""])
+    def test_env_knob_validated_loudly(self, tiny_spec, small_machine,
+                                       monkeypatch, bad):
+        monkeypatch.setenv("REPRO_TRACE_BLOCK", bad)
+        with pytest.raises(ValueError, match="REPRO_TRACE_BLOCK"):
+            TraceBackend().build(
+                Workload(spec=tiny_spec, seed=1), small_machine,
+                Instrumentation(path_confidence=PaCoPredictor()),
+            )
+
+    def test_explicit_block_size_validated(self, tiny_spec, small_machine):
+        with pytest.raises(ValueError):
+            TraceBackend(block_size=0).build(
+                Workload(spec=tiny_spec, seed=1), small_machine,
+                Instrumentation(path_confidence=PaCoPredictor()),
+            )
+
+    def test_block_size_excluded_from_job_identity(self, tmp_path,
+                                                   monkeypatch):
+        """Different block sizes must hit the same cache entry: the knob
+        cannot change results, so it must not fragment the cache."""
+        def make_job():
+            return accuracy_job("gzip", instructions=2_000,
+                                warmup_instructions=500, seed=1,
+                                backend="trace")
+
+        monkeypatch.delenv("REPRO_TRACE_BLOCK", raising=False)
+        job = make_job()
+        digest_default = job.digest()
+        cache = ResultCache(tmp_path)
+        key_default = cache.key(job)
+        assert "block" not in str(job.payload()).lower()
+        monkeypatch.setenv("REPRO_TRACE_BLOCK", "8")
+        assert make_job().digest() == digest_default
+        assert cache.key(make_job()) == key_default

@@ -73,6 +73,52 @@ class TestDeterministicRng:
         with pytest.raises(ValueError):
             DeterministicRng(1).weighted_choice(["a", "b"], [0.0, 0.0])
 
+    def test_fill_uniforms_matches_scalar_random(self):
+        a, b = DeterministicRng(21), DeterministicRng(21)
+        out = [0.0] * 64
+        a.fill_uniforms(out, 64)
+        assert out == [b.random() for _ in range(64)]
+        assert a._state == b._state
+
+    def test_fill_uniforms_start_offset_leaves_prefix(self):
+        rng = DeterministicRng(22)
+        out = [-1.0] * 10
+        rng.fill_uniforms(out, 4, start=3)
+        assert out[:3] == [-1.0] * 3
+        assert out[7:] == [-1.0] * 3
+        assert all(0.0 <= v < 1.0 for v in out[3:7])
+
+    def test_geometric_block_matches_scalar_closed_form(self):
+        import math
+        log1p = math.log(1.0 - 0.17)
+        a, b = DeterministicRng(31), DeterministicRng(31)
+        out = [0] * 200
+        a.geometric_block(log1p, out, 200)
+        expected = []
+        for _ in range(200):
+            u = b.random()
+            expected.append(int(math.log(u) / log1p) if u > 0.0 else 0)
+        assert out == expected
+        assert a._state == b._state
+
+    def test_geometric_block_probability_one_draws_nothing(self):
+        rng = DeterministicRng(33)
+        before = rng._state
+        out = [7] * 5
+        rng.geometric_block(None, out, 5)
+        assert out == [0] * 5
+        assert rng._state == before
+
+    def test_cumulative_choice_block_matches_scalar(self):
+        items = ["a", "b", "c", "d"]
+        cum, total = DeterministicRng.cumulative_weights([0.1, 0.5, 0.2, 0.2])
+        a, b = DeterministicRng(41), DeterministicRng(41)
+        out = [None] * 500
+        a.cumulative_choice_block(items, cum, total, out, 500)
+        assert out == [b.cumulative_choice(items, cum, total)
+                       for _ in range(500)]
+        assert a._state == b._state
+
     def test_zero_seed_still_produces_values(self):
         rng = DeterministicRng(0)
         assert rng.next_u64() != 0

@@ -309,3 +309,83 @@ class TestSharedRecordTokens:
         token = composite.on_branch_fetch(info)
         assert type(token) is list and token[0] is info
         composite.on_branch_resolve(token, mispredicted=False)
+
+
+class TestBlockEntryPointTwins:
+    """predict_columns / resolve_record == predict_branch / resolve_branch.
+
+    The trace backend's block path reads branches from BranchBlock
+    columns and stashes the architectural outcome in the record; the
+    twins must leave every table, history bit and counter exactly where
+    the Instruction-based pair does.
+    """
+
+    KINDS = TestEnginePredictorParity.KINDS
+
+    def test_column_twins_leave_identical_state(self):
+        from repro.workloads.generator import BranchBlock
+
+        (instr_fe, column_fe), (jrs_instr, jrs_column) = _frontend_pair(
+            history_bits=8, direction_index_bits=11, btb_sets=64, ras_depth=8)
+        instr_engine = PredictorStateEngine(instr_fe, jrs_instr)
+        column_engine = PredictorStateEngine(column_fe, jrs_column)
+        rng = DeterministicRng(29)
+        block = BranchBlock(1)
+        pending = []
+        for seq in range(1_500):
+            kind = self.KINDS[rng.next_u64() % len(self.KINDS)]
+            pc = 0x400000 + (rng.next_u64() % 200) * 4
+            taken = rng.bernoulli(0.5) if kind is BranchKind.CONDITIONAL else True
+            target = 0x410000 + (rng.next_u64() % 64) * 4
+            sid = seq % 32 if kind is BranchKind.CONDITIONAL else None
+            instr = _branch(seq, pc, kind, taken, target, static_branch_id=sid)
+
+            record_a = instr_engine.predict_branch(instr)
+            block.pc[0] = pc
+            block.kind[0] = kind
+            block.taken[0] = taken
+            block.target[0] = target
+            block.static_branch_id[0] = sid
+            record_b = column_engine.predict_columns(pc, kind, sid, 0)
+
+            assert record_b.taken == record_a.taken
+            assert record_b.target == record_a.target
+            assert record_b.btb_hit == record_a.btb_hit
+            assert record_b.history == record_a.history
+            assert record_b.mdc_index == record_a.mdc_index
+            assert record_b.mdc_value == record_a.mdc_value
+            assert record_b.is_conditional == record_a.is_conditional
+
+            if kind is BranchKind.CONDITIONAL:
+                mispredicted = record_a.taken != taken
+            else:
+                mispredicted = record_a.target != target
+            record_a.mispredicted = mispredicted
+            record_b.mispredicted = mispredicted
+            record_b.kind = kind
+            record_b.out_taken = taken
+            record_b.out_target = target
+            pending.append((instr, record_a, record_b))
+
+            # Resolve out of band so histories move between predict and
+            # resolve, exactly as in-flight windows do.
+            while len(pending) > 4:
+                d_instr, d_rec_a, d_rec_b = pending.pop(0)
+                train = d_instr.seq % 5 != 0  # mix trained and squashed
+                instr_engine.resolve_branch(d_instr, d_rec_a, train=train)
+                column_engine.resolve_record(d_rec_b, train=train)
+        for d_instr, d_rec_a, d_rec_b in pending:
+            instr_engine.resolve_branch(d_instr, d_rec_a, train=True)
+            column_engine.resolve_record(d_rec_b, train=True)
+
+        assert (column_fe.direction.gshare.table
+                == instr_fe.direction.gshare.table)
+        assert (column_fe.direction.bimodal.table
+                == instr_fe.direction.bimodal.table)
+        assert column_fe.direction.chooser == instr_fe.direction.chooser
+        assert column_fe.history.value == instr_fe.history.value
+        assert column_fe.indirect._table == instr_fe.indirect._table
+        assert jrs_column.table == jrs_instr.table
+        assert jrs_column.lookups == jrs_instr.lookups
+        assert jrs_column.updates == jrs_instr.updates
+        assert jrs_column.resets == jrs_instr.resets

@@ -179,3 +179,70 @@ class TestIndirectTargetModel:
     def test_rejects_zero_targets(self):
         with pytest.raises(ValueError):
             IndirectTargetModel(base_target=0x800000, num_targets=0)
+
+
+class TestNextOutcomesBlockEquivalence:
+    """next_outcomes(rng, n) must replay n scalar next_outcome calls
+    bit-exactly: same outcomes, same rng stream state afterwards, same
+    behaviour-internal state."""
+
+    def _behaviors(self):
+        shared_a = GlobalCorrelationState()
+        shared_b = GlobalCorrelationState()
+        return [
+            (BiasedRandomBranch(0.73), BiasedRandomBranch(0.73)),
+            (LoopBranch(5, jitter_probability=0.3),
+             LoopBranch(5, jitter_probability=0.3)),
+            (LoopBranch(3), LoopBranch(3)),
+            (PatternBranch.from_string("TTNT"),
+             PatternBranch.from_string("TTNT")),
+            (PatternBranch.from_string("TN", noise_probability=0.2),
+             PatternBranch.from_string("TN", noise_probability=0.2)),
+            (CorrelatedBranch(shared_a, calm_probability=0.9,
+                              turbulent_probability=0.5),
+             CorrelatedBranch(shared_b, calm_probability=0.9,
+                              turbulent_probability=0.5)),
+            (PhaseSensitiveBranch([0.9, 0.2, 0.6]),
+             PhaseSensitiveBranch([0.9, 0.2, 0.6])),
+        ]
+
+    def test_block_equals_scalar_outcomes_and_states(self):
+        for phase in (0, 1):
+            for block_model, scalar_model in self._behaviors():
+                rng_block = DeterministicRng(97)
+                rng_scalar = DeterministicRng(97)
+                n = 500
+                out = [None] * n
+                block_model.next_outcomes(rng_block, n, out, phase=phase)
+                scalar = [scalar_model.next_outcome(rng_scalar, phase=phase)
+                          for _ in range(n)]
+                label = type(block_model).__name__
+                assert out == scalar, label
+                assert rng_block._state == rng_scalar._state, label
+
+    def test_block_resumes_mid_state(self):
+        # Alternate scalar and block calls on the same model: the block
+        # must pick up loop counters / pattern indices mid-stream.
+        model = LoopBranch(4, jitter_probability=0.5)
+        mirror = LoopBranch(4, jitter_probability=0.5)
+        rng_a, rng_b = DeterministicRng(5), DeterministicRng(5)
+        collected_a = []
+        collected_b = []
+        for _ in range(20):
+            collected_a.append(model.next_outcome(rng_a))
+            out = [None] * 7
+            model.next_outcomes(rng_a, 7, out)
+            collected_a.extend(out)
+        for _ in range(20):
+            collected_b.extend(mirror.next_outcome(rng_b) for _ in range(8))
+        assert collected_a == collected_b
+        assert rng_a._state == rng_b._state
+
+    def test_start_offset_writes_only_the_requested_slice(self):
+        model = BiasedRandomBranch(0.5)
+        rng = DeterministicRng(8)
+        out = ["x"] * 10
+        model.next_outcomes(rng, 4, out, start=3)
+        assert out[:3] == ["x"] * 3
+        assert out[7:] == ["x"] * 3
+        assert all(isinstance(v, bool) for v in out[3:7])

@@ -183,3 +183,169 @@ class TestWrongPathGenerator:
         for seq in range(300):
             ia, ib = a.next_instruction(seq), b.next_instruction(seq)
             assert (ia.pc, ia.iclass) == (ib.pc, ib.iclass)
+
+
+def _stream_states(generator):
+    return {name: generator._pool.stream(name)._state
+            for name in ("branch-outcomes", "site-selection",
+                         "instruction-mix", "memory", "dependences")}
+
+
+def _assert_block_equals_instructions(block, instructions):
+    assert block.count == len(instructions)
+    for i, instr in enumerate(instructions):
+        assert block.pc[i] == instr.pc, i
+        assert block.kind[i] == instr.branch_kind, i
+        assert block.taken[i] == instr.outcome.taken, i
+        assert block.target[i] == instr.outcome.target, i
+        assert block.static_branch_id[i] == instr.static_branch_id, i
+        assert block.dep_distance[i] == instr.dep_distance, i
+
+
+class TestNextBranchBlock:
+    """next_branch_block(seq, n) must equal n scalar next_branch calls
+    field-for-field, including phase schedule and RNG stream states."""
+
+    @pytest.mark.parametrize("bench_name", ["gzip", "gcc", "gap", "perlbmk",
+                                            "mcf", "vortex"])
+    def test_block_equals_scalar_on_suite(self, bench_name):
+        spec = get_benchmark(bench_name)
+        scalar_gen = WorkloadGenerator(spec, seed=7)
+        block_gen = WorkloadGenerator(spec, seed=7)
+        n = 3000
+        scalar = [scalar_gen.next_branch(seq) for seq in range(n)]
+        block = block_gen.next_branch_block(0, n)
+        _assert_block_equals_instructions(block, scalar)
+        assert _stream_states(block_gen) == _stream_states(scalar_gen)
+        assert block_gen.instructions_generated == scalar_gen.instructions_generated
+        assert block_gen._phase_index == scalar_gen._phase_index
+        assert block_gen._phase_remaining == scalar_gen._phase_remaining
+        assert list(block_gen._call_stack) == list(scalar_gen._call_stack)
+
+    def test_block_spans_phase_boundaries(self):
+        spec = BenchmarkSpec(
+            name="short-phases",
+            branch_fraction=0.5,
+            num_static_conditionals=12,
+            hard_fraction=0.3,
+            loop_fraction=0.2,
+            pattern_fraction=0.3,
+            phases=[
+                PhaseSpec(length_instructions=37, hard_fraction=0.05,
+                          hard_taken_bias=0.9, label="a"),
+                PhaseSpec(length_instructions=23, hard_fraction=0.6,
+                          hard_taken_bias=0.55, label="b"),
+            ],
+        )
+        scalar_gen = WorkloadGenerator(spec, seed=11)
+        block_gen = WorkloadGenerator(spec, seed=11)
+        n = 500  # many boundary crossings inside one block
+        scalar = [scalar_gen.next_branch(seq) for seq in range(n)]
+        block = block_gen.next_branch_block(0, n)
+        _assert_block_equals_instructions(block, scalar)
+        assert block_gen._phase_index == scalar_gen._phase_index
+        assert block_gen._phase_remaining == scalar_gen._phase_remaining
+        assert _stream_states(block_gen) == _stream_states(scalar_gen)
+
+    def test_blocks_interleave_with_scalar_calls(self, tiny_spec):
+        scalar_gen = WorkloadGenerator(tiny_spec, seed=5)
+        mixed_gen = WorkloadGenerator(tiny_spec, seed=5)
+        scalar = [scalar_gen.next_branch(seq) for seq in range(90)]
+        collected = []
+        block = None
+        seq = 0
+        for chunk in (1, 17, 2, 40, 30):
+            if chunk == 1:
+                collected.append(mixed_gen.next_branch(seq))
+                seq += 1
+                continue
+            block = mixed_gen.next_branch_block(seq, chunk)
+            for i in range(chunk):
+                collected.append((block.pc[i], block.kind[i], block.taken[i],
+                                  block.target[i], block.static_branch_id[i],
+                                  block.dep_distance[i]))
+            seq += chunk
+        flat_scalar = []
+        for instr in scalar:
+            flat_scalar.append((instr.pc, instr.branch_kind,
+                                instr.outcome.taken, instr.outcome.target,
+                                instr.static_branch_id, instr.dep_distance))
+        flat_mixed = [
+            entry if isinstance(entry, tuple)
+            else (entry.pc, entry.branch_kind, entry.outcome.taken,
+                  entry.outcome.target, entry.static_branch_id,
+                  entry.dep_distance)
+            for entry in collected
+        ]
+        assert flat_mixed == flat_scalar
+        assert _stream_states(mixed_gen) == _stream_states(scalar_gen)
+
+    def test_block_object_is_reusable(self, tiny_spec):
+        from repro.workloads.generator import BranchBlock
+        generator = WorkloadGenerator(tiny_spec, seed=9)
+        block = BranchBlock(64)
+        first = generator.next_branch_block(0, 64, block)
+        assert first is block
+        again = generator.next_branch_block(64, 10, block)
+        assert again is block
+        assert block.count == 10
+
+    def test_block_rejects_undersized_buffer(self, tiny_spec):
+        from repro.workloads.generator import BranchBlock
+        generator = WorkloadGenerator(tiny_spec, seed=9)
+        with pytest.raises(ValueError):
+            generator.next_branch_block(0, 8, BranchBlock(4))
+        with pytest.raises(ValueError):
+            generator.next_branch_block(0, 0)
+        with pytest.raises(ValueError):
+            BranchBlock(0)
+
+
+class TestWrongPathBlockWriter:
+    def test_next_branch_into_matches_next_branch(self, tiny_spec):
+        from repro.workloads.generator import BranchBlock
+        parent_a = WorkloadGenerator(tiny_spec, seed=3)
+        parent_b = WorkloadGenerator(tiny_spec, seed=3)
+        scalar_wp = WrongPathGenerator(parent_a, seed=6)
+        block_wp = WrongPathGenerator(parent_b, seed=6)
+        block = BranchBlock(1)
+        for seq in range(300):
+            instr = scalar_wp.next_branch(seq)
+            block_wp.next_branch_into(block, 0)
+            assert block.pc[0] == instr.pc
+            assert block.kind[0] == instr.branch_kind
+            assert block.taken[0] == instr.outcome.taken
+            assert block.target[0] == instr.outcome.target
+            assert block.static_branch_id[0] == instr.static_branch_id
+            assert block.dep_distance[0] == instr.dep_distance
+        assert scalar_wp._rng._state == block_wp._rng._state
+
+
+class TestRecentLineReuseDraw:
+    def test_reuse_draw_matches_deque_copy_reference(self, tiny_spec):
+        """The direct deque index must draw the line rng.choice(list(deque))
+        drew before the O(n) copy was removed (same single next_u64)."""
+        fast = WorkloadGenerator(tiny_spec, seed=13)
+        reference = WorkloadGenerator(tiny_spec, seed=13)
+
+        def old_next_data_address():
+            spec = reference.spec.memory
+            rng = reference._rng_memory
+            if reference._recent_lines and rng.bernoulli(spec.reuse_probability):
+                line = rng.choice(list(reference._recent_lines))
+            elif rng.bernoulli(spec.stride_fraction):
+                reference._stride_pointer = (
+                    (reference._stride_pointer + 1) % spec.working_set_lines)
+                line = reference._stride_pointer
+            else:
+                line = rng.randint(0, spec.working_set_lines - 1)
+            reference._recent_lines.append(line)
+            return (0x1000_0000 + line * spec.line_bytes
+                    + reference.thread_id * 0x4000_0000)
+
+        reference._next_data_address = old_next_data_address
+        fast_stream = [fast.next_instruction(seq) for seq in range(4000)]
+        ref_stream = [reference.next_instruction(seq) for seq in range(4000)]
+        for a, b in zip(fast_stream, ref_stream):
+            assert a.address == b.address
+        assert (fast._rng_memory._state == reference._rng_memory._state)
