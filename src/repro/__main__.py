@@ -7,8 +7,9 @@ Subcommands
     and the on-disk result cache come from ``--workers`` /
     ``--cache-dir`` / ``--no-cache``; ``--backend {cycle,trace}``
     overrides the driver's default simulation backend (predictor-level
-    experiments default to the fast trace engine, fig10/fig12 to the
-    cycle model).  ``--block-size`` (or ``REPRO_TRACE_BLOCK``) sets the
+    experiments default to the fast trace engine; fig10/fig12 default to
+    the cycle model and accept ``--backend trace`` for parity-gated
+    estimates).  ``--block-size`` (or ``REPRO_TRACE_BLOCK``) sets the
     trace backend's branch-generation batch — pure mechanism, results
     are bit-identical for every value.
 ``sweep``
@@ -106,6 +107,25 @@ def _block_size(value: str) -> int:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _max_jobs(value: str) -> int:
+    """argparse type for ``--max-jobs``: an integer >= 1, rejected loudly.
+
+    A zero or negative value would reach ``pending[:max_jobs]`` and
+    silently drop jobs (a negative slice drops from the *end*), so the
+    flag is validated before any shard state is touched.
+    """
+    try:
+        jobs = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise argparse.ArgumentTypeError(
+            f"invalid --max-jobs value {value!r}: expected an integer >= 1"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"invalid --max-jobs value {value!r}: must be >= 1")
+    return jobs
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=_worker_count, default=1,
                         help="worker processes for the sweep (default: 1, "
@@ -117,7 +137,8 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                         help="simulation backend override (default: the "
                              "driver's own default — trace for "
                              "predictor-level experiments, cycle for "
-                             "fig10/fig12)")
+                             "fig10/fig12, which accept trace for "
+                             "parity-gated timing estimates)")
     parser.add_argument("--block-size", type=_block_size, default=None,
                         help="trace-backend generation block size "
                              "(default: $REPRO_TRACE_BLOCK or "
@@ -258,8 +279,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                               **_driver_kwargs(args))
         except ValueError as error:
             if args.backend is not None:
-                # A sweep-wide backend override does not fit every driver
-                # (fig10/fig12 are pinned to the cycle model): skip those
+                # A sweep-wide backend override may not fit every driver
+                # (downstream drivers can pin a backend): skip those
                 # instead of discarding the completed experiments.
                 print(f"skipping {name}: {error}", file=sys.stderr)
                 continue
@@ -451,7 +472,9 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         plan = load_plan(args.campaign_dir)
     except CampaignPlanError as error:
         return _campaign_error(error)
-    status = campaign_status(plan, args.campaign_dir)
+    status = campaign_status(plan, args.campaign_dir,
+                             echo=lambda message: print(message,
+                                                        file=sys.stderr))
     print(f"campaign   : {plan.spec.name}")
     print(f"plan digest: {plan.digest()[:16]}…")
     print(f"jobs       : {status.completed_jobs}/{status.total_jobs} "
@@ -474,6 +497,13 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
             marker = "…"
         print(f"  shard {shard.shard_index}/{shard.shard_count}: "
               f"{shard.completed}/{shard.assigned} job(s) {marker}")
+        if shard.foreign:
+            print(f"warning: shard {shard.shard_index}/{shard.shard_count} "
+                  f"journal holds {shard.foreign} entr"
+                  f"{'y' if shard.foreign == 1 else 'ies'} this plan does "
+                  f"not assign — state from a different plan shares this "
+                  f"directory; those entries are excluded from the counts",
+                  file=sys.stderr)
     if status.merged_files:
         print(f"merged     : {len(status.merged_files)} report(s)")
         for path in status.merged_files:
@@ -595,7 +625,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run_parser.add_argument("--shard", required=True,
                                      help="shard coordinate i/N, "
                                           "e.g. --shard 2/4")
-    campaign_run_parser.add_argument("--max-jobs", type=int, default=None,
+    campaign_run_parser.add_argument("--max-jobs", type=_max_jobs,
+                                     default=None,
                                      help="execute at most this many "
                                           "pending jobs, then stop "
                                           "(journal keeps the progress)")

@@ -46,6 +46,9 @@ class GatingSweepConfig:
     instructions: int = 40_000
     warmup_instructions: int = 15_000
     seed: int = 1
+    #: Simulation backend every point runs on; ``"trace"`` estimates the
+    #: IPC loss from gated replay and is parity-gated against ``"cycle"``.
+    backend: str = "cycle"
 
 
 def _average(values: Sequence[float]) -> float:
@@ -80,7 +83,7 @@ def sweep_jobs(config: GatingSweepConfig) -> List[Job]:
         return gating_job(benchmark, mode=mode,
                           instructions=config.instructions,
                           warmup_instructions=config.warmup_instructions,
-                          seed=config.seed, **extra)
+                          seed=config.seed, backend=config.backend, **extra)
 
     jobs = [job(benchmark, "none") for benchmark in config.benchmarks]
     for _curve, _parameter, mode, extra in sweep_points(config):

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.eval.metrics import hmwipc
 from repro.runner import (
     Job,
     SweepRunner,
@@ -83,7 +84,11 @@ class SMTStudyConfig:
     instructions: int = 80_000
     warmup_instructions: int = 30_000
     single_thread_instructions: int = 40_000
+    single_thread_warmup_instructions: int = 15_000
     seed: int = 1
+    #: Simulation backend both stages run on; ``"trace"`` interleaves
+    #: per-thread branch replays and is parity-gated against ``"cycle"``.
+    backend: str = "cycle"
 
 
 def study_benchmarks(config: SMTStudyConfig) -> List[str]:
@@ -94,15 +99,45 @@ def study_benchmarks(config: SMTStudyConfig) -> List[str]:
 def single_ipc_jobs(config: SMTStudyConfig) -> List[Job]:
     """Stage one of the study: each benchmark's single-thread IPC baseline.
 
-    These are the only statically plannable jobs of the study — the SMT
-    stage's job identities embed the IPCs these jobs *measure*, so the
-    second stage can only be enumerated after the first has run.
+    The SMT stage no longer embeds the IPCs these jobs measure — the
+    HMWIPC weighting happens at aggregation time in
+    :func:`run_smt_study` — so both stages are statically plannable and a
+    campaign can enumerate the whole study up front.
     """
     return [
         single_ipc_job(benchmark,
                        instructions=config.single_thread_instructions,
-                       seed=config.seed)
+                       warmup_instructions=(
+                           config.single_thread_warmup_instructions),
+                       seed=config.seed, backend=config.backend)
         for benchmark in study_benchmarks(config)
+    ]
+
+
+def study_policies(config: SMTStudyConfig) -> List[Tuple[str, str, int]]:
+    """The evaluated policies as (label, harness policy, jrs threshold)."""
+    policies: List[Tuple[str, str, int]] = []
+    if config.include_icount:
+        policies.append(("icount", "icount", 3))
+    policies.extend((f"jrs-t{t}", "count", t) for t in config.jrs_thresholds)
+    policies.append(("paco", "paco", 3))
+    return policies
+
+
+def smt_jobs(config: SMTStudyConfig) -> List[Job]:
+    """Stage two of the study: every (pair, policy) SMT run.
+
+    Job identities carry no measured values — the single-thread weights
+    are applied when :func:`run_smt_study` aggregates — so this list is
+    enumerable before stage one runs.
+    """
+    return [
+        smt_job(pair[0], pair[1], policy=policy, jrs_threshold=threshold,
+                instructions=config.instructions,
+                warmup_instructions=config.warmup_instructions,
+                seed=config.seed, backend=config.backend)
+        for pair in config.pairs
+        for _label, policy, threshold in study_policies(config)
     ]
 
 
@@ -112,10 +147,11 @@ def run_smt_study(config: Optional[SMTStudyConfig] = None,
 
     The study is a two-stage sweep.  Stage one measures each benchmark's
     single-thread IPC (the HMWIPC weight) exactly once, no matter how many
-    pairs and policies it appears in; stage two runs every
-    (pair, policy) combination with those weights injected, so no SMT job
-    ever re-measures a baseline.  Each stage is one job list, so a parallel
-    runner shards it across its worker pool.
+    pairs and policies it appears in; stage two runs every (pair, policy)
+    combination without re-measuring any baseline, and the weighting is
+    applied here at aggregation time — so both stages are statically
+    enumerable and each is one job list a parallel runner shards across
+    its worker pool.
     """
     cfg = config if config is not None else SMTStudyConfig()
     sweep = resolve_runner(runner)
@@ -124,28 +160,14 @@ def run_smt_study(config: Optional[SMTStudyConfig] = None,
     ipcs = sweep.map(single_ipc_jobs(cfg))
     single_ipcs: Dict[str, float] = dict(zip(benchmarks, ipcs))
 
-    policies: List[Tuple[str, str, int]] = []   # (label, policy, threshold)
-    if cfg.include_icount:
-        policies.append(("icount", "icount", 3))
-    policies.extend((f"jrs-t{t}", "count", t) for t in cfg.jrs_thresholds)
-    policies.append(("paco", "paco", 3))
-
-    jobs = []
-    for pair in cfg.pairs:
-        singles = (single_ipcs[pair[0]], single_ipcs[pair[1]])
-        for _label, policy, threshold in policies:
-            jobs.append(smt_job(
-                pair[0], pair[1], policy=policy, jrs_threshold=threshold,
-                instructions=cfg.instructions,
-                warmup_instructions=cfg.warmup_instructions,
-                single_ipcs=singles, seed=cfg.seed,
-            ))
-    outcomes = iter(sweep.map(jobs))
+    policies = study_policies(cfg)
+    outcomes = iter(sweep.map(smt_jobs(cfg)))
 
     results: List[SMTPairResult] = []
     for pair in cfg.pairs:
+        singles = (single_ipcs[pair[0]], single_ipcs[pair[1]])
         by_policy: Dict[str, float] = {}
         for label, _policy, _threshold in policies:
-            by_policy[label] = next(outcomes).hmwipc
+            by_policy[label] = hmwipc(singles, next(outcomes).smt_ipcs)
         results.append(SMTPairResult(pair=pair, hmwipc_by_policy=by_policy))
     return results

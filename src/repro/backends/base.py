@@ -27,8 +27,9 @@ Two backends ship with the package (both registered here by name):
     generator's good-path stream, replaying the wrong-path stream for a
     calibrated resolution window after each misprediction.  Reproduces
     predictor- and confidence-level statistics at a fraction of the cost;
-    does not model issue/retire timing, so IPC-shaped quantities are
-    approximate and gating/SMT are unsupported.
+    issue/retire timing is replaced by an idealized replay clock, so IPC,
+    gating and SMT quantities are calibrated *estimates* (parity-gated
+    against the cycle model), not cycle-accurate measurements.
 
 The registry maps backend names to zero-argument factories so callers can
 select a backend by the string that also rides in
@@ -78,8 +79,8 @@ class Instrumentation:
     """Everything a backend attaches to the simulated machine.
 
     ``gating_policy`` is only honoured by backends with
-    ``supports_gating`` (the cycle model); passing one to a backend
-    without that capability is an error, not a silent no-op.
+    ``supports_gating`` (both shipped backends); passing one to a
+    backend without that capability is an error, not a silent no-op.
     """
 
     path_confidence: PathConfidencePredictor

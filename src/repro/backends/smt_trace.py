@@ -1,0 +1,368 @@
+"""SMT fetch prioritization over interleaved trace replays.
+
+:class:`TraceSMTCore` models the paper's 2-thread SMT machine (Table 11)
+at the same level of abstraction as the single-thread trace backend: each
+hardware thread is a branch-driven replay — its own
+:class:`~repro.pipeline.fetch.FetchEngine`, geometric inter-branch gaps,
+an in-flight window of ``resolve_window`` slots, and a time-based
+wrong-path episode of ``mispredict_window`` estimated cycles per
+good-path misprediction.  The shared front end is arbitrated by the same
+:class:`~repro.pipeline.fetch_policy.FetchPolicy` objects the cycle model
+uses, over the same :class:`~repro.pipeline.fetch_policy.ThreadView`
+signals (in-flight count, per-thread path confidence predictor).
+
+The replay advances in *grants* rather than cycles: the selected thread
+fetches its next inter-branch gap plus branch (the estimated clock
+advances one cycle per fetched slot, the idealized IPC-1 front end of the
+trace backend), while every other thread's in-flight window drains one
+slot per elapsed cycle — completing, retiring and resolving its oldest
+work exactly as the shared back end would.  Draining the loser is what
+keeps the policies honest: a deprioritized thread's unresolved
+low-confidence branches resolve as its window empties, so its confidence
+signal recovers and fetch priority oscillates instead of starving.  A
+grant is clamped so it never skips past a pending misprediction
+resolution, which happens at its recorded estimated cycle: resolve,
+squash younger wrong-path work, recover, retire the branch, and stall
+the thread's fetch for the redirect penalty.
+
+Per-thread IPCs out of this model are *estimates* (bounded by the IPC-1
+front end), but the fig12 metric — HMWIPC over per-thread SMT/single
+IPC ratios — consumes only relative throughput, and the fetch policies
+consume only ordering signals, so the policy ranking survives; the
+trace-vs-cycle parity gates in ``tests/test_backends.py`` pin that.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from repro.branch_predictor.engine import BranchRecord
+from repro.common.rng import RngPool
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.fetch import FetchEngine
+from repro.pipeline.fetch_policy import FetchPolicy, ICountPolicy, ThreadView
+from repro.pipeline.smt import SMTStats, ThreadStats
+from repro.workloads.generator import BranchBlock
+
+
+class TraceSMTThread(ThreadView):
+    """One hardware thread of the trace SMT model.
+
+    Holds the thread's fetch engine, its in-flight slot window (the same
+    ``BranchRecord``-or-signed-int-run encoding as
+    :class:`~repro.backends.trace.TraceSession`), its gap RNG streams and
+    its pending wrong-path episode, and exposes the
+    :class:`~repro.pipeline.fetch_policy.ThreadView` signals the fetch
+    policies arbitrate on.
+    """
+
+    def __init__(self, thread_id: int, fetch_engine: FetchEngine) -> None:
+        self.thread_id = thread_id
+        self.fetch_engine = fetch_engine
+        self.stats = ThreadStats()
+        self.window: Deque[object] = deque()
+        self.inflight = 0
+        self.next_seq = 0
+        self.fetch_stall_until = 0
+        self.pending_gap = 0
+        #: The unresolved good-path mispredict, if any, and the estimated
+        #: cycle its episode ends (time-based, like the gated replay).
+        self.wp_record: Optional[BranchRecord] = None
+        self.wp_resolve_at = 0
+
+        spec = fetch_engine.generator.spec
+        pool = RngPool(fetch_engine.generator._pool.master_seed).fork(
+            "trace-gaps")
+        self.gap_rng = pool.stream("goodpath")
+        self.wp_gap_rng = pool.stream("wrongpath")
+        branch_fraction = min(max(spec.branch_fraction, 1e-9), 1.0)
+        self.log_one_minus_p = (math.log(1.0 - branch_fraction)
+                                if branch_fraction < 1.0 else None)
+        self.block = BranchBlock(1)
+        self.wp_block = BranchBlock(1)
+        self.gap_scratch = [0]
+
+    @property
+    def in_flight_instructions(self) -> int:
+        return self.inflight + (1 if self.wp_record is not None else 0)
+
+    @property
+    def path_confidence(self) -> object:
+        return self.fetch_engine.path_confidence
+
+
+class TraceSMTCore:
+    """The 8-wide 2-thread SMT machine as two interleaved trace replays."""
+
+    def __init__(self, config: SMTConfig, threads: List[TraceSMTThread],
+                 fetch_policy: Optional[FetchPolicy] = None,
+                 resolve_window: Optional[int] = None,
+                 mispredict_window: Optional[int] = None) -> None:
+        if len(threads) != config.num_threads:
+            raise ValueError(
+                f"expected {config.num_threads} threads, got {len(threads)}")
+        self.config = config
+        self.machine = config.machine
+        self.threads = threads
+        self.fetch_policy = (fetch_policy if fetch_policy is not None
+                             else ICountPolicy())
+        machine = config.machine
+        self.resolve_window = (resolve_window if resolve_window is not None
+                               else machine.width * machine.frontend_depth)
+        self.mispredict_window = (mispredict_window
+                                  if mispredict_window is not None
+                                  else 2 * machine.min_mispredict_penalty)
+        if self.resolve_window < 1 or self.mispredict_window < 1:
+            raise ValueError("trace windows must be at least one slot")
+        self._cycle = 0
+        self.stats = SMTStats(threads=[t.stats for t in threads])
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_total_instructions: int,
+            max_cycles: Optional[int] = None) -> SMTStats:
+        """Run until the threads together retire the instruction budget."""
+        if max_total_instructions <= 0:
+            raise ValueError("instruction budget must be positive")
+        if max_cycles is None:
+            max_cycles = max_total_instructions * 40
+        while (self.stats.total_retired < max_total_instructions
+               and self._cycle < max_cycles):
+            self._step()
+        self.stats.cycles = self._cycle
+        return self.stats
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    # ------------------------------------------------------------------ #
+
+    def _step(self) -> None:
+        """One arbitration event: resolve due mispredicts, grant fetch."""
+        cycle = self._cycle
+        for thread in self.threads:
+            thread.fetch_engine.path_confidence.on_cycle(cycle)
+            if thread.wp_record is not None and cycle >= thread.wp_resolve_at:
+                self._resolve_mispredict(thread, cycle)
+
+        eligible = [i for i, t in enumerate(self.threads)
+                    if cycle >= t.fetch_stall_until]
+        if not eligible:
+            # Every thread is redirect-stalled: idle the front end until
+            # the earliest wake-up, draining the back end meanwhile.
+            target = min(t.fetch_stall_until for t in self.threads)
+            for thread in self.threads:
+                if thread.wp_record is not None:
+                    target = min(target, thread.wp_resolve_at)
+            target = max(target, cycle + 1)
+            for thread in self.threads:
+                self._drain_slots(thread, target - cycle)
+            self._cycle = target
+            return
+        if len(eligible) == len(self.threads):
+            index = self.fetch_policy.select(cycle, self.threads)
+        else:
+            index = eligible[0]
+        thread = self.threads[index]
+        slots = self._fetch_grant(thread, cycle)
+        thread.stats.fetch_cycles_granted += slots
+        for other in self.threads:
+            if other is not thread:
+                self._drain_slots(other, slots)
+        self._cycle = cycle + slots
+
+    def _grant_limit(self, cycle: int) -> Optional[int]:
+        """Cycles until the earliest pending mispredict resolution."""
+        limit: Optional[int] = None
+        for thread in self.threads:
+            if thread.wp_record is not None:
+                due = thread.wp_resolve_at - cycle
+                if limit is None or due < limit:
+                    limit = max(1, due)
+        return limit
+
+    def _fetch_grant(self, thread: TraceSMTThread, cycle: int) -> int:
+        """Fetch one gap+branch grant for ``thread``; return slots fetched."""
+        engine = thread.fetch_engine
+        limit = self._grant_limit(cycle)
+        if engine.on_wrong_path:
+            return self._fetch_wrongpath_grant(thread, cycle, limit)
+        if thread.pending_gap:
+            gap = thread.pending_gap
+        else:
+            thread.gap_rng.geometric_block(thread.log_one_minus_p,
+                                           thread.gap_scratch, 1)
+            gap = thread.gap_scratch[0]
+        if limit is not None and gap >= limit:
+            # Fetch only the prefix of the gap that fits before the next
+            # pending resolution; bank the rest for the next grant.
+            self._fetch_good_run(thread, limit)
+            thread.pending_gap = gap - limit
+            return limit
+        if gap:
+            self._fetch_good_run(thread, gap)
+        thread.pending_gap = 0
+        seq = thread.next_seq
+        thread.next_seq = seq + 1
+        generator = engine.generator
+        generator.next_branch_block(seq, 1, thread.block)
+        record = engine.predict_from_block(thread.block, 0, seq)
+        engine.goodpath_fetched += 1
+        thread.stats.goodpath_fetched += 1
+        if engine.on_wrong_path:
+            # The episode is time-based: the branch resolves a calibrated
+            # number of estimated cycles after its fetch, regardless of
+            # how much wrong-path work the policy lets this thread fetch.
+            thread.wp_record = record
+            thread.wp_resolve_at = cycle + gap + 1 + self.mispredict_window
+        else:
+            self._append_record(thread, record)
+        return gap + 1
+
+    def _fetch_wrongpath_grant(self, thread: TraceSMTThread, cycle: int,
+                               limit: Optional[int]) -> int:
+        """One wrong-path gap+branch grant (bounded by the episode end)."""
+        engine = thread.fetch_engine
+        budget = thread.wp_resolve_at - cycle
+        if limit is not None:
+            budget = min(budget, limit)
+        budget = max(1, budget)
+        thread.wp_gap_rng.geometric_block(thread.log_one_minus_p,
+                                          thread.gap_scratch, 1)
+        gap = thread.gap_scratch[0]
+        if gap >= budget:
+            self._fetch_bad_run(thread, budget)
+            return budget
+        if gap:
+            self._fetch_bad_run(thread, gap)
+        seq = thread.next_seq
+        thread.next_seq = seq + 1
+        engine.wrongpath_generator.next_branch_into(thread.wp_block, 0)
+        record = engine.predict_from_block(thread.wp_block, 0, seq,
+                                           on_goodpath=False)
+        engine.badpath_fetched += 1
+        thread.stats.badpath_fetched += 1
+        self._append_record(thread, record)
+        return gap + 1
+
+    # ------------------------------------------------------------------ #
+    # window bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _fetch_good_run(self, thread: TraceSMTThread, count: int) -> None:
+        generator = thread.fetch_engine.generator
+        remaining = count
+        while remaining:
+            remaining -= generator.advance_instructions(remaining)
+        thread.fetch_engine.goodpath_fetched += count
+        thread.stats.goodpath_fetched += count
+        window = thread.window
+        if window and type(window[-1]) is int and window[-1] > 0:
+            window[-1] += count
+        else:
+            window.append(count)
+        thread.inflight += count
+        if thread.inflight > self.resolve_window:
+            self._drain_slots(thread, thread.inflight - self.resolve_window)
+
+    def _fetch_bad_run(self, thread: TraceSMTThread, count: int) -> None:
+        thread.fetch_engine.badpath_fetched += count
+        thread.stats.badpath_fetched += count
+        window = thread.window
+        if window and type(window[-1]) is int and window[-1] < 0:
+            window[-1] -= count
+        else:
+            window.append(-count)
+        thread.inflight += count
+        if thread.inflight > self.resolve_window:
+            self._drain_slots(thread, thread.inflight - self.resolve_window)
+
+    def _append_record(self, thread: TraceSMTThread,
+                       record: BranchRecord) -> None:
+        thread.window.append(record)
+        thread.inflight += 1
+        if thread.inflight > self.resolve_window:
+            self._drain_slots(thread, thread.inflight - self.resolve_window)
+
+    def _drain_slots(self, thread: TraceSMTThread, count: int) -> None:
+        """Complete up to ``count`` oldest in-flight slots of ``thread``."""
+        window = thread.window
+        stats = thread.stats
+        engine = thread.fetch_engine
+        while count > 0 and window:
+            entry = window[0]
+            if type(entry) is int:
+                size = entry if entry > 0 else -entry
+                take = size if size <= count else count
+                if entry > 0:
+                    stats.retired_instructions += take
+                else:
+                    stats.badpath_executed += take
+                if take < size:
+                    window[0] = entry - take if entry > 0 else entry + take
+                else:
+                    window.popleft()
+                thread.inflight -= take
+                count -= take
+            else:
+                window.popleft()
+                thread.inflight -= 1
+                count -= 1
+                engine.resolve_record(entry)
+                if entry.on_goodpath:
+                    stats.retired_instructions += 1
+                    stats.branches_retired += 1
+                    if entry.mispredicted:
+                        stats.branch_mispredicts_retired += 1
+                else:
+                    stats.badpath_executed += 1
+
+    def _resolve_mispredict(self, thread: TraceSMTThread,
+                            cycle: int) -> None:
+        """The pending mispredict's episode ended: recover the thread."""
+        record = thread.wp_record
+        thread.wp_record = None
+        engine = thread.fetch_engine
+        engine.resolve_record(record)
+        window = thread.window
+        while window:
+            entry = window[-1]
+            if type(entry) is int:
+                if entry > 0:
+                    break
+                window.pop()
+                thread.inflight += entry  # entry is negative
+            elif entry.on_goodpath:
+                break
+            else:
+                window.pop()
+                thread.inflight -= 1
+                engine.squash_record(entry)
+        engine.recover(record)
+        stats = thread.stats
+        stats.retired_instructions += 1
+        stats.branches_retired += 1
+        if record.mispredicted:
+            stats.branch_mispredicts_retired += 1
+        thread.fetch_stall_until = max(
+            thread.fetch_stall_until,
+            cycle + self.machine.redirect_penalty)
+
+
+def build_trace_smt_core(fetch_engines: Sequence[FetchEngine],
+                         config: Optional[SMTConfig] = None,
+                         fetch_policy: Optional[FetchPolicy] = None
+                         ) -> TraceSMTCore:
+    """Wire per-thread fetch engines into a :class:`TraceSMTCore`.
+
+    The engines must be built with the same per-thread seeds the cycle
+    SMT harness uses (``seed + thread_id`` / ``wrongpath_seed = seed +
+    10 + thread_id``) so both backends replay the same streams.
+    """
+    config = config if config is not None else SMTConfig()
+    threads = [TraceSMTThread(thread_id, engine)
+               for thread_id, engine in enumerate(fetch_engines)]
+    return TraceSMTCore(config, threads, fetch_policy=fetch_policy)

@@ -64,13 +64,25 @@ engine counts them and emits one :meth:`InstanceObserver.record_run` per
 kind at the next change (branch fetch/resolve/squash, re-log pass, phase
 boundary).
 
+The same two calibrated windows double as a *timing estimator*: the
+replay clock (slots fetched, plus redirect stalls, plus gated stalls) is
+an estimated cycle count, so ``stats.ipc`` is meaningful — not
+cycle-accurate, but preserving the orderings the application studies
+consume (``supports_timing``).  Fetch gating is modelled on top of it by
+:class:`GatedTraceSession` (``supports_gating``): a gated cycle stalls
+fetch while the oldest in-flight slot completes, so good-path gated
+cycles show up as pure IPC loss while wrong-path gated cycles trade
+fetched wrong-path slots for (nearly free) stall cycles — exactly the
+energy/performance trade-off of fig10.  SMT arbitration over two
+interleaved trace sessions lives in :mod:`repro.backends.smt_trace`.
+
 Parity with the cycle backend for fig2 MDC rates, fig3 counters, fig8/9
-reliability, table7 RMS and tableA1 MRT variants is enforced (with stated
-tolerances) by ``tests/test_backends.py``.  What this backend does **not**
-model: cycle-accurate IPC, wrong-path cache/BTB pollution timing, fetch
-gating and SMT arbitration.  Experiments that consume those (fig10,
-fig12) must stay on the cycle backend, and :meth:`TraceBackend.build`
-rejects gating instrumentation outright.
+reliability, table7 RMS and tableA1 MRT variants — and for the fig10
+gating-throttle and fig12 SMT-priority orderings — is enforced (with
+stated tolerances) by ``tests/test_backends.py``.  What this backend
+still does **not** model: cycle-accurate IPC and wrong-path cache/BTB
+pollution timing; the cycle backend remains ground truth for absolute
+timing numbers.
 """
 
 from __future__ import annotations
@@ -93,7 +105,7 @@ from repro.isa.types import BranchKind
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.core import CoreStats, InstanceObserver, SimulationTruncated
 from repro.pipeline.fetch import FetchEngine
-from repro.pipeline.gating import NoGating
+from repro.pipeline.gating import GatingPolicy, NoGating
 from repro.workloads.generator import BranchBlock
 
 #: Branches generated (and gaps drawn) per batch.  Block size is pure
@@ -669,6 +681,14 @@ class TraceSession(SimulationSession):
             remaining -= 1
             if engine.path_confidence.on_cycle(self._cycle):
                 self._flush_runs()
+        # Estimate of the wrong-path slots that issued before the squash:
+        # everything fetched more than a front-end depth ahead of
+        # resolution has left the front end and consumed execution
+        # resources.  The episode fetches exactly ``mispredict_window``
+        # slots, so the estimate is a per-episode constant.
+        issued = self.mispredict_window - self.config.frontend_depth
+        if issued > 0:
+            stats.badpath_executed += issued
         # The mispredicted branch resolves: mirror the cycle core's
         # recovery order — resolve (train/repair), squash everything
         # younger, redirect fetch, then record the execute instance.
@@ -776,6 +796,225 @@ class TraceSession(SimulationSession):
                 observer.record_run("execute", on_goodpath, cycle, executes)
 
 
+class GatedTraceSession(TraceSession):
+    """A trace replay with a fetch gating policy in the loop.
+
+    The gating predicate is evaluated before every good-path fetch step
+    and before every wrong-path slot of a misprediction episode — the
+    points where the predictors' state (and therefore the predicate) can
+    have changed.  A gated cycle stalls fetch for one estimated cycle
+    while the oldest in-flight slot completes, mirroring how the cycle
+    model's back end keeps draining under a gated front end:
+
+    * on the good path a gated cycle is pure delay — the completed slot
+      would have drained for free at the next fetch — so good-path
+      gating shows up as IPC loss;
+    * inside a wrong-path episode the mispredicted branch resolves on
+      its own schedule, so a gated cycle substitutes for a wrong-path
+      fetch slot at (nearly) no time cost — the episode still spans
+      ``mispredict_window`` estimated cycles but fetches fewer
+      wrong-path slots, which is the energy saving gating exists for.
+
+    Termination is guaranteed: a gated cycle always completes a slot, and
+    an empty window means every branch has resolved, which zeroes the
+    low-confidence count / path-confidence register that gates fetch.
+    The ``while`` guard still fails open on an empty window in case a
+    policy gates on something else.
+
+    The ungated :class:`TraceSession` fast path is untouched — a
+    ``NoGating`` policy builds the base class, keeping existing trace
+    results bit-identical.
+    """
+
+    def __init__(self, fetch_engine: FetchEngine, config: MachineConfig,
+                 observers, resolve_window: int, mispredict_window: int,
+                 gating_policy: GatingPolicy,
+                 block_size: Optional[int] = None) -> None:
+        super().__init__(fetch_engine, config, observers, resolve_window,
+                         mispredict_window, block_size=block_size)
+        self.gating_policy = gating_policy
+
+    def _step_block(self, max_instructions: int, max_cycles: int) -> None:
+        """Scalar gating-aware twin of the batched good-path step.
+
+        Gating decisions depend on predictor state that changes branch by
+        branch, so the gated session steps one (gate-check, gap, branch)
+        tuple at a time through the self-state helpers instead of the
+        inlined block loop.  Stream consumption order is identical, so
+        the predictors see the same branches.
+        """
+        if self._branch_pos >= self._branch_len:
+            if not self._refill_block():
+                if self.gating_policy.should_gate():
+                    self._gated_wait()
+                self._step_boundary_branch()
+                return
+        engine = self.fetch_engine
+        stats = self.stats
+        block = self._block
+        while self._branch_pos < self._branch_len:
+            if (stats.retired_instructions >= max_instructions
+                    or self._cycle >= max_cycles):
+                return
+            if self.gating_policy.should_gate():
+                self._gated_wait()
+                if (stats.retired_instructions >= max_instructions
+                        or self._cycle >= max_cycles):
+                    return
+            gap = self._gap_buf[self._gap_pos]
+            self._gap_pos += 1
+            if gap:
+                self._fetch_good_gap(gap)
+            self._flush_runs()
+            i = self._branch_pos
+            self._branch_pos = i + 1
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            record = engine.predict_from_block(block, i, seq)
+            engine.goodpath_fetched += 1
+            stats.goodpath_fetched += 1
+            self._cycle += 1
+            self._run_fetch += 1
+            if engine.on_wrong_path:
+                self._run_goodpath = False
+                self._replay_wrongpath(record)
+                continue
+            self._run_goodpath = True
+            self._window.append(record)
+            self._inflight += 1
+            if self._inflight > self.resolve_window:
+                self._drain()
+            if engine.path_confidence.on_cycle(self._cycle):
+                self._flush_runs()
+
+    def _gated_step(self) -> None:
+        """One gated cycle: fetch stalls, the oldest in-flight slot completes."""
+        stats = self.stats
+        stats.gated_cycles += 1
+        self._cycle += 1
+        window = self._window
+        if window:
+            entry = window[0]
+            if type(entry) is int:
+                if entry > 0:
+                    stats.goodpath_executed += 1
+                    stats.retired_instructions += 1
+                    entry -= 1
+                else:
+                    stats.badpath_executed += 1
+                    entry += 1
+                if entry:
+                    window[0] = entry
+                else:
+                    window.popleft()
+                self._inflight -= 1
+                self._run_execute += 1
+            else:
+                window.popleft()
+                self._inflight -= 1
+                self._flush_runs()
+                self.fetch_engine.resolve_record(entry)
+                self._run_goodpath = not self.fetch_engine.on_wrong_path
+                if entry.on_goodpath:
+                    self._retire_branch(entry)
+                else:
+                    stats.badpath_executed += 1
+                self._run_execute += 1
+        if self.fetch_engine.path_confidence.on_cycle(self._cycle):
+            self._flush_runs()
+
+    def _gated_wait(self) -> None:
+        """Stall good-path fetch until the policy stops gating."""
+        policy = self.gating_policy
+        while policy.should_gate() and self._window:
+            self._gated_step()
+
+    def _replay_wrongpath(self, record: BranchRecord) -> None:
+        """The wrong-path episode with the gate in the fetch loop.
+
+        The episode budget counts estimated *cycles*, not fetched slots:
+        the mispredicted branch resolves ``mispredict_window`` cycles
+        after fetch whether or not the front end kept fetching, so a
+        gated cycle consumes episode budget without fetching a wrong-path
+        slot.  Resolution and recovery are identical to the ungated path.
+        """
+        engine = self.fetch_engine
+        wrongpath = engine.wrongpath_generator
+        stats = self.stats
+        wp_block = self._wp_block
+        gap_scratch = self._wp_gap_scratch
+        log1p = self._log_one_minus_p
+        wp_rng = self._wp_gap_rng
+        policy = self.gating_policy
+        remaining = self.mispredict_window
+        fetched = 0
+        while remaining:
+            if policy.should_gate():
+                self._gated_step()
+                remaining -= 1
+                continue
+            wp_rng.geometric_block(log1p, gap_scratch, 1)
+            gap = gap_scratch[0]
+            if gap > remaining:
+                gap = remaining
+            if gap:
+                self._fetch_bad_gap(gap)
+                remaining -= gap
+                fetched += gap
+            if not remaining:
+                break
+            self._flush_runs()
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            wrongpath.next_branch_into(wp_block, 0)
+            wp_record = engine.predict_from_block(wp_block, 0, seq,
+                                                  on_goodpath=False)
+            engine.badpath_fetched += 1
+            stats.badpath_fetched += 1
+            self._cycle += 1
+            self._run_fetch += 1
+            self._window.append(wp_record)
+            self._inflight += 1
+            if self._inflight > self.resolve_window:
+                self._drain()
+            remaining -= 1
+            fetched += 1
+            if engine.path_confidence.on_cycle(self._cycle):
+                self._flush_runs()
+        # Same issued-before-squash estimate as the ungated episode, over
+        # the slots this episode actually fetched: gated cycles consume
+        # episode budget without fetching, so gating directly shrinks the
+        # wrong-path work both fetched and executed.
+        issued = fetched - self.config.frontend_depth
+        if issued > 0:
+            stats.badpath_executed += issued
+        self._flush_runs()
+        stats.flushes += 1
+        engine.resolve_record(record)
+        window = self._window
+        while window:
+            entry = window[-1]
+            if type(entry) is int:
+                if entry > 0:
+                    break
+                window.pop()
+                self._inflight += entry  # entry is negative
+            elif entry.on_goodpath:
+                break
+            else:
+                window.pop()
+                self._inflight -= 1
+                engine.squash_record(entry)
+        engine.recover(record)
+        self._retire_branch(record)
+        self._run_goodpath = not engine.on_wrong_path
+        self._run_execute += 1
+        stats.fetch_stall_cycles += self.config.redirect_penalty
+        self._cycle += self.config.redirect_penalty
+        if engine.path_confidence.on_cycle(self._cycle):
+            self._flush_runs()
+
+
 class TraceBackend(SimulationBackend):
     """Fast branch-driven replay for predictor-level experiments.
 
@@ -797,9 +1036,12 @@ class TraceBackend(SimulationBackend):
         value >= 1, so this is never part of a job identity or cache key.
     """
 
+    #: Cycles/IPC are *estimates* over the calibrated windows — ordering-
+    #: preserving (parity-gated by tests/test_backends.py), not
+    #: cycle-accurate; the cycle backend stays ground truth.
     name = "trace"
-    supports_timing = False
-    supports_gating = False
+    supports_timing = True
+    supports_gating = True
 
     def __init__(self, resolve_window: Optional[int] = None,
                  mispredict_window: Optional[int] = None,
@@ -810,18 +1052,21 @@ class TraceBackend(SimulationBackend):
 
     def build(self, workload: Workload, config: MachineConfig,
               instrument: Instrumentation) -> TraceSession:
-        gating = instrument.gating_policy
-        if gating is not None and not isinstance(gating, NoGating):
-            raise ValueError(
-                "the trace backend does not model fetch gating; run gating "
-                "experiments on backend='cycle'"
-            )
         fetch_engine = build_fetch_engine(workload, config, instrument)
         resolve_window = (self.resolve_window if self.resolve_window is not None
                           else config.width * config.frontend_depth)
         mispredict_window = (self.mispredict_window
                              if self.mispredict_window is not None
                              else 2 * config.min_mispredict_penalty)
+        gating = instrument.gating_policy
+        if gating is not None and not isinstance(gating, NoGating):
+            # The gated session steps scalar (gating decisions change
+            # branch to branch); the ungated batched fast path stays
+            # bit-identical to previous releases.
+            return GatedTraceSession(fetch_engine, config,
+                                     instrument.observers, resolve_window,
+                                     mispredict_window, gating,
+                                     block_size=self.block_size)
         session = TraceSession(fetch_engine, config, instrument.observers,
                                resolve_window, mispredict_window,
                                block_size=self.block_size)

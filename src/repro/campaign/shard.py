@@ -91,23 +91,46 @@ def _write_pickle_atomic(path: Path, payload: Any) -> None:
         payload, handle, protocol=pickle.HIGHEST_PROTOCOL))
 
 
-def read_journal(path: Path) -> List[Dict[str, Any]]:
-    """Parse a journal tolerantly: a truncated trailing line (the shard
-    was killed mid-append) is ignored, everything before it counts."""
+def read_journal(path: Path,
+                 echo: Optional[Callable[[str], None]] = None
+                 ) -> List[Dict[str, Any]]:
+    """Parse a journal tolerantly — but only as tolerantly as appends fail.
+
+    The one malformed line a healthy journal can contain is a truncated
+    *final* line (the shard was killed mid-append); that one is ignored
+    silently.  A malformed line anywhere *before* the end means the file
+    was corrupted after the fact — those entries are dropped too (their
+    jobs will re-execute), but with a warning through ``echo`` naming the
+    line numbers, instead of silently shrinking the completed set.
+    """
     if not path.is_file():
         return []
+    say = echo if echo is not None else (lambda message: None)
     entries: List[Dict[str, Any]] = []
+    malformed: List[int] = []
+    number = 0
     with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                continue   # torn tail of an interrupted append
+                malformed.append(number)
+                continue
             if isinstance(entry, dict) and "digest" in entry:
                 entries.append(entry)
+            else:
+                malformed.append(number)
+    # Only the file's last line can be a torn append; anything earlier is
+    # interior corruption worth telling the operator about.
+    interior = [n for n in malformed if n != number]
+    if interior:
+        lines = ", ".join(str(n) for n in interior)
+        say(f"warning: journal {path} has {len(interior)} malformed "
+            f"interior line(s) (line {lines}) — the file was corrupted "
+            f"after writing; the affected job(s) will re-execute")
     return entries
 
 
@@ -143,17 +166,21 @@ class ShardStatus:
 
 
 def completed_digests(campaign_dir: Path, index: int, count: int,
-                      version: Optional[str] = None) -> Set[str]:
+                      version: Optional[str] = None,
+                      echo: Optional[Callable[[str], None]] = None
+                      ) -> Set[str]:
     """Digests this shard has durably finished (journal ∩ value files).
 
     When ``version`` is given, only journal entries produced by that code
     version count — entries from an older code state are stale and their
     jobs re-execute on resume, exactly like a result-cache miss after a
-    source edit.
+    source edit.  ``echo`` receives the journal-corruption warnings of
+    :func:`read_journal`.
     """
     campaign_dir = Path(campaign_dir)
     done: Set[str] = set()
-    for entry in read_journal(journal_path(campaign_dir, index, count)):
+    for entry in read_journal(journal_path(campaign_dir, index, count),
+                              echo=echo):
         if version is not None and entry.get("code_version") != version:
             continue
         digest = entry["digest"]
@@ -172,6 +199,12 @@ def run_shard(plan: CampaignPlan, shard_index: int, shard_count: int,
     useful for smoke runs and for draining a shard in time-boxed slices;
     the journal makes every prefix durable either way.
     """
+    if max_jobs is not None and (not isinstance(max_jobs, int)
+                                 or max_jobs < 1):
+        raise CampaignShardError(
+            f"invalid --max-jobs value {max_jobs!r}: must be an integer "
+            f">= 1 (a zero or negative slice would silently drop pending "
+            f"jobs)")
     campaign_dir = Path(campaign_dir)
     runner = runner if runner is not None else SweepRunner()
     say = echo if echo is not None else (lambda message: None)
@@ -180,7 +213,7 @@ def run_shard(plan: CampaignPlan, shard_index: int, shard_count: int,
 
     assigned = plan.shard_jobs(shard_index, shard_count)
     all_journaled = completed_digests(campaign_dir, shard_index,
-                                      shard_count)
+                                      shard_count, echo=say)
     done = completed_digests(campaign_dir, shard_index, shard_count,
                              version=version)
     planned_digests = {planned.digest for planned in assigned}

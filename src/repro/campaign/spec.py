@@ -9,10 +9,10 @@ byte-identically and hashes into a stable campaign identity.
 Two presets ship with the subsystem:
 
 ``paper``
-    The predictor-level figure/table suite at paper-scale instruction
-    budgets (100 M instructions per benchmark) on the fast trace-replay
-    backend.  This is the budget the source paper measures at; it is only
-    reachable through sharded campaigns plus the result cache.
+    Every figure/table driver at paper-scale instruction budgets (100 M
+    instructions per benchmark) on the fast trace-replay backend.  This
+    is the budget the source paper measures at; it is only reachable
+    through sharded campaigns plus the result cache.
 ``ci``
     A tiny smoke campaign (two drivers, thousands of instructions) used
     by the CI campaign-smoke job and the test suite.
@@ -32,8 +32,7 @@ class CampaignSpecError(ValueError):
     """Raised when a campaign spec cannot possibly execute."""
 
 
-#: Experiment drivers a campaign may name (fig9 is an alias of fig8, and
-#: fig12 is rejected at plan time — see :mod:`repro.campaign.plan`).
+#: Experiment drivers a campaign may name (fig9 is an alias of fig8).
 KNOWN_EXPERIMENTS = ("fig2", "fig3", "table7", "fig8", "fig9", "fig10",
                      "fig12", "tableA1", "ablations")
 
@@ -149,13 +148,14 @@ class CampaignSpec:
 
 #: The shipped campaign presets, by name.
 PRESETS: Dict[str, CampaignSpec] = {
-    # Paper-scale predictor-level suite: 100M instructions per benchmark
-    # on the trace backend.  fig10/fig12 stay off this preset — they need
-    # the cycle model, whose paper-scale budgets are a separate (much
-    # longer) campaign.
+    # Paper-scale suite: every figure/table driver at 100M instructions
+    # per benchmark on the trace backend.  fig10/fig12 run as trace
+    # estimates parity-gated against the cycle model; an exact cycle-model
+    # reproduction at these budgets is a separate (much longer) campaign.
     "paper": CampaignSpec(
         name="paper",
-        experiments=("fig2", "fig3", "table7", "fig8", "tableA1"),
+        experiments=("fig2", "fig3", "table7", "fig8", "fig10", "fig12",
+                     "tableA1", "ablations"),
         seeds=(1,),
         instructions=100_000_000,
         warmup_instructions=1_000_000,
@@ -164,7 +164,7 @@ PRESETS: Dict[str, CampaignSpec] = {
     # Tiny smoke campaign for CI and the test suite.
     "ci": CampaignSpec(
         name="ci",
-        experiments=("table7", "fig3"),
+        experiments=("table7", "fig3", "fig12"),
         seeds=(1,),
         instructions=6_000,
         warmup_instructions=2_000,

@@ -11,7 +11,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.runner.cache import code_version
 from repro.campaign.merge import merged_dir
@@ -30,6 +30,10 @@ class ShardProgress:
     assigned: int
     completed: int
     has_result_file: bool
+    #: Journaled-and-persisted digests the plan does *not* assign to this
+    #: shard — state from a different plan sharing the directory.  They
+    #: never count towards ``completed``.
+    foreign: int = 0
 
     @property
     def finished(self) -> bool:
@@ -69,8 +73,9 @@ class CampaignStatus:
         return len({shard.shard_count for shard in self.shards}) > 1
 
 
-def campaign_status(plan: CampaignPlan,
-                    campaign_dir: Path) -> CampaignStatus:
+def campaign_status(plan: CampaignPlan, campaign_dir: Path,
+                    echo: Optional[Callable[[str], None]] = None
+                    ) -> CampaignStatus:
     """Reconstruct a campaign's progress from its directory.
 
     Only file *names* and journals are read — shard result pickles are
@@ -79,7 +84,11 @@ def campaign_status(plan: CampaignPlan,
     ``(index, count)`` coordinate: running the same directory with two
     different ``--shard i/N`` partitionings shows both, flagged through
     :attr:`CampaignStatus.mixed_shard_counts` instead of silently
-    shadowing one another.
+    shadowing one another.  Journal entries the plan does not assign to a
+    shard (a foreign plan sharing the directory) are excluded from the
+    ``completed`` counts and reported through
+    :attr:`ShardProgress.foreign`; ``echo`` receives journal-corruption
+    warnings.
     """
     campaign_dir = Path(campaign_dir)
     directory = shards_dir(campaign_dir)
@@ -100,14 +109,20 @@ def campaign_status(plan: CampaignPlan,
     version = code_version()
     shards: List[ShardProgress] = []
     for index, count in sorted(coordinates, key=lambda c: (c[1], c[0])):
+        # Intersect with the plan's assignment — exactly as `run_shard`
+        # does — so foreign-plan journal entries whose value files happen
+        # to exist can never inflate `completed` past `assigned`.
+        journaled = completed_digests(campaign_dir, index, count,
+                                      version=version, echo=echo)
+        planned = {p.digest for p in plan.shard_jobs(index, count)}
         shards.append(ShardProgress(
             shard_index=index,
             shard_count=count,
-            assigned=len(plan.shard_jobs(index, count)),
-            completed=len(completed_digests(campaign_dir, index, count,
-                                            version=version)),
+            assigned=len(planned),
+            completed=len(journaled & planned),
             has_result_file=result_path(campaign_dir, index,
                                         count).is_file(),
+            foreign=len(journaled - planned),
         ))
 
     merged = merged_dir(campaign_dir)

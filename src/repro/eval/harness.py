@@ -77,15 +77,6 @@ def _subtract_stats(total: CoreStats, warmup: CoreStats) -> CoreStats:
     return CoreStats(**deltas)
 
 
-def _require_cycle_backend(backend: str, what: str) -> None:
-    """Guard for experiments whose semantics need the cycle model."""
-    if backend != "cycle":
-        raise ValueError(
-            f"{what} measures IPC-level quantities only the cycle model "
-            f"produces; got backend={backend!r} (use backend='cycle')"
-        )
-
-
 def _resolve_spec(benchmark: object) -> BenchmarkSpec:
     if isinstance(benchmark, BenchmarkSpec):
         return benchmark
@@ -377,10 +368,12 @@ def run_gating_experiment(
     already active, exactly as it would be in hardware) is excluded from
     the reported statistics.
 
-    Gating consumes IPC and wrong-path execution, which only the cycle
-    model measures, so this experiment is pinned to ``backend="cycle"``.
+    ``backend="cycle"`` measures gating on the out-of-order core (ground
+    truth); ``backend="trace"`` runs the gated trace replay
+    (:class:`~repro.backends.trace.GatedTraceSession`) — estimated IPC
+    and gated-cycle counts whose throttle orderings are parity-gated
+    against the cycle model by ``tests/test_backends.py``.
     """
-    _require_cycle_backend(backend, "the gating experiment")
     spec = _resolve_spec(benchmark)
     if mode == "none":
         predictor: PathConfidencePredictor = ThresholdAndCountPredictor(
@@ -401,14 +394,15 @@ def run_gating_experiment(
     else:
         raise ValueError(f"unknown gating mode {mode!r}")
 
-    core, _fetch_engine, _generator = build_single_core(
-        spec, predictor, config=config, seed=seed, gating_policy=gating
+    session = build_session(
+        spec, predictor, config=config, seed=seed, gating_policy=gating,
+        backend=backend,
     )
     warmup_snapshot = None
     if warmup_instructions > 0:
-        core.run(max_instructions=warmup_instructions)
-        warmup_snapshot = replace(core.stats)
-    stats = core.run(max_instructions=warmup_instructions + instructions)
+        session.run(max_instructions=warmup_instructions)
+        warmup_snapshot = replace(session.stats)
+    stats = session.run(max_instructions=warmup_instructions + instructions)
     if warmup_snapshot is not None:
         stats = _subtract_stats(stats, warmup_snapshot)
     return GatingResult(
@@ -429,13 +423,20 @@ def run_gating_experiment(
 
 @dataclass
 class SMTResult:
-    """Outcome of one SMT pair under one fetch policy."""
+    """Outcome of one SMT pair under one fetch policy.
+
+    ``single_ipcs`` and ``hmwipc`` are ``None`` when the caller asked for
+    the raw SMT measurement only (``measure_single_ipcs=False``) — the
+    SMT study computes the HMWIPC weighting at aggregation time from its
+    own single-thread stage, which is what makes the fig12 job list
+    static enough to plan as a campaign.
+    """
 
     benchmarks: Tuple[str, str]
     policy: str
     smt_ipcs: Tuple[float, float]
-    single_ipcs: Tuple[float, float]
-    hmwipc: float
+    single_ipcs: Optional[Tuple[float, float]]
+    hmwipc: Optional[float]
     stats: SMTStats
 
 
@@ -447,18 +448,22 @@ def run_single_thread_ipc(
     warmup_instructions: int = 15_000,
     backend: str = "cycle",
 ) -> float:
-    """IPC of a benchmark running alone on the (8-wide) SMT machine."""
-    _require_cycle_backend(backend, "single-thread IPC measurement")
+    """IPC of a benchmark running alone on the (8-wide) SMT machine.
+
+    On ``backend="trace"`` the returned IPC is the trace estimate (bounded
+    by the replay's idealized IPC-1 front end); it is only meaningful as a
+    weighting denominator against SMT IPCs measured on the same backend.
+    """
     machine = config if config is not None else MachineConfig.smt_8wide()
     predictor = ThresholdAndCountPredictor(threshold=3)
-    core, _fetch_engine, _generator = build_single_core(
-        benchmark, predictor, config=machine, seed=seed
+    session = build_session(
+        benchmark, predictor, config=machine, seed=seed, backend=backend
     )
     warmup_snapshot = None
     if warmup_instructions > 0:
-        core.run(max_instructions=warmup_instructions)
-        warmup_snapshot = replace(core.stats)
-    stats = core.run(max_instructions=warmup_instructions + instructions)
+        session.run(max_instructions=warmup_instructions)
+        warmup_snapshot = replace(session.stats)
+    stats = session.run(max_instructions=warmup_instructions + instructions)
     if warmup_snapshot is not None:
         stats = _subtract_stats(stats, warmup_snapshot)
     return stats.ipc
@@ -493,17 +498,29 @@ def run_smt_experiment(
     single_ipcs: Optional[Tuple[float, float]] = None,
     warmup_instructions: int = 30_000,
     backend: str = "cycle",
+    measure_single_ipcs: bool = True,
 ) -> SMTResult:
     """Run one benchmark pair in SMT mode under one fetch policy.
 
     ``policy`` is one of ``"icount"``, ``"round-robin"``, ``"count"``
     (threshold-and-count confidence with ``jrs_threshold``) or ``"paco"``.
     Single-thread IPCs for the HMWIPC weighting are either supplied by the
-    caller (so they can be computed once and reused across policies) or
-    measured here.  ``warmup_instructions`` total retired instructions are
-    excluded from the reported IPCs.
+    caller (so they can be computed once and reused across policies),
+    measured here, or — with ``measure_single_ipcs=False`` — skipped
+    entirely (the result carries raw SMT IPCs and ``hmwipc=None``; the
+    caller weighs them against its own single-thread stage).
+
+    ``backend="cycle"`` runs the full SMT core; ``backend="trace"`` runs
+    the interleaved trace replays of
+    :class:`~repro.backends.smt_trace.TraceSMTCore`, whose policy
+    orderings are parity-gated against the cycle model.
+    ``warmup_instructions`` total retired instructions are excluded from
+    the reported IPCs.
     """
-    _require_cycle_backend(backend, "the SMT experiment")
+    if backend not in ("cycle", "trace"):
+        raise ValueError(
+            f"unknown backend {backend!r} for the SMT experiment "
+            f"(known: cycle, trace)")
     spec_a = _resolve_spec(benchmark_a)
     spec_b = _resolve_spec(benchmark_b)
     smt_config = SMTConfig()
@@ -512,21 +529,28 @@ def run_smt_experiment(
         policy, jrs_threshold, relog_period_cycles
     )
 
-    threads: List[SMTThread] = []
+    engines: List[FetchEngine] = []
     for thread_id, spec in enumerate((spec_a, spec_b)):
         generator = WorkloadGenerator(spec, seed=seed + thread_id, thread_id=thread_id)
         frontend = build_frontend(machine)
         confidence = build_confidence(machine)
-        fetch_engine = FetchEngine(
+        engines.append(FetchEngine(
             generator=generator,
             frontend=frontend,
             confidence=confidence,
             path_confidence=predictor_factory(),
             wrongpath_seed=seed + 10 + thread_id,
-        )
-        threads.append(SMTThread(thread_id=thread_id, fetch_engine=fetch_engine))
+        ))
 
-    core = SMTCore(config=smt_config, threads=threads, fetch_policy=fetch_policy)
+    if backend == "trace":
+        from repro.backends.smt_trace import build_trace_smt_core
+        core = build_trace_smt_core(engines, smt_config,
+                                    fetch_policy=fetch_policy)
+    else:
+        threads = [SMTThread(thread_id=thread_id, fetch_engine=engine)
+                   for thread_id, engine in enumerate(engines)]
+        core = SMTCore(config=smt_config, threads=threads,
+                       fetch_policy=fetch_policy)
     warmup_retired = (0, 0)
     warmup_cycles = 0
     if warmup_instructions > 0:
@@ -547,19 +571,21 @@ def run_smt_experiment(
             "increase the instruction budget or shrink the warm-up"
         )
 
-    if single_ipcs is None:
+    if single_ipcs is None and measure_single_ipcs:
         budget = (single_thread_instructions if single_thread_instructions is not None
                   else instructions // 2)
         single_ipcs = (
-            run_single_thread_ipc(spec_a, instructions=budget, seed=seed),
-            run_single_thread_ipc(spec_b, instructions=budget, seed=seed + 1),
+            run_single_thread_ipc(spec_a, instructions=budget, seed=seed,
+                                  backend=backend),
+            run_single_thread_ipc(spec_b, instructions=budget, seed=seed + 1,
+                                  backend=backend),
         )
 
     smt_ipcs = (
         (stats.threads[0].retired_instructions - warmup_retired[0]) / measured_cycles,
         (stats.threads[1].retired_instructions - warmup_retired[1]) / measured_cycles,
     )
-    metric = hmwipc(single_ipcs, smt_ipcs)
+    metric = hmwipc(single_ipcs, smt_ipcs) if single_ipcs is not None else None
     return SMTResult(
         benchmarks=(spec_a.name, spec_b.name),
         policy=fetch_policy.name,

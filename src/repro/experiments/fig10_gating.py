@@ -33,23 +33,29 @@ QUICK_CONFIG = GatingSweepConfig(
     warmup_instructions=12_000,
 )
 
-#: Gating consumes IPC and wrong-path execution, which only the cycle
-#: backend models; the campaign planner rejects any other backend.
+#: The cycle backend measures the gating trade-off exactly; ``"trace"``
+#: estimates it from gated replay and is parity-gated against cycle.
 DEFAULT_BACKEND = "cycle"
+
+#: Backends the sweep can run on end to end.
+KNOWN_BACKENDS = ("cycle", "trace")
 
 #: The whole curve family is enumerable up front, so campaigns can shard it.
 CAMPAIGN_PLANNABLE = True
 
-_BACKEND_ERROR = (
-    "fig10 pipeline gating consumes IPC and wrong-path execution, which only the "
-    "cycle backend models; re-run with --backend cycle"
-)
+
+def _check_backend(backend: Optional[str]) -> None:
+    if backend not in (None,) + KNOWN_BACKENDS:
+        raise ValueError(
+            f"fig10 pipeline gating knows backends "
+            f"{', '.join(KNOWN_BACKENDS)}; got {backend!r}")
 
 
 def _config(benchmarks: Optional[Sequence[str]],
             instructions: Optional[int],
             warmup_instructions: Optional[int],
-            seed: int, quick: bool) -> GatingSweepConfig:
+            seed: int, quick: bool,
+            backend: Optional[str] = None) -> GatingSweepConfig:
     """The sweep configuration with campaign-level overrides applied."""
     overrides: Dict[str, object] = {"seed": seed}
     if benchmarks is not None:
@@ -58,6 +64,8 @@ def _config(benchmarks: Optional[Sequence[str]],
         overrides["instructions"] = instructions
     if warmup_instructions is not None:
         overrides["warmup_instructions"] = warmup_instructions
+    if backend is not None:
+        overrides["backend"] = backend
     base = QUICK_CONFIG if quick else GatingSweepConfig()
     return dataclasses.replace(base, **overrides)
 
@@ -68,10 +76,9 @@ def jobs(*, benchmarks: Optional[Sequence[str]] = None,
          seed: int = 1, quick: bool = False,
          backend: Optional[str] = None) -> List[Job]:
     """Every job ``report`` executes, for campaign planning / ``--dry-run``."""
-    if backend not in (None, "cycle"):
-        raise ValueError(_BACKEND_ERROR)
+    _check_backend(backend)
     return sweep_jobs(_config(benchmarks, instructions, warmup_instructions,
-                              seed, quick))
+                              seed, quick, backend))
 
 
 @dataclass
@@ -133,10 +140,9 @@ def report(*, runner: Optional[SweepRunner] = None,
            seed: int = 1, quick: bool = False,
            backend: Optional[str] = None) -> str:
     """Run the gating sweep and return the paper-shaped tables."""
-    if backend not in (None, "cycle"):
-        raise ValueError(_BACKEND_ERROR)
+    _check_backend(backend)
     result = run(config=_config(benchmarks, instructions,
-                                warmup_instructions, seed, quick),
+                                warmup_instructions, seed, quick, backend),
                  runner=runner)
     text = format_table(
         ["policy", "parameter", "perf loss %", "badpath exec red. %",

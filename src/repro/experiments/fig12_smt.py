@@ -19,6 +19,7 @@ from repro.applications.smt_prioritization import (
     SMTStudyConfig,
     run_smt_study,
     single_ipc_jobs,
+    smt_jobs,
 )
 from repro.eval.reports import format_table
 from repro.runner import Job, SweepRunner
@@ -33,37 +34,46 @@ QUICK_CONFIG = SMTStudyConfig(
     single_thread_instructions=25_000,
 )
 
-#: SMT prioritization consumes IPC and wrong-path execution, which only
-#: the cycle backend models.
+#: The cycle backend measures the SMT study exactly; ``"trace"`` estimates
+#: per-thread IPCs from interleaved replays and is parity-gated against
+#: cycle (policy orderings, not absolute IPCs).
 DEFAULT_BACKEND = "cycle"
 
-#: NOT campaign-plannable: the SMT stage's job identities embed the
-#: single-thread IPCs the first stage *measures*, so the full job list
-#: only exists after stage one has run.  ``jobs()`` returns the statically
-#: known stage-one jobs (for ``--dry-run`` listings); the campaign planner
-#: rejects fig12 with the reason below and a pointer at
-#: ``python -m repro run fig12``.
-CAMPAIGN_PLANNABLE = False
-CAMPAIGN_UNPLANNABLE_REASON = (
-    "its SMT-stage job identities embed the single-thread IPCs the first "
-    "stage measures, so the full job list is not statically enumerable"
-)
+#: Backends the study can run on end to end.
+KNOWN_BACKENDS = ("cycle", "trace")
 
-_BACKEND_ERROR = (
-    "fig12 SMT prioritization consumes IPC and wrong-path execution, which only the "
-    "cycle backend models; re-run with --backend cycle"
-)
+#: Fully campaign-plannable: SMT-stage job identities carry no measured
+#: values (the HMWIPC weighting happens when the study aggregates), so
+#: ``jobs()`` enumerates both stages statically, in execution order.
+CAMPAIGN_PLANNABLE = True
+
+
+def _check_backend(backend: Optional[str]) -> None:
+    if backend not in (None,) + KNOWN_BACKENDS:
+        raise ValueError(
+            f"fig12 SMT prioritization knows backends "
+            f"{', '.join(KNOWN_BACKENDS)}; got {backend!r}")
 
 
 def _config(instructions: Optional[int],
             warmup_instructions: Optional[int],
-            seed: int, quick: bool) -> SMTStudyConfig:
-    """The study configuration with campaign-level overrides applied."""
+            seed: int, quick: bool,
+            backend: Optional[str] = None) -> SMTStudyConfig:
+    """The study configuration with campaign-level overrides applied.
+
+    A campaign-level instruction/warm-up budget applies to both stages:
+    the single-thread baselines run the same budget as the SMT pairs, so
+    a paper-scale campaign plans paper-scale jobs throughout.
+    """
     overrides: Dict[str, object] = {"seed": seed}
     if instructions is not None:
         overrides["instructions"] = instructions
+        overrides["single_thread_instructions"] = instructions
     if warmup_instructions is not None:
         overrides["warmup_instructions"] = warmup_instructions
+        overrides["single_thread_warmup_instructions"] = warmup_instructions
+    if backend is not None:
+        overrides["backend"] = backend
     base = QUICK_CONFIG if quick else SMTStudyConfig()
     return dataclasses.replace(base, **overrides)
 
@@ -73,14 +83,14 @@ def jobs(*, benchmarks: Optional[Sequence[str]] = None,
          warmup_instructions: Optional[int] = None,
          seed: int = 1, quick: bool = False,
          backend: Optional[str] = None) -> List[Job]:
-    """The statically plannable subset: stage-one single-IPC baselines."""
-    if backend not in (None, "cycle"):
-        raise ValueError(_BACKEND_ERROR)
+    """Every job ``report`` executes — stage-one single-IPC baselines
+    followed by every (pair, policy) SMT run, in execution order."""
+    _check_backend(backend)
     if benchmarks is not None:
         raise ValueError("fig12 runs the paper's fixed benchmark pairs; "
                          "a benchmark subset cannot be applied")
-    return single_ipc_jobs(_config(instructions, warmup_instructions,
-                                   seed, quick))
+    cfg = _config(instructions, warmup_instructions, seed, quick, backend)
+    return single_ipc_jobs(cfg) + smt_jobs(cfg)
 
 
 @dataclass
@@ -146,13 +156,12 @@ def report(*, runner: Optional[SweepRunner] = None,
            seed: int = 1, quick: bool = False,
            backend: Optional[str] = None) -> str:
     """Run the study and return the paper-shaped table text."""
-    if backend not in (None, "cycle"):
-        raise ValueError(_BACKEND_ERROR)
+    _check_backend(backend)
     if benchmarks is not None:
         raise ValueError("fig12 runs the paper's fixed benchmark pairs; "
                          "a benchmark subset cannot be applied")
     result = run(config=_config(instructions, warmup_instructions,
-                                seed, quick),
+                                seed, quick, backend),
                  runner=runner)
     text = format_table(result.headers(), result.rows(),
                         title="Fig. 12 — SMT fetch prioritization (HMWIPC)")

@@ -111,6 +111,7 @@ def _smt(benchmark_a: str,
          warmup_instructions: int = 30_000,
          relog_period_cycles: int = DEFAULT_RELOG_PERIOD,
          single_ipcs: Optional[Sequence[float]] = None,
+         measure_single_ipcs: bool = True,
          backend: str = "cycle",
          seed: int = 1):
     singles: Optional[Tuple[float, float]] = None
@@ -125,6 +126,7 @@ def _smt(benchmark_a: str,
         warmup_instructions=warmup_instructions,
         relog_period_cycles=relog_period_cycles,
         single_ipcs=singles,
+        measure_single_ipcs=measure_single_ipcs,
         backend=backend,
         seed=seed,
     )
@@ -160,30 +162,43 @@ def accuracy_job(benchmark: str, *, instructions: int,
 
 def gating_job(benchmark: str, *, mode: str, instructions: int,
                warmup_instructions: int, seed: int = 1,
-               **extra: Any) -> Job:
+               backend: str = "cycle", **extra: Any) -> Job:
     return Job.make("gating", seed=seed,
                     label=f"gating[{benchmark},{mode}]",
+                    backend=backend,
                     benchmark=benchmark, mode=mode,
                     instructions=instructions,
                     warmup_instructions=warmup_instructions, **extra)
 
 
 def single_ipc_job(benchmark: str, *, instructions: int,
-                   warmup_instructions: int = 15_000, seed: int = 1) -> Job:
+                   warmup_instructions: int = 15_000, seed: int = 1,
+                   backend: str = "cycle") -> Job:
     return Job.make("single-ipc", seed=seed,
                     label=f"single-ipc[{benchmark}]",
+                    backend=backend,
                     benchmark=benchmark, instructions=instructions,
                     warmup_instructions=warmup_instructions)
 
 
 def smt_job(benchmark_a: str, benchmark_b: str, *, policy: str,
             instructions: int, warmup_instructions: int,
-            single_ipcs: Sequence[float], jrs_threshold: int = 3,
-            seed: int = 1) -> Job:
+            single_ipcs: Optional[Sequence[float]] = None,
+            jrs_threshold: int = 3, seed: int = 1,
+            backend: str = "cycle") -> Job:
+    params: Dict[str, Any] = dict(
+        benchmark_a=benchmark_a, benchmark_b=benchmark_b,
+        policy=policy, jrs_threshold=jrs_threshold,
+        instructions=instructions,
+        warmup_instructions=warmup_instructions,
+    )
+    if single_ipcs is not None:
+        params["single_ipcs"] = [float(v) for v in single_ipcs]
+    else:
+        # Statically plannable form: the driver weighs the raw SMT IPCs
+        # against its own single-ipc jobs at aggregation time, so the job
+        # identity no longer depends on an earlier stage's results.
+        params["measure_single_ipcs"] = False
     return Job.make("smt", seed=seed,
                     label=f"smt[{benchmark_a}-{benchmark_b},{policy}]",
-                    benchmark_a=benchmark_a, benchmark_b=benchmark_b,
-                    policy=policy, jrs_threshold=jrs_threshold,
-                    instructions=instructions,
-                    warmup_instructions=warmup_instructions,
-                    single_ipcs=[float(v) for v in single_ipcs])
+                    backend=backend, **params)

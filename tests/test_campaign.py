@@ -148,6 +148,12 @@ class TestPlanning:
         for planned in plan.planned:
             assert planned.job.backend == "trace"
             assert planned.job.params["instructions"] == 100_000_000
+        # Every figure/table driver joins the paper preset uniformly.
+        sources = {source.split("@")[0]
+                   for planned in plan.planned
+                   for source in planned.sources}
+        assert sources == {"fig2", "fig3", "table7", "fig8", "fig10",
+                           "fig12", "tableA1", "ablations"}
         # table7 and fig8 consume identical paco jobs: planned once,
         # attributed to both.
         shared = [planned for planned in plan.planned
@@ -162,17 +168,31 @@ class TestPlanning:
                    for planned in plan.planned
                    for source in planned.sources)
 
-    def test_fig12_is_rejected_with_guidance(self):
+    def test_fig12_plans_both_stages_statically(self):
+        """SMT-stage job identities no longer embed measured IPCs, so the
+        whole two-stage study enumerates at plan time."""
         spec = dataclasses.replace(MINI_SPEC, experiments=("fig12",),
                                    benchmarks=None)
-        with pytest.raises(CampaignPlanError,
-                           match="run `python -m repro run fig12`"):
-            build_plan(spec)
+        plan = build_plan(spec)
+        kinds = {planned.job.experiment for planned in plan.planned}
+        assert kinds == {"single-ipc", "smt"}
+        for planned in plan.planned:
+            assert planned.job.backend == "trace"
+            if planned.job.experiment == "smt":
+                assert "single_ipcs" not in planned.job.params
+                assert planned.job.params["measure_single_ipcs"] is False
 
-    def test_backend_mismatch_fails_at_plan_time(self):
+    def test_fig10_plans_on_trace_backend(self):
         spec = dataclasses.replace(MINI_SPEC, experiments=("fig10",),
                                    benchmarks=None)
-        with pytest.raises(CampaignPlanError, match="cycle backend"):
+        plan = build_plan(spec)
+        assert all(planned.job.backend == "trace"
+                   for planned in plan.planned)
+
+    def test_driver_rejection_fails_at_plan_time(self):
+        # fig12 runs fixed pairs; a benchmark-subset spec cannot plan.
+        spec = dataclasses.replace(MINI_SPEC, experiments=("fig12",))
+        with pytest.raises(CampaignPlanError, match="fixed benchmark pairs"):
             build_plan(spec)
 
     def test_multiple_seeds_multiply_jobs(self):
@@ -278,6 +298,39 @@ class TestShardExecution:
         status = run_shard(plan, 1, 1, camp, SweepRunner())
         assert status.resumed == 2
         assert status.finished
+
+    @pytest.mark.parametrize("bad", [0, -1, -5])
+    def test_nonpositive_max_jobs_is_rejected(self, tmp_path, bad):
+        """A zero/negative slice would silently drop every pending job
+        (``pending[:max_jobs]``); the flag must fail loudly instead."""
+        log = tmp_path / "probe.log"
+        with pytest.raises(CampaignShardError, match="--max-jobs"):
+            run_shard(probe_plan(log), 1, 1, tmp_path / "camp",
+                      SweepRunner(), max_jobs=bad)
+        assert executions(log) == []
+
+    def test_interior_journal_corruption_warns_with_line_number(
+            self, tmp_path):
+        """Corruption before the final line is not a torn append — the
+        operator is told which lines were dropped; the tail stays silent."""
+        log = tmp_path / "probe.log"
+        plan = probe_plan(log)
+        camp = tmp_path / "camp"
+        run_shard(plan, 1, 1, camp, SweepRunner(), max_jobs=3)
+        journal = journal_path(camp, 1, 1)
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        lines[1] = '{"digest": corrupted-by-a-disk-error'
+        journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        messages = []
+        status = run_shard(plan, 1, 1, camp, SweepRunner(),
+                           echo=messages.append)
+        warnings = [m for m in messages if "malformed interior" in m]
+        assert len(warnings) == 1
+        assert "line 2" in warnings[0]
+        assert status.finished
+        # The corrupted entry's job re-executed; the torn-tail test above
+        # pins that a truncated *final* line stays silent.
+        assert len(executions(log)) == len(plan.planned) + 1
 
     def test_journal_from_a_different_plan_is_rejected(self, tmp_path):
         log = tmp_path / "probe.log"
@@ -503,6 +556,37 @@ class TestStatus:
         assert status.shards[0].has_result_file
         assert status.completed_jobs == status.total_jobs
 
+    def test_foreign_journal_entries_are_flagged_not_counted(
+            self, tmp_path):
+        """A journal digest the plan does not assign (another plan shared
+        the directory) must not inflate ``completed`` or flip a shard to
+        finished — it is reported through ``foreign`` instead."""
+        import pickle
+
+        from repro.campaign.shard import values_dir
+        from repro.runner.cache import code_version
+
+        log = tmp_path / "probe.log"
+        plan = probe_plan(log)
+        camp = tmp_path / "camp"
+        run_shard(plan, 1, 1, camp, SweepRunner(), max_jobs=4)
+
+        digest = "f" * 64
+        with journal_path(camp, 1, 1).open("a",
+                                           encoding="utf-8") as handle:
+            handle.write(json.dumps({"digest": digest, "label": "foreign",
+                                     "code_version": code_version()})
+                         + "\n")
+        (values_dir(camp) / f"{digest}.pkl").write_bytes(pickle.dumps(42))
+
+        status = campaign_status(plan, camp)
+        shard = status.shards[0]
+        assert shard.foreign == 1
+        # 4 of 5 planned jobs ran; the foreign entry must not make it 5.
+        assert shard.completed == 4
+        assert not shard.finished
+        assert status.completed_jobs == 4
+
 
 # --------------------------------------------------------------------- #
 # drivers' jobs() must match what report() executes
@@ -529,6 +613,8 @@ class RecordingRunner(SweepRunner):
     ("tableA1", {"benchmarks": ["twolf"]}),
     ("ablations", {"benchmarks": ["gzip"], "quick": True}),
     ("fig10", {"benchmarks": ["twolf", "gzip"], "quick": True}),
+    # trace backend keeps the two-stage SMT study fast enough for a test.
+    ("fig12", {"quick": True, "backend": "trace"}),
 ])
 def test_driver_jobs_match_report_execution(experiment, kwargs):
     """The campaign contract: ``jobs()`` enumerates exactly the jobs
@@ -603,12 +689,42 @@ class TestCampaignCli:
         assert code == 2
         assert "mutually exclusive" in capsys.readouterr().err
 
-    def test_fig12_campaign_is_rejected(self, tmp_path, capsys):
+    def test_fig12_campaign_plans(self, tmp_path, capsys):
         camp = tmp_path / "camp"
         code = cli.main(["campaign", "plan", "--experiments", "fig12",
-                        "--campaign-dir", str(camp)])
-        assert code == 2
-        assert "fig12" in capsys.readouterr().err
+                         "--backend", "trace", "--campaign-dir", str(camp)])
+        assert code == 0
+        assert "fig12" in capsys.readouterr().out
+        plan = load_plan(camp)
+        assert {p.job.experiment for p in plan.planned} == \
+            {"single-ipc", "smt"}
+
+    def test_status_warns_about_foreign_journal_entries(self, tmp_path,
+                                                        capsys):
+        import pickle
+
+        from repro.campaign.shard import values_dir
+        from repro.runner.cache import code_version
+
+        camp = tmp_path / "camp"
+        assert cli.main(self.plan_args(camp)) == 0
+        assert cli.main(["campaign", "run", "--campaign-dir", str(camp),
+                         "--shard", "1/1", "--no-cache"]) == 0
+        digest = "f" * 64
+        with journal_path(camp, 1, 1).open("a",
+                                           encoding="utf-8") as handle:
+            handle.write(json.dumps({"digest": digest, "label": "foreign",
+                                     "code_version": code_version()})
+                         + "\n")
+        (values_dir(camp) / f"{digest}.pkl").write_bytes(pickle.dumps(42))
+        capsys.readouterr()
+        assert cli.main(["campaign", "status",
+                         "--campaign-dir", str(camp)]) == 0
+        captured = capsys.readouterr()
+        assert "does not assign" in captured.err
+        # The foreign entry is excluded from the completed counts.
+        plan = load_plan(camp)
+        assert f"{len(plan.planned)}/{len(plan.planned)} " in captured.out
 
     def test_bad_shard_coordinate_exits_2(self, tmp_path, capsys):
         camp = tmp_path / "camp"
@@ -641,13 +757,17 @@ class TestDryRun:
         out = capsys.readouterr().out
         assert "cached" in out and "miss" not in out
 
-    def test_sweep_dry_run_covers_fig12_partially(self, capsys):
+    def test_sweep_dry_run_covers_fig12_fully(self, capsys):
         assert cli.main(["sweep", "--experiments", "fig12", "--dry-run",
                          "--no-cache", "--quick"]) == 0
         out = capsys.readouterr().out
-        assert "static stage only" in out
+        assert "static stage only" not in out
         assert "single-ipc" in out
+        assert "smt[" in out
 
-    def test_dry_run_backend_mismatch_exits_2(self, capsys):
+    def test_dry_run_fig10_on_trace_lists_trace_jobs(self, capsys):
         assert cli.main(["run", "fig10", "--dry-run", "--no-cache",
-                         "--backend", "trace"]) == 2
+                         "--quick", "--backend", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=trace" in out
+        assert "backend=cycle" not in out

@@ -208,3 +208,33 @@ class TestTraceBlockSizeValidation:
                          "--block-size", "128"])
         assert code == 0
         assert seen["block"] == "128"
+
+
+class TestMaxJobsValidation:
+    """``campaign run --max-jobs`` must reject values that would slice
+    pending jobs away silently (``pending[:0]`` runs nothing and
+    ``pending[:-1]`` drops from the end)."""
+
+    @pytest.mark.parametrize("value", ["0", "-1", "nope", ""])
+    def test_cli_rejects_nonpositive_max_jobs(self, value, tmp_path,
+                                              capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["campaign", "run",
+                      "--campaign-dir", str(tmp_path / "camp"),
+                      "--max-jobs", value])
+        assert excinfo.value.code == 2
+        assert "--max-jobs" in capsys.readouterr().err
+
+    def test_run_shard_rejects_nonpositive_max_jobs(self, tmp_path):
+        """Belt-and-braces: the library layer validates too, so embedders
+        that bypass argparse get the same loud error."""
+        from repro.campaign import (CampaignPlan, CampaignShardError,
+                                    CampaignSpec, PlannedJob, run_shard)
+        plan = CampaignPlan(
+            spec=CampaignSpec(name="probe", experiments=("table7",)),
+            planned=[PlannedJob(job=_job(0), sources=("probe@seed1",))],
+            code_version="probe-version",
+        )
+        with pytest.raises(CampaignShardError, match="--max-jobs"):
+            run_shard(plan, 1, 1, tmp_path / "camp", SweepRunner(),
+                      max_jobs=0)
