@@ -56,4 +56,26 @@ def sweep_runner() -> SweepRunner:
 
 
 def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Write a *stable* results file (tracked in git).
+
+    Tracked files must contain only content that is byte-identical from
+    run to run — rendered experiment tables (deterministic by seed), and
+    the regression floors / configuration of timing benchmarks.  Anything
+    measured (wall-clock seconds, rates, speedups) goes through
+    :func:`write_measured` instead, so benchmark reruns never dirty the
+    working tree.
+    """
     (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def write_measured(results_dir: Path, name: str, text: str) -> None:
+    """Write a *measured* timing table under ``results/measured/``.
+
+    The directory is gitignored — wall-clock numbers vary run to run and
+    must not show up as tree modifications — and CI uploads it (plus the
+    pytest-benchmark ``BENCH_*.json`` files, which carry the same numbers
+    in ``extra_info``) as build artifacts.
+    """
+    measured = results_dir / "measured"
+    measured.mkdir(parents=True, exist_ok=True)
+    (measured / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -6,8 +6,9 @@ Times :meth:`WorkloadGenerator.next_branch` against
 and records branches/second for each path.  The block path produces a
 bit-identical stream (pinned by ``tests/test_workloads_generator.py``);
 this benchmark captures the throughput gap so the perf trajectory shows
-the batching win.  The rendered comparison lands in
-``benchmarks/results/generator_throughput.txt`` and the rates ride in the
+the batching win.  The tracked ``generator_throughput.txt`` carries only
+the stable floor and configuration; the measured rates land in the
+gitignored ``benchmarks/results/measured/`` directory and ride in the
 pytest-benchmark JSON (``extra_info``) the CI backend-parity job uploads
 as ``BENCH_generator_throughput.json``.
 """
@@ -18,7 +19,7 @@ from repro.eval.reports import format_table
 from repro.workloads.generator import BranchBlock, WorkloadGenerator
 from repro.workloads.suite import get_benchmark
 
-from conftest import write_result
+from conftest import write_measured, write_result
 
 #: The block path must beat per-branch generation by a clear margin on
 #: every benchmark shape (observed: ~2.5-3x on the 1-CPU dev container);
@@ -27,27 +28,42 @@ MIN_GENERATOR_SPEEDUP = 1.5
 
 BLOCK_CAPACITY = 256
 
+#: Each rate takes the best of this many attempts, which filters out
+#: scheduler and GC noise on shared 1-CPU runners (both paths get the
+#: same treatment, so the ratio stays honest).
+TIMING_ATTEMPTS = 3
+
 
 def _scalar_rate(spec, n):
-    generator = WorkloadGenerator(spec, seed=1)
-    start = time.perf_counter()
-    next_branch = generator.next_branch
-    for seq in range(n):
-        next_branch(seq)
-    return n / (time.perf_counter() - start)
+    best = None
+    for _ in range(TIMING_ATTEMPTS):
+        generator = WorkloadGenerator(spec, seed=1)
+        start = time.perf_counter()
+        next_branch = generator.next_branch
+        for seq in range(n):
+            next_branch(seq)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return n / best
 
 
 def _block_rate(spec, n):
-    generator = WorkloadGenerator(spec, seed=1)
-    block = BranchBlock(BLOCK_CAPACITY)
-    start = time.perf_counter()
-    seq = 0
-    next_block = generator.next_branch_block
-    while seq < n:
-        chunk = min(BLOCK_CAPACITY, n - seq)
-        next_block(seq, chunk, block)
-        seq += chunk
-    return n / (time.perf_counter() - start)
+    best = None
+    for _ in range(TIMING_ATTEMPTS):
+        generator = WorkloadGenerator(spec, seed=1)
+        block = BranchBlock(BLOCK_CAPACITY)
+        start = time.perf_counter()
+        seq = 0
+        next_block = generator.next_branch_block
+        while seq < n:
+            chunk = min(BLOCK_CAPACITY, n - seq)
+            next_block(seq, chunk, block)
+            seq += chunk
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return n / best
 
 
 def test_bench_generator_throughput(benchmark, results_dir, full_mode):
@@ -81,7 +97,21 @@ def test_bench_generator_throughput(benchmark, results_dir, full_mode):
               f"block size {BLOCK_CAPACITY} "
               f"({'full' if full_mode else 'quick'} budget)",
     )
-    write_result(results_dir, "generator_throughput", text)
+    write_measured(results_dir, "generator_throughput", text)
+    title = "Branch-stream generation throughput — scalar vs block"
+    write_result(results_dir, "generator_throughput", "\n".join([
+        title,
+        "=" * len(title),
+        "regression floor : block branches/s >= "
+        f"{MIN_GENERATOR_SPEEDUP:.1f}x scalar, per benchmark "
+        "(gzip unphased, gcc phased)",
+        f"configuration    : block capacity {BLOCK_CAPACITY}; 60k branches "
+        "quick, 400k with REPRO_BENCH_FULL=1",
+        "measured numbers : benchmarks/results/measured/"
+        "generator_throughput.txt (gitignored)",
+        "                   and the BENCH_generator_throughput.json CI "
+        "artifact (extra_info)",
+    ]))
 
     for spec in specs:
         assert (block_rates[spec.name] / scalar_rates[spec.name]

@@ -630,6 +630,15 @@ def build_parser() -> argparse.ArgumentParser:
                                      help="execute at most this many "
                                           "pending jobs, then stop "
                                           "(journal keeps the progress)")
+    campaign_run_parser.add_argument("--block-size", type=_block_size,
+                                     default=None,
+                                     help="trace-backend generation block "
+                                          "size (default: $REPRO_TRACE_BLOCK "
+                                          f"or {DEFAULT_TRACE_BLOCK}; "
+                                          "bit-identical results for every "
+                                          "value >= 1 — pure mechanism, "
+                                          "excluded from job digests and "
+                                          "cache keys)")
     campaign_run_parser.add_argument("--workers", type=_worker_count,
                                      default=1,
                                      help="worker processes (default: 1)")

@@ -46,6 +46,12 @@ from repro.pipeline.fetch_policy import FetchPolicy, ICountPolicy, ThreadView
 from repro.pipeline.smt import SMTStats, ThreadStats
 from repro.workloads.generator import BranchBlock
 
+#: Geometric gaps drawn per refill of a thread's gap buffers.  Grants
+#: consume one gap at a time, so buffering amortizes the draw-call
+#: overhead without changing per-stream draw order (each stream's gaps
+#: are consumed in exactly the order they are drawn).
+GAP_BUFFER = 64
+
 
 class TraceSMTThread(ThreadView):
     """One hardware thread of the trace SMT model.
@@ -82,7 +88,32 @@ class TraceSMTThread(ThreadView):
                                 if branch_fraction < 1.0 else None)
         self.block = BranchBlock(1)
         self.wp_block = BranchBlock(1)
-        self.gap_scratch = [0]
+        # Buffered gap draws, one buffer per stream (see GAP_BUFFER); a
+        # position at the end marks the buffer as spent.
+        self.gap_buf = [0] * GAP_BUFFER
+        self.gap_pos = GAP_BUFFER
+        self.wp_gap_buf = [0] * GAP_BUFFER
+        self.wp_gap_pos = GAP_BUFFER
+
+    def next_good_gap(self) -> int:
+        """The next good-path inter-branch gap (refilling the buffer)."""
+        pos = self.gap_pos
+        if pos >= GAP_BUFFER:
+            self.gap_rng.geometric_block(self.log_one_minus_p,
+                                         self.gap_buf, GAP_BUFFER)
+            pos = 0
+        self.gap_pos = pos + 1
+        return self.gap_buf[pos]
+
+    def next_bad_gap(self) -> int:
+        """The next wrong-path inter-branch gap (refilling the buffer)."""
+        pos = self.wp_gap_pos
+        if pos >= GAP_BUFFER:
+            self.wp_gap_rng.geometric_block(self.log_one_minus_p,
+                                            self.wp_gap_buf, GAP_BUFFER)
+            pos = 0
+        self.wp_gap_pos = pos + 1
+        return self.wp_gap_buf[pos]
 
     @property
     def in_flight_instructions(self) -> int:
@@ -193,9 +224,7 @@ class TraceSMTCore:
         if thread.pending_gap:
             gap = thread.pending_gap
         else:
-            thread.gap_rng.geometric_block(thread.log_one_minus_p,
-                                           thread.gap_scratch, 1)
-            gap = thread.gap_scratch[0]
+            gap = thread.next_good_gap()
         if limit is not None and gap >= limit:
             # Fetch only the prefix of the gap that fits before the next
             # pending resolution; bank the rest for the next grant.
@@ -230,9 +259,7 @@ class TraceSMTCore:
         if limit is not None:
             budget = min(budget, limit)
         budget = max(1, budget)
-        thread.wp_gap_rng.geometric_block(thread.log_one_minus_p,
-                                          thread.gap_scratch, 1)
-        gap = thread.gap_scratch[0]
+        gap = thread.next_bad_gap()
         if gap >= budget:
             self._fetch_bad_run(thread, budget)
             return budget

@@ -29,16 +29,23 @@ Per block (``--block-size`` / ``REPRO_TRACE_BLOCK``, default
   (:meth:`~repro.pipeline.fetch.FetchEngine.predict_from_block` /
   :meth:`~repro.pipeline.fetch.FetchEngine.resolve_record`), with the
   in-flight window holding the
-  :class:`~repro.branch_predictor.engine.BranchRecord` itself.
+  :class:`~repro.branch_predictor.engine.BranchRecord` itself;
+* a wrong-path episode is fused the same way: all of its gap lengths
+  come from one
+  :meth:`~repro.common.rng.DeterministicRng.geometric_episode` call and
+  all of its branches from one
+  :meth:`~repro.workloads.generator.WrongPathGenerator.next_branch_block`
+  call (the gap and content streams are independent, so batching each
+  preserves its per-stream draw order bit for bit).
 
 Blocking changes *when* values are computed, never *which*: every stream
 is consumed in the same per-branch order as the scalar path, phased
 benchmarks split blocks at phase boundaries (a boundary block falls back
 to slot-by-slot stepping so phase-aware observers read the right phase at
-every flush), and the observer-run flush points — branch fetch/resolve/
-squash, re-log passes, phase boundaries — are exactly the scalar ones.
-Results are byte-identical to the pre-batching replay, which is itself
-parity-gated against the cycle model.
+every run boundary), and the observer-run event boundaries — branch
+fetch/resolve/squash, re-log passes, phase boundaries — are exactly the
+scalar flush points.  Results are byte-identical to the pre-batching
+replay, which is itself parity-gated against the cycle model.
 
 The gap between consecutive branches is drawn in closed form from the
 same geometric distribution the per-instruction Bernoulli process
@@ -58,11 +65,20 @@ Timing is replaced by two calibrated windows:
 The replay clock models an idealized IPC-1 machine (one cycle per slot,
 plus redirect stalls), which keeps cycle-periodic machinery — PaCo's
 re-logarithmizing pass — at a per-instruction cadence comparable to the
-cycle model's.  Instance observations are batched: between two predictor
-state changes every instance carries identical observable state, so the
-engine counts them and emits one :meth:`InstanceObserver.record_run` per
-kind at the next change (branch fetch/resolve/squash, re-log pass, phase
-boundary).
+cycle model's.  Instance observations are batched in two stages.  First,
+between two predictor state changes every instance carries identical
+observable state, so the engine counts instances in run counters and
+closes the run — one ``(kind, on_goodpath, cycle, count)`` event — at
+each scalar flush point.  Second, closed events themselves buffer in a
+flat stride-4 column list across every span where predictor state
+provably does not change: a *conditional* branch prediction or
+resolution (``path_token`` set), a re-log pass that reports a change,
+and a phase roll force the buffer out through
+:meth:`~repro.pipeline.core.InstanceObserver.record_runs`, while
+non-conditional resolutions and quiet ticks merely close events into it.
+An observer therefore reads predictor state once per delivered batch,
+and reads exactly the values the per-event calls would have read —
+delivery happens strictly before the next state change.
 
 The same two calibrated windows double as a *timing estimator*: the
 replay clock (slots fetched, plus redirect stalls, plus gated stalls) is
@@ -87,6 +103,7 @@ timing numbers.
 
 from __future__ import annotations
 
+import linecache
 import math
 import os
 from collections import deque
@@ -102,6 +119,8 @@ from repro.backends.cycle import build_fetch_engine
 from repro.branch_predictor.engine import BranchRecord
 from repro.common.rng import RngPool
 from repro.isa.types import BranchKind
+from repro.pathconf.base import PathConfidencePredictor
+from repro.pathconf.composite import CompositePathConfidence
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.core import CoreStats, InstanceObserver, SimulationTruncated
 from repro.pipeline.fetch import FetchEngine
@@ -138,6 +157,495 @@ def resolve_trace_block_size(value: object,
             f"invalid {source} value {value!r}: block sizes must be >= 1"
         )
     return size
+
+
+def _has_cycle_work(path_confidence) -> bool:
+    """Whether ``on_cycle`` can ever do (or report) state-changing work.
+
+    :meth:`~repro.pathconf.base.PathConfidencePredictor.on_cycle` is a
+    no-op unless overridden, and the composite delegates only to members
+    that override it — so a predictor stack with no cycle-periodic
+    machinery can skip the per-branch tick (and the event deliveries
+    bracketing it) entirely.  Anything that overrides ``on_cycle`` is
+    conservatively treated as cycle work, so custom predictors keep the
+    exact per-branch call sequence.
+    """
+    if isinstance(path_confidence, CompositePathConfidence):
+        return bool(path_confidence._cycle_predictors)
+    cls_on_cycle = getattr(type(path_confidence), "on_cycle", None)
+    return cls_on_cycle is not PathConfidencePredictor.on_cycle
+
+
+# --------------------------------------------------------------------- #
+# The one drain body.
+#
+# Completing the oldest in-flight slots is needed in four places — after
+# a good-path gap, after a good-path branch, inside a wrong-path episode
+# and on a gated stall cycle — and it must run on *loop locals* in the
+# batched paths (an attribute round-trip per slot would dominate the hot
+# loop).  Rather than maintaining textual copies that can drift, the body
+# exists once below and is compiled into each consumer: the block step,
+# the fused wrong-path episode, and the self-state
+# ``_complete_oldest(excess)`` wrapper the scalar/gated paths call.
+# ``tests/test_trace_drain.py`` pins all consumers against a reference
+# implementation.
+#
+# Local vocabulary (bound by every consumer): ``window`` (deque of
+# BranchRecord-or-signed-int runs), ``excess`` (slots still to
+# complete), ``inflight``, ``engine``, ``cycle``, the pending-run
+# counters ``run_fetch``/``run_execute``/``run_goodpath``, the event
+# buffer ``events`` + ``observers``/``has_observers``,
+# ``kind_conditional``, and the stat deltas ``good_executed``/
+# ``bad_executed``/``retired``/``branches_retired``/
+# ``branch_misp_retired``/``cond_retired``/``cond_misp_retired``.
+# --------------------------------------------------------------------- #
+
+_DRAIN_BODY = '''\
+entry = window[0]
+if type(entry) is int:
+    if entry > 0:
+        take = entry if entry <= excess else excess
+        good_executed += take
+        retired += take
+    else:
+        take = -entry if -entry <= excess else excess
+        bad_executed += take
+    run_execute += take
+    if take < (entry if entry > 0 else -entry):
+        window[0] = entry - take if entry > 0 else entry + take
+    else:
+        window.popleft()
+    excess -= take
+    inflight -= take
+else:
+    window.popleft()
+    inflight -= 1
+    excess -= 1
+    # A branch resolution closes the pending instance run.  Only a
+    # *conditional* resolution (path_token set) can change confidence
+    # state, so only those force the buffered events out; the rest
+    # close into the buffer and ride along.
+    if has_observers:
+        if run_fetch:
+            events.extend(("fetch", run_goodpath, cycle, run_fetch))
+        if run_execute:
+            events.extend(("execute", run_goodpath, cycle, run_execute))
+        if events and entry.path_token is not None:
+            for observer in observers:
+                observer.record_runs(events)
+            del events[:]
+    run_fetch = 0
+    run_execute = 0
+    engine.resolve_record(entry)
+    run_goodpath = not engine.on_wrong_path
+    if entry.on_goodpath:
+        good_executed += 1
+        retired += 1
+        branches_retired += 1
+        if entry.mispredicted:
+            branch_misp_retired += 1
+        if entry.kind is kind_conditional:
+            cond_retired += 1
+            if entry.mispredicted:
+                cond_misp_retired += 1
+    else:
+        bad_executed += 1
+    run_execute += 1
+'''
+
+
+def _indent(source: str, levels: int) -> str:
+    pad = "    " * levels
+    return "".join(pad + line if line.strip() else line
+                   for line in source.splitlines(True))
+
+
+def _compile_method(name: str, source: str):
+    """Compile one template method; register the source for tracebacks."""
+    filename = f"<repro.backends.trace:{name}>"
+    namespace: dict = {}
+    exec(compile(source, filename, "exec"), globals(), namespace)
+    linecache.cache[filename] = (len(source), None,
+                                 source.splitlines(True), filename)
+    return namespace[name]
+
+
+_STEP_BLOCK_SRC = '''\
+def _step_block(self, max_instructions, max_cycles):
+    """Advance the replay by up to one block of gap+branch steps.
+
+    The batched twin of the scalar per-branch step: per staged branch
+    it accounts the inter-branch gap, closes the pending observer run,
+    predicts the branch straight from the block columns, and either
+    appends the record to the in-flight window (draining and running
+    the per-cycle confidence work exactly as the scalar path does) or
+    replays the fused wrong-path episode.  Run events buffer in
+    ``self._events`` and are delivered just before the next predictor
+    state change (see the module docstring).  Stops early — leaving
+    the buffer position for the next call or :meth:`run` leg — when
+    the instruction budget or cycle limit is reached.
+    """
+    if self._branch_pos >= self._branch_len:
+        if not self._refill_block():
+            self._step_boundary_branch()
+            return
+
+    engine = self.fetch_engine
+    stats = self.stats
+    window = self._window
+    observers = self.observers
+    has_observers = bool(observers)
+    events = self._events
+    path_confidence = engine.path_confidence
+    cycle_work = self._cycle_work_possible
+    resolve_window = self.resolve_window
+    kind_conditional = BranchKind.CONDITIONAL
+    block = self._block
+    block_kinds = block.kind
+    gaps = self._gap_buf
+    gap_pos = self._gap_pos
+    i = self._branch_pos
+    stop = self._branch_len
+    next_seq = self._next_seq
+    cycle = self._cycle
+    inflight = self._inflight
+    run_fetch = self._run_fetch
+    run_execute = self._run_execute
+    run_goodpath = self._run_goodpath
+    # Stats deltas, folded into the CoreStats record (and the fetch
+    # engine's mirror counters) at sync points only.
+    retired_base = stats.retired_instructions
+    good_fetched = 0
+    good_executed = 0
+    bad_executed = 0
+    retired = 0
+    branches_retired = 0
+    branch_misp_retired = 0
+    cond_retired = 0
+    cond_misp_retired = 0
+
+    while i < stop:
+        if retired_base + retired >= max_instructions or cycle >= max_cycles:
+            break
+        gap = gaps[gap_pos]
+        gap_pos += 1
+        if gap:
+            # _fetch_good_gap, inlined.
+            good_fetched += gap
+            cycle += gap
+            run_fetch += gap
+            if window and type(window[-1]) is int and window[-1] > 0:
+                window[-1] += gap
+            else:
+                window.append(gap)
+            inflight += gap
+        # The one drain body serves both drain points of the scalar
+        # step: the first pass completes the slots the gap pushed past
+        # the window depth, the second the branch's own slot.  (On
+        # entry to an iteration ``inflight <= resolve_window`` holds,
+        # so the first pass is a no-op when the gap was empty.)
+        took_episode = False
+        predicted = False
+        while True:
+            if inflight > resolve_window:
+                excess = inflight - resolve_window
+                while excess > 0:
+%(drain)s
+            if predicted:
+                break
+            predicted = True
+            # The branch itself: the pending run ends here.  Only a
+            # *conditional* prediction is about to change confidence
+            # state, so only those force the buffered events out.
+            if has_observers:
+                if run_fetch:
+                    events.extend(("fetch", run_goodpath, cycle, run_fetch))
+                if run_execute:
+                    events.extend(("execute", run_goodpath, cycle,
+                                   run_execute))
+                if events and block_kinds[i] is kind_conditional:
+                    for observer in observers:
+                        observer.record_runs(events)
+                    del events[:]
+            run_fetch = 0
+            run_execute = 0
+            seq = next_seq
+            next_seq += 1
+            record = engine.predict_from_block(block, i, seq)
+            i += 1
+            good_fetched += 1
+            cycle += 1
+            run_fetch += 1
+            if engine.on_wrong_path:
+                run_goodpath = False
+                # Sync everything and take the (rare) wrong-path
+                # episode through the fused episode method, then
+                # reload.
+                self._next_seq = next_seq
+                self._cycle = cycle
+                self._inflight = inflight
+                self._run_fetch = run_fetch
+                self._run_execute = run_execute
+                self._run_goodpath = run_goodpath
+                stats.goodpath_fetched += good_fetched
+                engine.goodpath_fetched += good_fetched
+                stats.goodpath_executed += good_executed
+                stats.badpath_executed += bad_executed
+                stats.retired_instructions += retired
+                stats.branches_retired += branches_retired
+                stats.branch_mispredicts_retired += branch_misp_retired
+                stats.conditional_branches_retired += cond_retired
+                stats.conditional_mispredicts_retired += cond_misp_retired
+                good_fetched = good_executed = bad_executed = retired = 0
+                branches_retired = branch_misp_retired = 0
+                cond_retired = cond_misp_retired = 0
+
+                self._replay_wrongpath(record)
+
+                next_seq = self._next_seq
+                cycle = self._cycle
+                inflight = self._inflight
+                run_fetch = self._run_fetch
+                run_execute = self._run_execute
+                run_goodpath = self._run_goodpath
+                retired_base = stats.retired_instructions
+                took_episode = True
+                break
+            run_goodpath = True
+            window.append(record)
+            inflight += 1
+        if took_episode:
+            continue
+        if cycle_work:
+            # Cycle-periodic confidence work (PaCo's re-log pass) can
+            # change predictor state: deliver events closed at earlier
+            # (state-preserving) boundaries before the tick so they
+            # are observed with pre-tick state, and close the open run
+            # after a tick that reports a change — the scalar flush
+            # points exactly.
+            if has_observers and events:
+                for observer in observers:
+                    observer.record_runs(events)
+                del events[:]
+            if path_confidence.on_cycle(cycle):
+                if has_observers:
+                    if run_fetch:
+                        events.extend(("fetch", run_goodpath, cycle,
+                                       run_fetch))
+                    if run_execute:
+                        events.extend(("execute", run_goodpath, cycle,
+                                       run_execute))
+                    if events:
+                        for observer in observers:
+                            observer.record_runs(events)
+                        del events[:]
+                run_fetch = 0
+                run_execute = 0
+
+    # Sync the locals back (loop finished or budget/cycle stop).
+    self._branch_pos = i
+    self._gap_pos = gap_pos
+    self._next_seq = next_seq
+    self._cycle = cycle
+    self._inflight = inflight
+    self._run_fetch = run_fetch
+    self._run_execute = run_execute
+    self._run_goodpath = run_goodpath
+    stats.goodpath_fetched += good_fetched
+    engine.goodpath_fetched += good_fetched
+    stats.goodpath_executed += good_executed
+    stats.badpath_executed += bad_executed
+    stats.retired_instructions += retired
+    stats.branches_retired += branches_retired
+    stats.branch_mispredicts_retired += branch_misp_retired
+    stats.conditional_branches_retired += cond_retired
+    stats.conditional_mispredicts_retired += cond_misp_retired
+''' % {"drain": _indent(_DRAIN_BODY, 5)}
+
+
+_REPLAY_WRONGPATH_SRC = '''\
+def _replay_wrongpath(self, record):
+    """Replay the wrong-path stream for the calibrated resolution window.
+
+    Fused like ``_step_block``: all gap lengths for the episode's
+    ``mispredict_window`` budget come from one
+    :meth:`~repro.common.rng.DeterministicRng.geometric_episode` call,
+    all wrong-path branches are staged into the reusable episode-sized
+    block by one
+    :meth:`~repro.workloads.generator.WrongPathGenerator.next_branch_block`
+    call, and cycle/inflight/run bookkeeping stays in loop locals
+    synced at episode end.  The gap and branch-content streams are
+    independent, so drawing each one episode-at-a-time preserves its
+    per-stream draw order — and therefore every value — bit for bit.
+    """
+    engine = self.fetch_engine
+    stats = self.stats
+    window = self._window
+    observers = self.observers
+    has_observers = bool(observers)
+    events = self._events
+    path_confidence = engine.path_confidence
+    cycle_work = self._cycle_work_possible
+    resolve_window = self.resolve_window
+    kind_conditional = BranchKind.CONDITIONAL
+    wp_gaps = self._wp_gap_buf
+    n_gaps, n_branches = self._wp_gap_rng.geometric_episode(
+        self._log_one_minus_p, wp_gaps, self.mispredict_window)
+    wp_block = self._wp_episode_block
+    if n_branches:
+        engine.wrongpath_generator.next_branch_block(wp_block, n_branches)
+    next_seq = self._next_seq
+    cycle = self._cycle
+    inflight = self._inflight
+    run_fetch = self._run_fetch
+    run_execute = self._run_execute
+    run_goodpath = self._run_goodpath
+    bad_fetched = 0
+    good_executed = 0
+    bad_executed = 0
+    retired = 0
+    branches_retired = 0
+    branch_misp_retired = 0
+    cond_retired = 0
+    cond_misp_retired = 0
+
+    for g in range(n_gaps):
+        gap = wp_gaps[g]
+        if gap:
+            # _fetch_bad_gap, inlined.
+            bad_fetched += gap
+            cycle += gap
+            run_fetch += gap
+            if window and type(window[-1]) is int and window[-1] < 0:
+                window[-1] -= gap
+            else:
+                window.append(-gap)
+            inflight += gap
+        fetched_branch = False
+        while True:
+            if inflight > resolve_window:
+                excess = inflight - resolve_window
+                while excess > 0:
+%(drain)s
+            if fetched_branch or g >= n_branches:
+                break
+            fetched_branch = True
+            # Wrong-path branches are all conditional: the prediction
+            # changes confidence state, so close the pending run and
+            # deliver everything buffered first.
+            if has_observers:
+                if run_fetch:
+                    events.extend(("fetch", run_goodpath, cycle, run_fetch))
+                if run_execute:
+                    events.extend(("execute", run_goodpath, cycle,
+                                   run_execute))
+                if events:
+                    for observer in observers:
+                        observer.record_runs(events)
+                    del events[:]
+            run_fetch = 0
+            run_execute = 0
+            seq = next_seq
+            next_seq += 1
+            wp_record = engine.predict_from_block(wp_block, g, seq,
+                                                  on_goodpath=False)
+            bad_fetched += 1
+            cycle += 1
+            run_fetch += 1
+            window.append(wp_record)
+            inflight += 1
+        if g >= n_branches:
+            # The clamped final gap ended the episode: no branch, no
+            # cycle tick — exactly where the scalar loop broke out.
+            break
+        if cycle_work:
+            if has_observers and events:
+                for observer in observers:
+                    observer.record_runs(events)
+                del events[:]
+            if path_confidence.on_cycle(cycle):
+                if has_observers:
+                    if run_fetch:
+                        events.extend(("fetch", run_goodpath, cycle,
+                                       run_fetch))
+                    if run_execute:
+                        events.extend(("execute", run_goodpath, cycle,
+                                       run_execute))
+                    if events:
+                        for observer in observers:
+                            observer.record_runs(events)
+                        del events[:]
+                run_fetch = 0
+                run_execute = 0
+
+    self._next_seq = next_seq
+    self._cycle = cycle
+    self._inflight = inflight
+    self._run_fetch = run_fetch
+    self._run_execute = run_execute
+    self._run_goodpath = run_goodpath
+    stats.badpath_fetched += bad_fetched
+    engine.badpath_fetched += bad_fetched
+    stats.goodpath_executed += good_executed
+    stats.badpath_executed += bad_executed
+    stats.retired_instructions += retired
+    stats.branches_retired += branches_retired
+    stats.branch_mispredicts_retired += branch_misp_retired
+    stats.conditional_branches_retired += cond_retired
+    stats.conditional_mispredicts_retired += cond_misp_retired
+    # Estimate of the wrong-path slots that issued before the squash:
+    # everything fetched more than a front-end depth ahead of
+    # resolution has left the front end and consumed execution
+    # resources.  The episode fetches exactly ``mispredict_window``
+    # slots, so the estimate is a per-episode constant.
+    self._finish_wrongpath(
+        record, self.mispredict_window - self.config.frontend_depth)
+''' % {"drain": _indent(_DRAIN_BODY, 5)}
+
+
+_COMPLETE_OLDEST_SRC = '''\
+def _complete_oldest(self, excess):
+    """Complete the ``excess`` oldest in-flight slots.
+
+    The self-state wrapper around the one shared drain body (the same
+    source the block loops compile inline): used by the scalar helpers
+    — gap fetches past the window depth, the boundary step, the gated
+    scalar paths — and, with ``excess == 1``, by the gated session's
+    stall cycles.
+    """
+    engine = self.fetch_engine
+    stats = self.stats
+    window = self._window
+    observers = self.observers
+    has_observers = bool(observers)
+    events = self._events
+    kind_conditional = BranchKind.CONDITIONAL
+    cycle = self._cycle
+    inflight = self._inflight
+    run_fetch = self._run_fetch
+    run_execute = self._run_execute
+    run_goodpath = self._run_goodpath
+    good_executed = 0
+    bad_executed = 0
+    retired = 0
+    branches_retired = 0
+    branch_misp_retired = 0
+    cond_retired = 0
+    cond_misp_retired = 0
+    while excess > 0:
+%(drain)s
+    self._inflight = inflight
+    self._run_fetch = run_fetch
+    self._run_execute = run_execute
+    self._run_goodpath = run_goodpath
+    stats.goodpath_executed += good_executed
+    stats.badpath_executed += bad_executed
+    stats.retired_instructions += retired
+    stats.branches_retired += branches_retired
+    stats.branch_mispredicts_retired += branch_misp_retired
+    stats.conditional_branches_retired += cond_retired
+    stats.conditional_mispredicts_retired += cond_misp_retired
+''' % {"drain": _indent(_DRAIN_BODY, 2)}
 
 
 class TraceSession(SimulationSession):
@@ -209,12 +717,22 @@ class TraceSession(SimulationSession):
         self._branch_pos = 0
         self._branch_len = 0
         self._wp_gap_scratch = [0]
+        # Fused wrong-path episode buffers (the gated session keeps the
+        # scalar per-slot episode — gating decisions interleave with the
+        # draws — so the one-slot buffers above stay for it).
+        self._wp_gap_buf = [0] * mispredict_window
+        self._wp_episode_block = BranchBlock(mispredict_window)
 
-        # Batched instance recording (see module docstring).
+        # Batched instance recording (see module docstring): the pending
+        # run counters plus the closed-run event buffer awaiting
+        # delivery at the next predictor state change.
         self._run_fetch = 0
         self._run_execute = 0
         self._run_goodpath = True
+        self._events: list = []
         self._has_phases = bool(spec.phases)
+        self._cycle_work_possible = _has_cycle_work(
+            fetch_engine.path_confidence)
 
     # ------------------------------------------------------------------ #
     # public API (the SimulationSession contract)
@@ -222,8 +740,8 @@ class TraceSession(SimulationSession):
 
     def add_observer(self, observer: InstanceObserver) -> None:
         # Instances recorded while this observer was not attached must not
-        # leak into it: flush the pending run to the existing observers
-        # first (the new one starts at the next instance).
+        # leak into it: flush the pending run (and deliver the buffered
+        # events) to the existing observers first.
         self._flush_runs()
         self.observers.append(observer)
 
@@ -308,260 +826,13 @@ class TraceSession(SimulationSession):
         self._branch_len = m
         return m
 
-    def _step_block(self, max_instructions: int, max_cycles: int) -> None:
-        """Advance the replay by up to one block of gap+branch steps.
-
-        The batched twin of the scalar per-branch step: per staged branch
-        it accounts the inter-branch gap, flushes the pending observer
-        run, predicts the branch straight from the block columns, and
-        either appends the record to the in-flight window (draining and
-        running the per-cycle confidence work exactly as the scalar path
-        does) or replays the calibrated wrong-path episode.  Stops early
-        — leaving the buffer position for the next call or :meth:`run`
-        leg — when the instruction budget or cycle limit is reached.
-        """
-        if self._branch_pos >= self._branch_len:
-            if not self._refill_block():
-                self._step_boundary_branch()
-                return
-
-        engine = self.fetch_engine
-        stats = self.stats
-        window = self._window
-        observers = self.observers
-        path_confidence = engine.path_confidence
-        resolve_window = self.resolve_window
-        kind_conditional = BranchKind.CONDITIONAL
-        block = self._block
-        gaps = self._gap_buf
-        gap_pos = self._gap_pos
-        i = self._branch_pos
-        stop = self._branch_len
-        next_seq = self._next_seq
-        cycle = self._cycle
-        inflight = self._inflight
-        run_fetch = self._run_fetch
-        run_execute = self._run_execute
-        run_goodpath = self._run_goodpath
-        # Stats deltas, folded into the CoreStats record (and the fetch
-        # engine's mirror counters) at sync points only.
-        retired_base = stats.retired_instructions
-        good_fetched = 0
-        good_executed = 0
-        bad_executed = 0
-        retired = 0
-        branches_retired = 0
-        branch_misp_retired = 0
-        cond_retired = 0
-        cond_misp_retired = 0
-
-        while i < stop:
-            if retired_base + retired >= max_instructions or cycle >= max_cycles:
-                break
-            gap = gaps[gap_pos]
-            gap_pos += 1
-            if gap:
-                # _fetch_good_gap, inlined.
-                good_fetched += gap
-                cycle += gap
-                run_fetch += gap
-                if window and type(window[-1]) is int and window[-1] > 0:
-                    window[-1] += gap
-                else:
-                    window.append(gap)
-                inflight += gap
-                if inflight > resolve_window:
-                    # _drain, inlined (gap variant).
-                    excess = inflight - resolve_window
-                    while excess > 0:
-                        entry = window[0]
-                        if type(entry) is int:
-                            if entry > 0:
-                                take = entry if entry <= excess else excess
-                                good_executed += take
-                                retired += take
-                            else:
-                                take = -entry if -entry <= excess else excess
-                                bad_executed += take
-                            run_execute += take
-                            if take < (entry if entry > 0 else -entry):
-                                window[0] = (entry - take if entry > 0
-                                             else entry + take)
-                            else:
-                                window.popleft()
-                            excess -= take
-                            inflight -= take
-                        else:
-                            window.popleft()
-                            inflight -= 1
-                            excess -= 1
-                            # A branch resolution changes predictor
-                            # state: close the pending run first.
-                            if run_fetch or run_execute:
-                                for observer in observers:
-                                    if run_fetch:
-                                        observer.record_run(
-                                            "fetch", run_goodpath, cycle,
-                                            run_fetch)
-                                    if run_execute:
-                                        observer.record_run(
-                                            "execute", run_goodpath, cycle,
-                                            run_execute)
-                                run_fetch = 0
-                                run_execute = 0
-                            engine.resolve_record(entry)
-                            run_goodpath = not engine.on_wrong_path
-                            if entry.on_goodpath:
-                                good_executed += 1
-                                retired += 1
-                                branches_retired += 1
-                                if entry.mispredicted:
-                                    branch_misp_retired += 1
-                                if entry.kind is kind_conditional:
-                                    cond_retired += 1
-                                    if entry.mispredicted:
-                                        cond_misp_retired += 1
-                            else:
-                                bad_executed += 1
-                            run_execute += 1
-            # The branch itself: prediction mutates predictor state, so
-            # the pending run ends here and the branch's own fetch
-            # instance starts the next one (_flush_runs, inlined).
-            if run_fetch or run_execute:
-                for observer in observers:
-                    if run_fetch:
-                        observer.record_run("fetch", run_goodpath, cycle,
-                                            run_fetch)
-                    if run_execute:
-                        observer.record_run("execute", run_goodpath, cycle,
-                                            run_execute)
-                run_fetch = 0
-                run_execute = 0
-            seq = next_seq
-            next_seq += 1
-            record = engine.predict_from_block(block, i, seq)
-            i += 1
-            good_fetched += 1
-            cycle += 1
-            run_fetch += 1
-            if engine.on_wrong_path:
-                run_goodpath = False
-                # Sync everything and take the (rare) wrong-path episode
-                # through the self-state method, then reload.
-                self._next_seq = next_seq
-                self._cycle = cycle
-                self._inflight = inflight
-                self._run_fetch = run_fetch
-                self._run_execute = run_execute
-                self._run_goodpath = run_goodpath
-                stats.goodpath_fetched += good_fetched
-                engine.goodpath_fetched += good_fetched
-                stats.goodpath_executed += good_executed
-                stats.badpath_executed += bad_executed
-                stats.retired_instructions += retired
-                stats.branches_retired += branches_retired
-                stats.branch_mispredicts_retired += branch_misp_retired
-                stats.conditional_branches_retired += cond_retired
-                stats.conditional_mispredicts_retired += cond_misp_retired
-                good_fetched = good_executed = bad_executed = retired = 0
-                branches_retired = branch_misp_retired = 0
-                cond_retired = cond_misp_retired = 0
-
-                self._replay_wrongpath(record)
-
-                next_seq = self._next_seq
-                cycle = self._cycle
-                inflight = self._inflight
-                run_fetch = self._run_fetch
-                run_execute = self._run_execute
-                run_goodpath = self._run_goodpath
-                retired_base = stats.retired_instructions
-                continue
-            run_goodpath = True
-            window.append(record)
-            inflight += 1
-            if inflight > resolve_window:
-                # _drain, inlined (post-branch variant; identical body).
-                excess = inflight - resolve_window
-                while excess > 0:
-                    entry = window[0]
-                    if type(entry) is int:
-                        if entry > 0:
-                            take = entry if entry <= excess else excess
-                            good_executed += take
-                            retired += take
-                        else:
-                            take = -entry if -entry <= excess else excess
-                            bad_executed += take
-                        run_execute += take
-                        if take < (entry if entry > 0 else -entry):
-                            window[0] = (entry - take if entry > 0
-                                         else entry + take)
-                        else:
-                            window.popleft()
-                        excess -= take
-                        inflight -= take
-                    else:
-                        window.popleft()
-                        inflight -= 1
-                        excess -= 1
-                        if run_fetch or run_execute:
-                            for observer in observers:
-                                if run_fetch:
-                                    observer.record_run(
-                                        "fetch", run_goodpath, cycle,
-                                        run_fetch)
-                                if run_execute:
-                                    observer.record_run(
-                                        "execute", run_goodpath, cycle,
-                                        run_execute)
-                            run_fetch = 0
-                            run_execute = 0
-                        engine.resolve_record(entry)
-                        run_goodpath = not engine.on_wrong_path
-                        if entry.on_goodpath:
-                            good_executed += 1
-                            retired += 1
-                            branches_retired += 1
-                            if entry.mispredicted:
-                                branch_misp_retired += 1
-                            if entry.kind is kind_conditional:
-                                cond_retired += 1
-                                if entry.mispredicted:
-                                    cond_misp_retired += 1
-                        else:
-                            bad_executed += 1
-                        run_execute += 1
-            if path_confidence.on_cycle(cycle):
-                if run_fetch or run_execute:
-                    for observer in observers:
-                        if run_fetch:
-                            observer.record_run("fetch", run_goodpath,
-                                                cycle, run_fetch)
-                        if run_execute:
-                            observer.record_run("execute", run_goodpath,
-                                                cycle, run_execute)
-                    run_fetch = 0
-                    run_execute = 0
-
-        # Sync the locals back (loop finished or budget/cycle stop).
-        self._branch_pos = i
-        self._gap_pos = gap_pos
-        self._next_seq = next_seq
-        self._cycle = cycle
-        self._inflight = inflight
-        self._run_fetch = run_fetch
-        self._run_execute = run_execute
-        self._run_goodpath = run_goodpath
-        stats.goodpath_fetched += good_fetched
-        engine.goodpath_fetched += good_fetched
-        stats.goodpath_executed += good_executed
-        stats.badpath_executed += bad_executed
-        stats.retired_instructions += retired
-        stats.branches_retired += branches_retired
-        stats.branch_mispredicts_retired += branch_misp_retired
-        stats.conditional_branches_retired += cond_retired
-        stats.conditional_mispredicts_retired += cond_misp_retired
+    # The hot loops: compiled from the module-level templates so the
+    # drain body exists exactly once (see the note above _DRAIN_BODY).
+    _step_block = _compile_method("_step_block", _STEP_BLOCK_SRC)
+    _replay_wrongpath = _compile_method("_replay_wrongpath",
+                                        _REPLAY_WRONGPATH_SRC)
+    _complete_oldest = _compile_method("_complete_oldest",
+                                       _COMPLETE_OLDEST_SRC)
 
     def _step_boundary_branch(self) -> None:
         """One gap+branch step with the gap applied slot-by-slot.
@@ -574,6 +845,12 @@ class TraceSession(SimulationSession):
         the schedule has settled, so phase-aware observers and the
         per-phase site selection read the right phase.
         """
+        # Events closed before the boundary must be observed with the
+        # pre-roll phase label: deliver them before the schedule can
+        # advance.  (The *open* run keeps riding across the roll and is
+        # closed by the chunk flushes below, exactly as the scalar path
+        # always did.)
+        self._deliver_events()
         generator = self.fetch_engine.generator
         gap = self._gap_buf[self._gap_pos]
         self._gap_pos += 1
@@ -603,10 +880,8 @@ class TraceSession(SimulationSession):
             return
         self._window.append(record)
         self._inflight += 1
-        if self._inflight > self.resolve_window:
-            self._drain()
-        if engine.path_confidence.on_cycle(self._cycle):
-            self._flush_runs()
+        self._drain()
+        self._cycle_tick()
 
     def _fetch_good_gap(self, count: int) -> None:
         """Account ``count`` good-path non-branch slots in one step."""
@@ -623,8 +898,7 @@ class TraceSession(SimulationSession):
         else:
             window.append(count)
         self._inflight += count
-        if self._inflight > self.resolve_window:
-            self._drain()
+        self._drain()
 
     def _fetch_bad_gap(self, count: int) -> None:
         """Account ``count`` wrong-path non-branch slots in one step."""
@@ -641,57 +915,27 @@ class TraceSession(SimulationSession):
         else:
             window.append(-count)
         self._inflight += count
-        if self._inflight > self.resolve_window:
-            self._drain()
+        self._drain()
 
-    def _replay_wrongpath(self, record: BranchRecord) -> None:
-        """Replay the wrong-path stream for the calibrated resolution window."""
+    def _drain(self) -> None:
+        """Complete the oldest slots once the window exceeds its depth."""
+        excess = self._inflight - self.resolve_window
+        if excess > 0:
+            self._complete_oldest(excess)
+
+    def _finish_wrongpath(self, record: BranchRecord, issued: int) -> None:
+        """Resolve the mispredicted branch: the shared episode tail.
+
+        Mirrors the cycle core's recovery order — account the
+        ``issued`` wrong-path slots estimated to have left the front
+        end, resolve (train/repair), squash everything younger, redirect
+        fetch, then record the execute instance.  Shared by the fused
+        episode and the gated session's scalar one.
+        """
         engine = self.fetch_engine
-        wrongpath = engine.wrongpath_generator
         stats = self.stats
-        wp_block = self._wp_block
-        gap_scratch = self._wp_gap_scratch
-        log1p = self._log_one_minus_p
-        wp_rng = self._wp_gap_rng
-        remaining = self.mispredict_window
-        while remaining:
-            wp_rng.geometric_block(log1p, gap_scratch, 1)
-            gap = gap_scratch[0]
-            if gap > remaining:
-                gap = remaining
-            if gap:
-                self._fetch_bad_gap(gap)
-                remaining -= gap
-            if not remaining:
-                break
-            self._flush_runs()
-            seq = self._next_seq
-            self._next_seq = seq + 1
-            wrongpath.next_branch_into(wp_block, 0)
-            wp_record = engine.predict_from_block(wp_block, 0, seq,
-                                                  on_goodpath=False)
-            engine.badpath_fetched += 1
-            stats.badpath_fetched += 1
-            self._cycle += 1
-            self._run_fetch += 1
-            self._window.append(wp_record)
-            self._inflight += 1
-            if self._inflight > self.resolve_window:
-                self._drain()
-            remaining -= 1
-            if engine.path_confidence.on_cycle(self._cycle):
-                self._flush_runs()
-        # Estimate of the wrong-path slots that issued before the squash:
-        # everything fetched more than a front-end depth ahead of
-        # resolution has left the front end and consumed execution
-        # resources.  The episode fetches exactly ``mispredict_window``
-        # slots, so the estimate is a per-episode constant.
-        issued = self.mispredict_window - self.config.frontend_depth
         if issued > 0:
             stats.badpath_executed += issued
-        # The mispredicted branch resolves: mirror the cycle core's
-        # recovery order — resolve (train/repair), squash everything
-        # younger, redirect fetch, then record the execute instance.
         self._flush_runs()
         stats.flushes += 1
         engine.resolve_record(record)
@@ -715,53 +959,7 @@ class TraceSession(SimulationSession):
         self._run_execute += 1
         stats.fetch_stall_cycles += self.config.redirect_penalty
         self._cycle += self.config.redirect_penalty
-        if engine.path_confidence.on_cycle(self._cycle):
-            self._flush_runs()
-
-    def _drain(self) -> None:
-        """Complete the oldest slots once the window exceeds its depth.
-
-        The self-state twin of the drain loop inlined in
-        :meth:`_step_block`; used by the wrong-path episode and the
-        boundary step, whose bookkeeping lives on ``self``.
-        """
-        excess = self._inflight - self.resolve_window
-        if excess <= 0:
-            return
-        stats = self.stats
-        window = self._window
-        while excess > 0:
-            entry = window[0]
-            if type(entry) is int:
-                if entry > 0:
-                    take = entry if entry <= excess else excess
-                    stats.goodpath_executed += take
-                    stats.retired_instructions += take
-                else:
-                    take = -entry if -entry <= excess else excess
-                    stats.badpath_executed += take
-                self._run_execute += take
-                if take < abs(entry):
-                    window[0] = entry - take if entry > 0 else entry + take
-                else:
-                    window.popleft()
-                excess -= take
-                self._inflight -= take
-            else:
-                window.popleft()
-                self._inflight -= 1
-                excess -= 1
-                # A branch resolution changes predictor state: close the
-                # pending run first, as the cycle model's per-instance
-                # recording would.
-                self._flush_runs()
-                self.fetch_engine.resolve_record(entry)
-                self._run_goodpath = not self.fetch_engine.on_wrong_path
-                if entry.on_goodpath:
-                    self._retire_branch(entry)
-                else:
-                    stats.badpath_executed += 1
-                self._run_execute += 1
+        self._cycle_tick()
 
     def _retire_branch(self, record: BranchRecord) -> None:
         stats = self.stats
@@ -779,21 +977,53 @@ class TraceSession(SimulationSession):
     # batched instance recording
     # ------------------------------------------------------------------ #
 
+    def _deliver_events(self) -> None:
+        """Deliver the buffered run events to the observers.
+
+        Legal at any point up to (and including) the moment predictor
+        state next changes: no state change happened since the events
+        were closed, so the observers read exactly the values the
+        per-event calls would have read.
+        """
+        events = self._events
+        if events:
+            for observer in self.observers:
+                observer.record_runs(events)
+            del events[:]
+
     def _flush_runs(self) -> None:
-        """Emit the pending fetch/execute instance runs to the observers."""
+        """Close the pending instance run and deliver everything buffered."""
         fetches = self._run_fetch
         executes = self._run_execute
-        if not fetches and not executes:
-            return
         self._run_fetch = 0
         self._run_execute = 0
-        on_goodpath = self._run_goodpath
-        cycle = self._cycle
-        for observer in self.observers:
-            if fetches:
-                observer.record_run("fetch", on_goodpath, cycle, fetches)
-            if executes:
-                observer.record_run("execute", on_goodpath, cycle, executes)
+        observers = self.observers
+        if not observers:
+            return
+        events = self._events
+        if fetches:
+            events.extend(("fetch", self._run_goodpath, self._cycle, fetches))
+        if executes:
+            events.extend(("execute", self._run_goodpath, self._cycle,
+                           executes))
+        if events:
+            for observer in observers:
+                observer.record_runs(events)
+            del events[:]
+
+    def _cycle_tick(self) -> None:
+        """Per-cycle confidence work for the scalar (self-state) paths.
+
+        Buffered events are delivered before the tick (pre-mutation
+        state) and the open run is closed after a tick that reports a
+        change — the scalar flush points.  Skipped entirely when the
+        predictor stack has no cycle-periodic machinery.
+        """
+        if not self._cycle_work_possible:
+            return
+        self._deliver_events()
+        if self.fetch_engine.path_confidence.on_cycle(self._cycle):
+            self._flush_runs()
 
 
 class GatedTraceSession(TraceSession):
@@ -840,7 +1070,7 @@ class GatedTraceSession(TraceSession):
         Gating decisions depend on predictor state that changes branch by
         branch, so the gated session steps one (gate-check, gap, branch)
         tuple at a time through the self-state helpers instead of the
-        inlined block loop.  Stream consumption order is identical, so
+        compiled block loop.  Stream consumption order is identical, so
         the predictors see the same branches.
         """
         if self._branch_pos >= self._branch_len:
@@ -882,46 +1112,21 @@ class GatedTraceSession(TraceSession):
             self._run_goodpath = True
             self._window.append(record)
             self._inflight += 1
-            if self._inflight > self.resolve_window:
-                self._drain()
-            if engine.path_confidence.on_cycle(self._cycle):
-                self._flush_runs()
+            self._drain()
+            self._cycle_tick()
 
     def _gated_step(self) -> None:
-        """One gated cycle: fetch stalls, the oldest in-flight slot completes."""
-        stats = self.stats
-        stats.gated_cycles += 1
+        """One gated cycle: fetch stalls, the oldest in-flight slot completes.
+
+        The completion is the shared drain body with an excess of one —
+        the gated session's parameterization of the single drain
+        implementation.
+        """
+        self.stats.gated_cycles += 1
         self._cycle += 1
-        window = self._window
-        if window:
-            entry = window[0]
-            if type(entry) is int:
-                if entry > 0:
-                    stats.goodpath_executed += 1
-                    stats.retired_instructions += 1
-                    entry -= 1
-                else:
-                    stats.badpath_executed += 1
-                    entry += 1
-                if entry:
-                    window[0] = entry
-                else:
-                    window.popleft()
-                self._inflight -= 1
-                self._run_execute += 1
-            else:
-                window.popleft()
-                self._inflight -= 1
-                self._flush_runs()
-                self.fetch_engine.resolve_record(entry)
-                self._run_goodpath = not self.fetch_engine.on_wrong_path
-                if entry.on_goodpath:
-                    self._retire_branch(entry)
-                else:
-                    stats.badpath_executed += 1
-                self._run_execute += 1
-        if self.fetch_engine.path_confidence.on_cycle(self._cycle):
-            self._flush_runs()
+        if self._window:
+            self._complete_oldest(1)
+        self._cycle_tick()
 
     def _gated_wait(self) -> None:
         """Stall good-path fetch until the policy stops gating."""
@@ -936,7 +1141,9 @@ class GatedTraceSession(TraceSession):
         the mispredicted branch resolves ``mispredict_window`` cycles
         after fetch whether or not the front end kept fetching, so a
         gated cycle consumes episode budget without fetching a wrong-path
-        slot.  Resolution and recovery are identical to the ungated path.
+        slot.  Stays scalar — the gate interleaves with the draws — but
+        resolution and recovery share :meth:`_finish_wrongpath` with the
+        fused ungated episode.
         """
         engine = self.fetch_engine
         wrongpath = engine.wrongpath_generator
@@ -975,44 +1182,15 @@ class GatedTraceSession(TraceSession):
             self._run_fetch += 1
             self._window.append(wp_record)
             self._inflight += 1
-            if self._inflight > self.resolve_window:
-                self._drain()
+            self._drain()
             remaining -= 1
             fetched += 1
-            if engine.path_confidence.on_cycle(self._cycle):
-                self._flush_runs()
+            self._cycle_tick()
         # Same issued-before-squash estimate as the ungated episode, over
         # the slots this episode actually fetched: gated cycles consume
         # episode budget without fetching, so gating directly shrinks the
         # wrong-path work both fetched and executed.
-        issued = fetched - self.config.frontend_depth
-        if issued > 0:
-            stats.badpath_executed += issued
-        self._flush_runs()
-        stats.flushes += 1
-        engine.resolve_record(record)
-        window = self._window
-        while window:
-            entry = window[-1]
-            if type(entry) is int:
-                if entry > 0:
-                    break
-                window.pop()
-                self._inflight += entry  # entry is negative
-            elif entry.on_goodpath:
-                break
-            else:
-                window.pop()
-                self._inflight -= 1
-                engine.squash_record(entry)
-        engine.recover(record)
-        self._retire_branch(record)
-        self._run_goodpath = not engine.on_wrong_path
-        self._run_execute += 1
-        stats.fetch_stall_cycles += self.config.redirect_penalty
-        self._cycle += self.config.redirect_penalty
-        if engine.path_confidence.on_cycle(self._cycle):
-            self._flush_runs()
+        self._finish_wrongpath(record, fetched - self.config.frontend_depth)
 
 
 class TraceBackend(SimulationBackend):

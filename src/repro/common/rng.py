@@ -186,6 +186,54 @@ class DeterministicRng:
         self._state = state
         return out
 
+    def geometric_episode(self, log_one_minus_p: "float | None", out: list,
+                          budget: int) -> "tuple[int, int]":
+        """Draw the gap lengths of one bounded gap/branch episode.
+
+        Replays the trace backend's scalar wrong-path loop in one call:
+        starting from ``budget`` remaining slots, repeatedly draw a
+        geometric gap (one uniform, exactly as :meth:`geometric_block`
+        with ``n == 1`` would); a gap that covers the remaining budget is
+        clamped to it and ends the episode, otherwise the gap plus one
+        branch slot are consumed and the next gap is drawn.  Gap lengths
+        land in ``out[0:n_gaps]``; returns ``(n_gaps, n_branches)`` where
+        ``n_branches`` is the number of branch slots consumed — equal to
+        ``n_gaps`` when the last consumed slot was a branch, ``n_gaps -
+        1`` when the clamped final gap ended the episode.  ``out`` must
+        hold at least ``budget`` entries (every draw consumes at least
+        one slot).  ``log_one_minus_p is None`` means every gap is 0 and
+        **no** draws are consumed: the episode is ``budget`` branches.
+
+        Bit-identical — in drawn values, stream state *and* draw count —
+        to the scalar loop it replaces (pinned by
+        ``tests/test_common_rng.py``).
+        """
+        if log_one_minus_p is None:
+            for i in range(budget):
+                out[i] = 0
+            return budget, budget
+        log = math.log
+        state = self._state
+        remaining = budget
+        n = 0
+        while remaining:
+            state ^= (state >> 12)
+            state ^= (state << 25) & _MASK64
+            state ^= (state >> 27)
+            u = (((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11) \
+                / 9007199254740992.0
+            gap = int(log(u) / log_one_minus_p) if u > 0.0 else 0
+            if gap >= remaining:
+                out[n] = remaining
+                n += 1
+                self._state = state
+                return n, n - 1
+            out[n] = gap
+            n += 1
+            remaining -= gap + 1
+        self._state = state
+        return n, n
+
     def cumulative_choice_block(self, items: Sequence[_T],
                                 cumulative: Sequence[float], total: float,
                                 out: list, n: int, start: int = 0) -> list:

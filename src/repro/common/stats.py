@@ -131,6 +131,59 @@ class ReliabilityDiagram:
             self.total_goodpath += weight
         self.total_instances += weight
 
+    def record_many(self, predicted: float, events: Sequence) -> None:
+        """Record a batch of run events that share one predicted probability.
+
+        ``events`` is the trace backend's flat run-event buffer — stride-4
+        ``(kind, on_goodpath, cycle, count)`` groups.  The bin is resolved
+        once for the whole batch; the integer totals fold exactly, while
+        ``predicted_sum`` accumulates one ``predicted * count`` term per
+        event in order, which keeps the float bit-identical to the
+        equivalent sequence of :meth:`record` calls.
+        """
+        if not 0.0 <= predicted <= 1.0:
+            predicted = min(max(predicted, 0.0), 1.0)
+        bucket = self.bins[min(int(predicted * self.num_bins),
+                               self.num_bins - 1)]
+        instances = 0
+        goodpath = 0
+        predicted_sum = bucket.predicted_sum
+        for i in range(3, len(events), 4):
+            weight = events[i]
+            instances += weight
+            predicted_sum += predicted * weight
+            if events[i - 2]:
+                goodpath += weight
+        bucket.instances += instances
+        bucket.predicted_sum = predicted_sum
+        bucket.goodpath_instances += goodpath
+        self.total_goodpath += goodpath
+        self.total_instances += instances
+
+    def record_folded(self, predicted: float, weights: Sequence,
+                      instances: int, goodpath: int) -> None:
+        """Record a pre-folded batch that shares one predicted probability.
+
+        ``weights`` is the batch's run-length column (one count per run
+        event, in order) and ``instances``/``goodpath`` its integer totals
+        — callers that feed several diagrams from the same batch fold the
+        integers once and share them.  ``predicted_sum`` still accumulates
+        one ``predicted * weight`` term per event in order, keeping the
+        float bit-identical to the equivalent :meth:`record` sequence.
+        """
+        if not 0.0 <= predicted <= 1.0:
+            predicted = min(max(predicted, 0.0), 1.0)
+        bucket = self.bins[min(int(predicted * self.num_bins),
+                               self.num_bins - 1)]
+        predicted_sum = bucket.predicted_sum
+        for weight in weights:
+            predicted_sum += predicted * weight
+        bucket.predicted_sum = predicted_sum
+        bucket.instances += instances
+        bucket.goodpath_instances += goodpath
+        self.total_goodpath += goodpath
+        self.total_instances += instances
+
     def merge(self, other: "ReliabilityDiagram") -> None:
         """Fold another diagram (with the same binning) into this one."""
         if other.num_bins != self.num_bins:

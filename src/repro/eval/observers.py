@@ -40,6 +40,24 @@ class PathConfidenceObserver(InstanceObserver):
         self.diagram.record(self.predictor.goodpath_probability(), on_goodpath,
                             weight=count)
 
+    def record_runs(self, events: list) -> None:
+        # One probability read and one bin resolution for the whole
+        # constant-state batch.  The (rare) kind-filtered configuration
+        # falls back to per-event updates and reads the probability only
+        # if some event survives the filter.
+        if self.kinds is None:
+            self.diagram.record_many(self.predictor.goodpath_probability(),
+                                     events)
+            return
+        kinds = self.kinds
+        probability = None
+        for i in range(0, len(events), 4):
+            if events[i] in kinds:
+                if probability is None:
+                    probability = self.predictor.goodpath_probability()
+                self.diagram.record(probability, events[i + 1],
+                                    weight=events[i + 3])
+
     @property
     def rms_error(self) -> float:
         return self.diagram.rms_error()
@@ -71,6 +89,32 @@ class MultiPredictorObserver(InstanceObserver):
         for predictor, diagram in self._pairs:
             diagram.record(predictor.goodpath_probability(), on_goodpath,
                            weight=count)
+
+    def record_runs(self, events: list) -> None:
+        # This is the fig8/fig9 hot path.  Single-run batches (the common
+        # case when every branch is a predictor state change) skip the
+        # fold machinery; longer batches compute the weight column and
+        # its integer totals once — they are the same for every diagram —
+        # so each predictor only pays one probability read, one bin
+        # resolution and the ordered predicted_sum accumulation.
+        if len(events) == 4:
+            on_goodpath = events[1]
+            weight = events[3]
+            for predictor, diagram in self._pairs:
+                diagram.record(predictor.goodpath_probability(),
+                               on_goodpath, weight=weight)
+            return
+        weights = events[3::4]
+        instances = 0
+        goodpath = 0
+        for i in range(1, len(events), 4):
+            weight = events[i + 2]
+            instances += weight
+            if events[i]:
+                goodpath += weight
+        for predictor, diagram in self._pairs:
+            diagram.record_folded(predictor.goodpath_probability(),
+                                  weights, instances, goodpath)
 
     def rms_errors(self) -> Dict[str, float]:
         return {name: diagram.rms_error()
@@ -104,6 +148,26 @@ class CounterGoodpathObserver(InstanceObserver):
         self.instances[bucket] += count
         if on_goodpath:
             self.goodpath_instances[bucket] += count
+
+    def record_runs(self, events: list) -> None:
+        # One counter read for the whole constant-state batch; the
+        # integer totals fold exactly.  Single-run batches skip the loop.
+        bucket = min(self.predictor.low_confidence_count, self.max_count)
+        if len(events) == 4:
+            weight = events[3]
+            self.instances[bucket] += weight
+            if events[1]:
+                self.goodpath_instances[bucket] += weight
+            return
+        instances = 0
+        goodpath = 0
+        for i in range(3, len(events), 4):
+            weight = events[i]
+            instances += weight
+            if events[i - 2]:
+                goodpath += weight
+        self.instances[bucket] += instances
+        self.goodpath_instances[bucket] += goodpath
 
     def goodpath_probability(self, count: int) -> float:
         """Observed good-path probability when exactly ``count`` branches are out."""
@@ -146,6 +210,25 @@ class PhaseAwareCounterObserver(InstanceObserver):
         self._instances[phase][bucket] += count
         if on_goodpath:
             self._goodpath[phase][bucket] += count
+
+    def record_runs(self, events: list) -> None:
+        # One phase lookup and one counter read for the whole
+        # constant-state batch (the trace backend closes the buffered
+        # span at phase boundaries, so the label is batch-constant too).
+        phase = self.generator.current_phase_label or "all"
+        if phase not in self._instances:
+            self._instances[phase] = [0] * (self.max_count + 1)
+            self._goodpath[phase] = [0] * (self.max_count + 1)
+        bucket = min(self.predictor.low_confidence_count, self.max_count)
+        instances = 0
+        goodpath = 0
+        for i in range(3, len(events), 4):
+            weight = events[i]
+            instances += weight
+            if events[i - 2]:
+                goodpath += weight
+        self._instances[phase][bucket] += instances
+        self._goodpath[phase][bucket] += goodpath
 
     def phases(self) -> Sequence[str]:
         return list(self._instances)

@@ -6,6 +6,15 @@ and observe every conditional branch's fetch-time MDC value and
 resolution-time outcome without influencing the simulation.  Its output is
 the per-MDC mispredict-rate profile: the quantity the paper plots in
 Fig. 2 and the input to the Static-MRT ablation.
+
+Like every path confidence predictor, the profiler's per-branch hooks
+fire only for *conditional* branches (``on_branch_fetch`` assigns a path
+token only to conditionals, and resolve/squash fire only on tokened
+records), and its ``goodpath_probability`` is a constant.  The trace
+backend's batched observer delivery leans on exactly these properties:
+predictor state can change only at conditional predictions/resolutions,
+re-log ticks and phase rolls, so buffered run events delivered just
+before those points read the same state the per-instance calls did.
 """
 
 from __future__ import annotations

@@ -80,6 +80,23 @@ class InstanceObserver:
         for _ in range(count):
             self.record(kind, on_goodpath, cycle)
 
+    def record_runs(self, events: list) -> None:
+        """Record a batch of runs accumulated across one constant-state span.
+
+        ``events`` is a flat stride-4 list of ``(kind, on_goodpath,
+        cycle, count)`` groups, in recording order.  The trace backend
+        buffers run events across spans where no predictor state changes
+        and delivers them here just before the next state change, so an
+        observer may read predictor state once for the whole batch.
+        The default replays :meth:`record_run` per event, preserving the
+        exact call sequence unbatched observers always saw.  The buffer
+        is reused by the caller — observers must not keep a reference.
+        """
+        record_run = self.record_run
+        for i in range(0, len(events), 4):
+            record_run(events[i], events[i + 1], events[i + 2],
+                       events[i + 3])
+
 
 @dataclass
 class CoreStats:

@@ -858,6 +858,50 @@ class WrongPathGenerator:
         block.static_branch_id[i] = static.branch_id
         block.dep_distance[i] = rng.randint(0, 8)
 
+    def next_branch_block(self, block: BranchBlock, n: int) -> None:
+        """Fill ``block[0:n]`` with the next ``n`` wrong-path branches.
+
+        Bit-identical to ``n`` successive :meth:`next_branch_into` calls
+        (same ``main``-stream draw order per branch: site choice,
+        direction, dependence distance) with the xorshift step inlined
+        once for the whole episode; the trace backend's fused wrong-path
+        episode stages a whole episode's branches through this in one
+        call.  Sets ``block.count``.
+        """
+        rng = self._rng
+        sites = self._parent._conditional_sites
+        n_sites = len(sites)
+        pcs = block.pc
+        kinds = block.kind
+        takens = block.taken
+        targets = block.target
+        branch_ids = block.static_branch_id
+        deps = block.dep_distance
+        kind_conditional = BranchKind.CONDITIONAL
+        state = rng._state
+        for i in range(n):
+            state ^= (state >> 12)
+            state ^= (state << 25) & _MASK64
+            state ^= (state >> 27)
+            site = sites[((state * 0x2545F4914F6CDD1D) & _MASK64) % n_sites]
+            state ^= (state >> 12)
+            state ^= (state << 25) & _MASK64
+            state ^= (state >> 27)
+            taken = ((((state * 0x2545F4914F6CDD1D) & _MASK64) >> 11)
+                     / 9007199254740992.0) < 0.55
+            state ^= (state >> 12)
+            state ^= (state << 25) & _MASK64
+            state ^= (state >> 27)
+            static = site.static
+            pcs[i] = static.pc + 0x8  # a nearby, but distinct, wrong-path PC
+            kinds[i] = kind_conditional
+            takens[i] = taken
+            targets[i] = static.taken_target if taken else static.fallthrough
+            branch_ids[i] = static.branch_id
+            deps[i] = ((state * 0x2545F4914F6CDD1D) & _MASK64) % 9
+        rng._state = state
+        block.count = n
+
     def next_branch(self, seq: int) -> Instruction:
         """Generate the next wrong-path *branch*, skipping non-branch draws.
 

@@ -38,6 +38,7 @@ from repro.pipeline.core import InstanceObserver, SimulationTruncated
 from repro.pipeline.gating import CountGating
 from repro.runner import Job, ResultCache, SweepRunner, SweepSpec, accuracy_job
 from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec import BenchmarkSpec, MemorySpec
 from repro.workloads.suite import get_benchmark
 
 
@@ -53,6 +54,27 @@ class _CountingObserver(InstanceObserver):
         self.instances += count
         if on_goodpath:
             self.goodpath += count
+
+
+class _StreamObserver(InstanceObserver):
+    """Captures the flattened run-event stream.
+
+    Deliberately overrides only :meth:`record_run`: batched delivery goes
+    through the default ``record_runs`` loop, so the captured stream is
+    exactly the per-event call sequence — same events, same values, same
+    order — that the unbatched replay delivered.  Comparing streams (not
+    just final statistics) pins the event *boundaries*, which is where
+    batching bugs would hide.
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def record(self, kind, on_goodpath, cycle):
+        self.record_run(kind, on_goodpath, cycle, 1)
+
+    def record_run(self, kind, on_goodpath, cycle, count):
+        self.events.append((kind, on_goodpath, cycle, count))
 
 
 # ---------------------------------------------------------------------- #
@@ -495,6 +517,104 @@ class TestTraceBlockSize:
         monkeypatch.setenv("REPRO_TRACE_BLOCK", "8")
         assert make_job().digest() == digest_default
         assert cache.key(make_job()) == key_default
+
+
+class TestBatchedObserverStream:
+    """The batched observer/resolve path is bit-identical to scalar replay.
+
+    Pins the flattened run-event stream delivered to observers — not just
+    the final statistics — equal to block-size-1 replay, for the ungated
+    and the gated session, for predictors with and without cycle-periodic
+    work, and for a wrong-path-heavy (low-accuracy) workload whose replay
+    is dominated by fused wrong-path episodes.
+    """
+
+    BLOCK_SIZES = [3, 17, 256]
+
+    @staticmethod
+    def _wrongpath_heavy_spec():
+        """A low-accuracy workload: most branches hard and near-random."""
+        return BenchmarkSpec(
+            name="wp-heavy",
+            branch_fraction=0.25,
+            num_static_conditionals=12,
+            hard_fraction=0.85,
+            hard_taken_bias=0.55,
+            loop_fraction=0.05,
+            pattern_fraction=0.05,
+            memory=MemorySpec(working_set_lines=128),
+        )
+
+    @staticmethod
+    def _run(spec, machine, block_size, predictor="paco", gated=False,
+             seed=5, instructions=4_000):
+        if predictor == "paco":
+            path_confidence = PaCoPredictor(relog_period_cycles=2_000)
+        else:
+            path_confidence = ThresholdAndCountPredictor(threshold=3)
+        gating = (CountGating(path_confidence, gate_count=2)
+                  if gated else None)
+        observer = _StreamObserver()
+        session = TraceBackend(block_size=block_size).build(
+            Workload(spec=spec, seed=seed), machine,
+            Instrumentation(path_confidence=path_confidence,
+                            gating_policy=gating,
+                            observers=(observer,)))
+        stats = session.run(max_instructions=instructions)
+        return observer.events, stats
+
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    @pytest.mark.parametrize("predictor", ["paco", "counter"])
+    def test_stream_matches_scalar(self, tiny_spec, small_machine,
+                                   predictor, block_size):
+        reference = self._run(tiny_spec, small_machine, 1,
+                              predictor=predictor)
+        result = self._run(tiny_spec, small_machine, block_size,
+                           predictor=predictor)
+        assert result[1] == reference[1]
+        assert result[0] == reference[0]
+
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_gated_stream_matches_scalar(self, tiny_spec, small_machine,
+                                         block_size):
+        """The gated session steps scalar but shares the buffered event
+        delivery and the single drain body; gated cycles must not perturb
+        the stream across block sizes either."""
+        reference = self._run(tiny_spec, small_machine, 1,
+                              predictor="counter", gated=True)
+        assert reference[1].gated_cycles > 0
+        result = self._run(tiny_spec, small_machine, block_size,
+                           predictor="counter", gated=True)
+        assert result[1] == reference[1]
+        assert result[0] == reference[0]
+
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    @pytest.mark.parametrize("gated", [False, True])
+    def test_wrongpath_heavy_stream_matches_scalar(self, small_machine,
+                                                   gated, block_size):
+        """Exercises the fused wrong-path episode hard: the low-accuracy
+        spec flushes every few branches, so most events are closed and
+        delivered inside episodes."""
+        spec = self._wrongpath_heavy_spec()
+        predictor = "counter" if gated else "paco"
+        reference = self._run(spec, small_machine, 1, predictor=predictor,
+                              gated=gated, instructions=3_000)
+        # The workload must actually be wrong-path heavy for the test to
+        # mean anything.
+        assert reference[1].flushes > 50
+        result = self._run(spec, small_machine, block_size,
+                           predictor=predictor, gated=gated,
+                           instructions=3_000)
+        assert result[1] == reference[1]
+        assert result[0] == reference[0]
+
+    @pytest.mark.parametrize("block_size", [4096])
+    def test_large_block_stream_matches_scalar(self, tiny_spec,
+                                               small_machine, block_size):
+        reference = self._run(tiny_spec, small_machine, 1)
+        result = self._run(tiny_spec, small_machine, block_size)
+        assert result[1] == reference[1]
+        assert result[0] == reference[0]
 
 
 # ---------------------------------------------------------------------- #

@@ -109,6 +109,43 @@ class TestDeterministicRng:
         assert out == [0] * 5
         assert rng._state == before
 
+    def test_geometric_episode_matches_scalar_loop(self):
+        """geometric_episode must draw exactly the gaps (and exactly the
+        uniforms) the scalar wrong-path episode loop drew: gaps until one
+        reaches the remaining budget, which is clamped and ends the
+        episode without a branch."""
+        import math
+        log1p = math.log(1.0 - 0.17)
+        for seed in (5, 91, 2024):
+            a, b = DeterministicRng(seed), DeterministicRng(seed)
+            for budget in (1, 2, 7, 40, 160):
+                out = [-1] * budget
+                n_gaps, n_branches = a.geometric_episode(log1p, out, budget)
+                expected = []
+                remaining = budget
+                branches = 0
+                while remaining:
+                    u = b.random()
+                    gap = int(math.log(u) / log1p) if u > 0.0 else 0
+                    if gap >= remaining:
+                        expected.append(remaining)
+                        break
+                    expected.append(gap)
+                    branches += 1
+                    remaining -= gap + 1
+                assert out[:n_gaps] == expected
+                assert n_branches == branches
+                assert sum(out[:n_gaps]) + n_branches <= budget
+                assert a._state == b._state
+
+    def test_geometric_episode_probability_one(self):
+        rng = DeterministicRng(33)
+        before = rng._state
+        out = [7] * 4
+        assert rng.geometric_episode(None, out, 4) == (4, 4)
+        assert out == [0] * 4
+        assert rng._state == before
+
     def test_cumulative_choice_block_matches_scalar(self):
         items = ["a", "b", "c", "d"]
         cum, total = DeterministicRng.cumulative_weights([0.1, 0.5, 0.2, 0.2])

@@ -118,6 +118,36 @@ class TestReliabilityDiagram:
         with pytest.raises(ValueError):
             ReliabilityDiagram(num_bins=0)
 
+    def test_record_many_bit_identical_to_record_sequence(self):
+        """record_many over a run-event buffer must leave the diagram in
+        exactly the state the equivalent record() calls do — including
+        predicted_sum, which must accumulate per event in order so the
+        float is bit-identical, not merely close."""
+        events = [
+            "fetch", True, 10, 3,
+            "execute", True, 10, 1,
+            "fetch", False, 12, 7,
+            "execute", False, 13, 2,
+        ]
+        for predicted in (0.0, 0.314159, 0.730001, 1.0, 1.3, -0.2):
+            batched = ReliabilityDiagram(num_bins=100)
+            batched.record_many(predicted, events)
+            reference = ReliabilityDiagram(num_bins=100)
+            for i in range(0, len(events), 4):
+                reference.record(predicted, events[i + 1],
+                                 weight=events[i + 3])
+            assert batched.total_instances == reference.total_instances
+            assert batched.total_goodpath == reference.total_goodpath
+            for mine, theirs in zip(batched.bins, reference.bins):
+                assert mine.instances == theirs.instances
+                assert mine.goodpath_instances == theirs.goodpath_instances
+                assert mine.predicted_sum == theirs.predicted_sum
+
+    def test_record_many_empty_batch_is_noop(self):
+        diagram = ReliabilityDiagram(num_bins=10)
+        diagram.record_many(0.5, [])
+        assert diagram.total_instances == 0
+
 
 class TestErrorFunctions:
     def test_rms_error_basic(self):

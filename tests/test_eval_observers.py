@@ -116,6 +116,86 @@ class TestPhaseAwareCounterObserver:
         assert observer.occupancy("nope", 0) == 0
 
 
+class TestRecordRunsBatching:
+    """Batched event delivery must equal the per-event record_run calls.
+
+    ``events`` is the trace backend's flat stride-4 buffer; every
+    observer's record_runs must leave it in the same state as looping
+    record_run over the groups (the InstanceObserver default).
+    """
+
+    EVENTS = [
+        "fetch", True, 5, 4,
+        "execute", True, 5, 2,
+        "fetch", False, 9, 3,
+        "execute", False, 11, 1,
+    ]
+
+    def _loop(self, observer):
+        events = self.EVENTS
+        for i in range(0, len(events), 4):
+            observer.record_run(events[i], events[i + 1], events[i + 2],
+                                events[i + 3])
+
+    def test_path_confidence_observer(self):
+        batched = PathConfidenceObserver(PaCoPredictor())
+        batched.record_runs(self.EVENTS)
+        reference = PathConfidenceObserver(PaCoPredictor())
+        self._loop(reference)
+        assert (batched.diagram.total_instances
+                == reference.diagram.total_instances == 10)
+        assert (batched.diagram.total_goodpath
+                == reference.diagram.total_goodpath == 6)
+        for mine, theirs in zip(batched.diagram.bins, reference.diagram.bins):
+            assert mine.instances == theirs.instances
+            assert mine.predicted_sum == theirs.predicted_sum
+
+    def test_path_confidence_observer_kind_filter(self):
+        batched = PathConfidenceObserver(PaCoPredictor(), kinds=("fetch",))
+        batched.record_runs(self.EVENTS)
+        reference = PathConfidenceObserver(PaCoPredictor(), kinds=("fetch",))
+        self._loop(reference)
+        assert (batched.diagram.total_instances
+                == reference.diagram.total_instances == 7)
+        assert (batched.diagram.total_goodpath
+                == reference.diagram.total_goodpath == 4)
+
+    def test_multi_predictor_observer(self):
+        def build():
+            return MultiPredictorObserver([PaCoPredictor(),
+                                           StaticMRTPredictor()])
+        batched, reference = build(), build()
+        batched.record_runs(self.EVENTS)
+        self._loop(reference)
+        for name in ("paco", "static-mrt"):
+            assert (batched.diagrams[name].total_instances
+                    == reference.diagrams[name].total_instances == 10)
+
+    def test_counter_observer(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        predictor.on_branch_fetch(_info(0))
+        batched = CounterGoodpathObserver(predictor, max_count=8)
+        batched.record_runs(self.EVENTS)
+        reference = CounterGoodpathObserver(predictor, max_count=8)
+        self._loop(reference)
+        assert batched.instances == reference.instances
+        assert batched.goodpath_instances == reference.goodpath_instances
+        assert batched.occupancy(1) == 10
+
+    def test_phase_aware_observer(self):
+        predictor = ThresholdAndCountPredictor(threshold=3)
+        generator = _FakeGenerator()
+        batched = PhaseAwareCounterObserver(predictor, generator, max_count=4)
+        batched.record_runs(self.EVENTS)
+        reference = PhaseAwareCounterObserver(predictor, generator,
+                                              max_count=4)
+        self._loop(reference)
+        assert batched.phases() == reference.phases() == ["p0"]
+        assert batched.occupancy("p0", 0) == reference.occupancy("p0", 0) == 10
+        assert (batched.goodpath_probability("p0", 0)
+                == reference.goodpath_probability("p0", 0))
+
+
 class TestMDCProfiler:
     def test_counts_per_bucket(self):
         profiler = MDCProfiler()

@@ -137,6 +137,32 @@ class TestCoreObservers:
         total = observer.fetch_instances + observer.execute_instances
         assert observer.goodpath_instances / total > 0.5
 
+    def test_record_runs_default_replays_record_run_per_event(self):
+        """An observer overriding only record_run must see, from one
+        batched record_runs delivery, exactly the per-event calls the
+        unbatched trace replay made — same arguments, same order."""
+        from repro.pipeline.core import InstanceObserver
+
+        calls = []
+
+        class Recorder(InstanceObserver):
+            def record_run(self, kind, on_goodpath, cycle, count):
+                calls.append((kind, on_goodpath, cycle, count))
+
+        events = ["fetch", True, 3, 5, "execute", False, 4, 2]
+        Recorder().record_runs(events)
+        assert calls == [("fetch", True, 3, 5), ("execute", False, 4, 2)]
+
+    def test_record_runs_default_falls_back_to_record(self):
+        calls = []
+
+        class Recorder(InstanceObserver):
+            def record(self, kind, on_goodpath, cycle):
+                calls.append((kind, on_goodpath, cycle))
+
+        Recorder().record_runs(["fetch", True, 7, 3])
+        assert calls == [("fetch", True, 7)] * 3
+
 
 class TestCoreGating:
     def test_count_gating_reduces_badpath_fetch(self, tiny_spec, small_machine):

@@ -320,6 +320,31 @@ class TestWrongPathBlockWriter:
             assert block.dep_distance[0] == instr.dep_distance
         assert scalar_wp._rng._state == block_wp._rng._state
 
+    def test_next_branch_block_matches_scalar_writer(self, tiny_spec):
+        """The episode-fused writer must stage exactly the branches n
+        successive next_branch_into calls would have (same draws, same
+        order), for every episode size."""
+        from repro.workloads.generator import BranchBlock
+        parent_a = WorkloadGenerator(tiny_spec, seed=3)
+        parent_b = WorkloadGenerator(tiny_spec, seed=3)
+        scalar_wp = WrongPathGenerator(parent_a, seed=6)
+        block_wp = WrongPathGenerator(parent_b, seed=6)
+        scalar_block = BranchBlock(1)
+        block = BranchBlock(32)
+        for n in (1, 2, 5, 17, 32, 3, 32):
+            block_wp.next_branch_block(block, n)
+            assert block.count == n
+            for i in range(n):
+                scalar_wp.next_branch_into(scalar_block, 0)
+                assert block.pc[i] == scalar_block.pc[0]
+                assert block.kind[i] == scalar_block.kind[0]
+                assert block.taken[i] == scalar_block.taken[0]
+                assert block.target[i] == scalar_block.target[0]
+                assert (block.static_branch_id[i]
+                        == scalar_block.static_branch_id[0])
+                assert block.dep_distance[i] == scalar_block.dep_distance[0]
+            assert scalar_wp._rng._state == block_wp._rng._state
+
 
 class TestRecentLineReuseDraw:
     def test_reuse_draw_matches_deque_copy_reference(self, tiny_spec):
