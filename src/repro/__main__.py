@@ -53,7 +53,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from repro.backends import backend_names
+from repro.backends import UnknownBackendError, validate_backend_name
 from repro.backends.trace import (
     DEFAULT_TRACE_BLOCK,
     TRACE_BLOCK_ENV,
@@ -126,14 +126,28 @@ def _max_jobs(value: str) -> int:
     return jobs
 
 
+def _backend_arg(value: str) -> str:
+    """argparse type for ``--backend``: a runnable backend name.
+
+    Validated through the registry rather than ``choices`` so the
+    rejection message can distinguish an unknown name from a registered
+    backend whose optional dependency is missing (and say how to fix
+    each).
+    """
+    try:
+        return validate_backend_name(value)
+    except UnknownBackendError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=_worker_count, default=1,
                         help="worker processes for the sweep (default: 1, "
                              "must be >= 1)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced benchmark sets and instruction budgets")
-    parser.add_argument("--backend", choices=sorted(backend_names()),
-                        default=None,
+    parser.add_argument("--backend", type=_backend_arg, default=None,
+                        metavar="BACKEND",
                         help="simulation backend override (default: the "
                              "driver's own default — trace for "
                              "predictor-level experiments, cycle for "
@@ -603,8 +617,8 @@ def build_parser() -> argparse.ArgumentParser:
     plan_parser.add_argument("--warmup-instructions", type=int,
                              default=None,
                              help="warmup budget override per job")
-    plan_parser.add_argument("--backend", choices=sorted(backend_names()),
-                             default=None,
+    plan_parser.add_argument("--backend", type=_backend_arg,
+                             default=None, metavar="BACKEND",
                              help="simulation backend override")
     plan_parser.add_argument("--quick", action="store_true",
                              help="plan the drivers' quick configurations")

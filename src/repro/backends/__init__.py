@@ -11,23 +11,36 @@ Every experiment harness runs its workloads through a
 ``trace``
     :class:`~repro.backends.trace.TraceBackend` — the fast trace-replay
     engine for predictor- and confidence-level statistics.
+``trace-vec``
+    :class:`~repro.backends.vec.VecTraceBackend` — the trace replay with
+    numpy-staged predictor columns and fused predict/resolve loops.
+    Bit-identical to ``trace``; needs numpy (the ``repro-paco[vec]``
+    extra).  Without numpy the name stays in the registry as
+    *unavailable* — selecting it raises
+    :class:`~repro.backends.base.BackendUnavailableError` with the
+    install hint, and ``cycle``/``trace`` are untouched.
 
 Select one by name through :func:`~repro.backends.base.get_backend`, the
 ``backend=`` parameter of the harness entry points, the ``backend`` field
 of :class:`~repro.runner.jobs.Job`, or ``python -m repro run <experiment>
---backend {cycle,trace}``.
+--backend {cycle,trace,trace-vec}``.
 """
 
 from repro.backends.base import (
     DEFAULT_BACKEND,
+    BackendUnavailableError,
     Instrumentation,
     SimulationBackend,
     SimulationSession,
     UnknownBackendError,
     Workload,
     backend_names,
+    describe_backends,
     get_backend,
     register_backend,
+    register_unavailable,
+    unavailable_backends,
+    validate_backend_name,
 )
 from repro.backends.cycle import CycleBackend, CycleSession, build_fetch_engine
 from repro.backends.trace import TraceBackend, TraceSession
@@ -35,8 +48,32 @@ from repro.backends.trace import TraceBackend, TraceSession
 register_backend(CycleBackend.name, CycleBackend)
 register_backend(TraceBackend.name, TraceBackend)
 
+try:
+    import numpy as _numpy  # noqa: F401 - availability probe only
+except ImportError:  # pragma: no cover - exercised via subprocess test
+    _numpy = None
+
+if _numpy is not None:
+    from repro.backends.vec import (  # noqa: E402
+        VecTraceBackend,
+        VecTraceSession,
+        VectorEngine,
+    )
+
+    register_backend(VecTraceBackend.name, VecTraceBackend)
+else:  # pragma: no cover - exercised via subprocess test
+    VecTraceBackend = None
+    VecTraceSession = None
+    VectorEngine = None
+    register_unavailable(
+        "trace-vec",
+        "requires numpy; install the optional extra with"
+        " 'pip install repro-paco[vec]'",
+    )
+
 __all__ = [
     "DEFAULT_BACKEND",
+    "BackendUnavailableError",
     "CycleBackend",
     "CycleSession",
     "Instrumentation",
@@ -45,9 +82,16 @@ __all__ = [
     "TraceBackend",
     "TraceSession",
     "UnknownBackendError",
+    "VecTraceBackend",
+    "VecTraceSession",
+    "VectorEngine",
     "Workload",
     "backend_names",
     "build_fetch_engine",
+    "describe_backends",
     "get_backend",
     "register_backend",
+    "register_unavailable",
+    "unavailable_backends",
+    "validate_backend_name",
 ]

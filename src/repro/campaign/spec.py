@@ -87,11 +87,12 @@ class CampaignSpec:
                 raise CampaignSpecError(
                     f"{label} must be a positive integer, got {value!r}")
         if self.backend is not None:
-            from repro.backends import backend_names
-            if self.backend not in backend_names():
-                raise CampaignSpecError(
-                    f"unknown backend {self.backend!r} "
-                    f"(known: {', '.join(sorted(backend_names()))})")
+            from repro.backends import (UnknownBackendError,
+                                        validate_backend_name)
+            try:
+                validate_backend_name(self.backend)
+            except UnknownBackendError as error:
+                raise CampaignSpecError(str(error)) from None
         return self
 
     def to_mapping(self) -> Dict[str, Any]:

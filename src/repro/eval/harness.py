@@ -518,9 +518,10 @@ def run_smt_experiment(
     the reported IPCs.
     """
     if backend not in ("cycle", "trace"):
+        from repro.backends import describe_backends
         raise ValueError(
             f"unknown backend {backend!r} for the SMT experiment "
-            f"(known: cycle, trace)")
+            f"(known: cycle, trace; registered: {describe_backends()})")
     spec_a = _resolve_spec(benchmark_a)
     spec_b = _resolve_spec(benchmark_b)
     smt_config = SMTConfig()

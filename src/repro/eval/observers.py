@@ -15,7 +15,7 @@ from typing import Dict, Iterable, Optional, Sequence
 from repro.common.stats import ReliabilityDiagram
 from repro.pathconf.base import PathConfidencePredictor
 from repro.pathconf.threshold_count import ThresholdAndCountPredictor
-from repro.pipeline.core import InstanceObserver
+from repro.pipeline.core import InstanceObserver, RunEventBatch
 
 
 class PathConfidenceObserver(InstanceObserver):
@@ -104,14 +104,22 @@ class MultiPredictorObserver(InstanceObserver):
                 diagram.record(predictor.goodpath_probability(),
                                on_goodpath, weight=weight)
             return
-        weights = events[3::4]
-        instances = 0
-        goodpath = 0
-        for i in range(1, len(events), 4):
-            weight = events[i + 2]
-            instances += weight
-            if events[i]:
-                goodpath += weight
+        if type(events) is RunEventBatch:
+            # The vectorized trace session shares one fold across every
+            # observer of the delivery.
+            events.ensure_folded()
+            weights = events.weights
+            instances = events.instances
+            goodpath = events.goodpath
+        else:
+            weights = events[3::4]
+            instances = 0
+            goodpath = 0
+            for i in range(1, len(events), 4):
+                weight = events[i + 2]
+                instances += weight
+                if events[i]:
+                    goodpath += weight
         for predictor, diagram in self._pairs:
             diagram.record_folded(predictor.goodpath_probability(),
                                   weights, instances, goodpath)
@@ -159,13 +167,18 @@ class CounterGoodpathObserver(InstanceObserver):
             if events[1]:
                 self.goodpath_instances[bucket] += weight
             return
-        instances = 0
-        goodpath = 0
-        for i in range(3, len(events), 4):
-            weight = events[i]
-            instances += weight
-            if events[i - 2]:
-                goodpath += weight
+        if type(events) is RunEventBatch:
+            events.ensure_folded()
+            instances = events.instances
+            goodpath = events.goodpath
+        else:
+            instances = 0
+            goodpath = 0
+            for i in range(3, len(events), 4):
+                weight = events[i]
+                instances += weight
+                if events[i - 2]:
+                    goodpath += weight
         self.instances[bucket] += instances
         self.goodpath_instances[bucket] += goodpath
 
@@ -220,13 +233,18 @@ class PhaseAwareCounterObserver(InstanceObserver):
             self._instances[phase] = [0] * (self.max_count + 1)
             self._goodpath[phase] = [0] * (self.max_count + 1)
         bucket = min(self.predictor.low_confidence_count, self.max_count)
-        instances = 0
-        goodpath = 0
-        for i in range(3, len(events), 4):
-            weight = events[i]
-            instances += weight
-            if events[i - 2]:
-                goodpath += weight
+        if type(events) is RunEventBatch:
+            events.ensure_folded()
+            instances = events.instances
+            goodpath = events.goodpath
+        else:
+            instances = 0
+            goodpath = 0
+            for i in range(3, len(events), 4):
+                weight = events[i]
+                instances += weight
+                if events[i - 2]:
+                    goodpath += weight
         self._instances[phase][bucket] += instances
         self._goodpath[phase][bucket] += goodpath
 

@@ -37,8 +37,9 @@ QUICK_CONFIG = GatingSweepConfig(
 #: estimates it from gated replay and is parity-gated against cycle.
 DEFAULT_BACKEND = "cycle"
 
-#: Backends the sweep can run on end to end.
-KNOWN_BACKENDS = ("cycle", "trace")
+#: Backends the sweep can run on end to end (``trace-vec`` gating runs
+#: the scalar gated replay, so its results match ``trace`` exactly).
+KNOWN_BACKENDS = ("cycle", "trace", "trace-vec")
 
 #: The whole curve family is enumerable up front, so campaigns can shard it.
 CAMPAIGN_PLANNABLE = True
@@ -46,9 +47,14 @@ CAMPAIGN_PLANNABLE = True
 
 def _check_backend(backend: Optional[str]) -> None:
     if backend not in (None,) + KNOWN_BACKENDS:
+        from repro.backends import describe_backends
         raise ValueError(
             f"fig10 pipeline gating knows backends "
-            f"{', '.join(KNOWN_BACKENDS)}; got {backend!r}")
+            f"{', '.join(KNOWN_BACKENDS)}; got {backend!r} "
+            f"(registered: {describe_backends()})")
+    if backend is not None:
+        from repro.backends import validate_backend_name
+        validate_backend_name(backend)
 
 
 def _config(benchmarks: Optional[Sequence[str]],

@@ -50,9 +50,11 @@ CAMPAIGN_PLANNABLE = True
 
 def _check_backend(backend: Optional[str]) -> None:
     if backend not in (None,) + KNOWN_BACKENDS:
+        from repro.backends import describe_backends
         raise ValueError(
             f"fig12 SMT prioritization knows backends "
-            f"{', '.join(KNOWN_BACKENDS)}; got {backend!r}")
+            f"{', '.join(KNOWN_BACKENDS)}; got {backend!r} "
+            f"(registered: {describe_backends()})")
 
 
 def _config(instructions: Optional[int],

@@ -16,13 +16,18 @@ from __future__ import annotations
 import pytest
 
 from repro.backends import (
+    BackendUnavailableError,
     CycleBackend,
     Instrumentation,
     TraceBackend,
     UnknownBackendError,
     Workload,
     backend_names,
+    describe_backends,
     get_backend,
+    register_backend,
+    register_unavailable,
+    unavailable_backends,
 )
 from repro.eval.harness import (
     accuracy_predictors_for,
@@ -40,6 +45,15 @@ from repro.runner import Job, ResultCache, SweepRunner, SweepSpec, accuracy_job
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.spec import BenchmarkSpec, MemorySpec
 from repro.workloads.suite import get_benchmark
+
+try:
+    import numpy  # noqa: F401 - availability probe for trace-vec tests
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the trace-vec backend needs numpy")
 
 
 class _CountingObserver(InstanceObserver):
@@ -95,6 +109,61 @@ class TestBackendRegistry:
     def test_unknown_backend_raises(self):
         with pytest.raises(UnknownBackendError):
             get_backend("rtl")
+
+    def test_unknown_backend_error_lists_registered_names(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("rtl")
+        message = str(excinfo.value)
+        assert "rtl" in message
+        assert "cycle (available)" in message
+        assert "trace (available)" in message
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("trace", TraceBackend)
+        # The rejection must not have clobbered the original factory.
+        assert isinstance(get_backend("trace"), TraceBackend)
+
+    def test_unavailable_backend_error_names_missing_dependency(self):
+        from repro.backends import base
+        register_unavailable("trace-rtl", "requires vhdlsim; install "
+                             "the optional extra 'rtl'")
+        try:
+            assert unavailable_backends()["trace-rtl"].startswith(
+                "requires vhdlsim")
+            assert "trace-rtl (unavailable: requires vhdlsim" in (
+                describe_backends())
+            with pytest.raises(BackendUnavailableError) as excinfo:
+                get_backend("trace-rtl")
+            message = str(excinfo.value)
+            assert "requires vhdlsim" in message
+            assert "trace-rtl" in message
+            # Unavailable is a refinement of unknown, so existing
+            # handlers keep working.
+            assert isinstance(excinfo.value, UnknownBackendError)
+            # An unavailable name must not count as registered twice:
+            # providing the dependency later re-registers it cleanly.
+            register_backend("trace-rtl", TraceBackend)
+            assert "trace-rtl" in backend_names()
+            assert "trace-rtl" not in unavailable_backends()
+        finally:
+            base._BACKENDS.pop("trace-rtl", None)
+            base._UNAVAILABLE.pop("trace-rtl", None)
+
+    def test_register_unavailable_rejects_registered_name(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_unavailable("trace", "nonsense")
+
+    def test_trace_vec_registered_or_unavailable(self):
+        """trace-vec always appears in the registry: runnable with numpy,
+        named-but-unavailable (with the install hint) without."""
+        if HAVE_NUMPY:
+            assert "trace-vec" in backend_names()
+        else:
+            assert "trace-vec" not in backend_names()
+            assert "numpy" in unavailable_backends()["trace-vec"]
+            with pytest.raises(BackendUnavailableError):
+                get_backend("trace-vec")
 
     def test_capability_flags(self):
         assert CycleBackend.supports_timing and CycleBackend.supports_gating
@@ -617,6 +686,129 @@ class TestBatchedObserverStream:
         assert result[0] == reference[0]
 
 
+@needs_numpy
+class TestVecTraceStreamParity:
+    """The vectorized trace backend is bit-identical to scalar trace.
+
+    Extends the :class:`TestBatchedObserverStream` contract to the
+    ``trace-vec`` backend: the flattened run-event stream *and* the final
+    statistics must equal the pure-python trace backend's at every block
+    size, for predictors with and without cycle-periodic work, for the
+    gated session (which falls back to the scalar gated replay) and for a
+    wrong-path-heavy workload dominated by fused episode replay.  Each
+    ungated run also asserts the fused :class:`VecTraceSession` actually
+    engaged, so the parity is never satisfied vacuously by the scalar
+    fallback.
+    """
+
+    BLOCK_SIZES = [1, 17, 256, 4096]
+
+    @staticmethod
+    def _run_vec(spec, machine, block_size, predictor="paco", gated=False,
+                 seed=5, instructions=4_000, expect_fused=True):
+        from repro.backends.trace import GatedTraceSession
+        from repro.backends.vec import VecTraceBackend, VecTraceSession
+        if predictor == "paco":
+            path_confidence = PaCoPredictor(relog_period_cycles=2_000)
+        else:
+            path_confidence = ThresholdAndCountPredictor(threshold=3)
+        gating = (CountGating(path_confidence, gate_count=2)
+                  if gated else None)
+        observer = _StreamObserver()
+        session = VecTraceBackend(block_size=block_size).build(
+            Workload(spec=spec, seed=seed), machine,
+            Instrumentation(path_confidence=path_confidence,
+                            gating_policy=gating,
+                            observers=(observer,)))
+        if expect_fused:
+            assert type(session) is VecTraceSession
+        else:
+            assert type(session) is GatedTraceSession
+        stats = session.run(max_instructions=instructions)
+        return observer.events, stats
+
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    @pytest.mark.parametrize("predictor", ["paco", "counter"])
+    def test_stream_matches_trace(self, tiny_spec, small_machine,
+                                  predictor, block_size):
+        reference = TestBatchedObserverStream._run(
+            tiny_spec, small_machine, block_size, predictor=predictor)
+        result = self._run_vec(tiny_spec, small_machine, block_size,
+                               predictor=predictor)
+        assert result[1] == reference[1]
+        assert result[0] == reference[0]
+
+    @pytest.mark.parametrize("block_size", [17, 256])
+    @pytest.mark.parametrize("predictor", ["paco", "counter"])
+    def test_wrongpath_heavy_stream_matches_trace(self, small_machine,
+                                                  predictor, block_size):
+        spec = TestBatchedObserverStream._wrongpath_heavy_spec()
+        reference = TestBatchedObserverStream._run(
+            spec, small_machine, block_size, predictor=predictor,
+            instructions=3_000)
+        assert reference[1].flushes > 50
+        result = self._run_vec(spec, small_machine, block_size,
+                               predictor=predictor, instructions=3_000)
+        assert result[1] == reference[1]
+        assert result[0] == reference[0]
+
+    @pytest.mark.parametrize("block_size", [17, 256])
+    def test_gated_falls_back_to_scalar_gated_session(self, tiny_spec,
+                                                      small_machine,
+                                                      block_size):
+        """Gating is outside the fused loops' contract; the backend must
+        route gated instrumentation to the scalar gated session and still
+        produce the identical stream."""
+        reference = TestBatchedObserverStream._run(
+            tiny_spec, small_machine, block_size, predictor="counter",
+            gated=True)
+        assert reference[1].gated_cycles > 0
+        result = self._run_vec(tiny_spec, small_machine, block_size,
+                               predictor="counter", gated=True,
+                               expect_fused=False)
+        assert result[1] == reference[1]
+        assert result[0] == reference[0]
+
+    def test_capability_flags(self):
+        from repro.backends.vec import VecTraceBackend
+        assert VecTraceBackend.supports_timing
+        assert VecTraceBackend.supports_gating
+        assert VecTraceBackend.name == "trace-vec"
+        assert get_backend("trace-vec").name == "trace-vec"
+
+    @pytest.mark.parametrize("instrument", ["paco", "full"])
+    def test_accuracy_diagrams_bit_identical(self, instrument):
+        """The harness-level contract behind the fig8/fig9 sweep: the
+        reliability diagrams — including their *float* ``predicted_sum``
+        accumulators — must match the scalar trace backend bit for bit.
+
+        The ``paco`` profile exercises the generated code's inlined
+        observer delivery (a single ``(PaCo, diagram)`` pair folds into
+        the diagram without materializing event batches); ``full``
+        exercises the generic multi-observer delivery.  Both must replay
+        ``MultiPredictorObserver``'s arithmetic exactly, so equality here
+        is ``==``, not a tolerance."""
+        results = {
+            backend: run_accuracy_experiment(
+                "gzip", instructions=8_000, warmup_instructions=3_000,
+                backend=backend, instrument=instrument)
+            for backend in ("trace", "trace-vec")
+        }
+        trace, vec = results["trace"], results["trace-vec"]
+        assert set(vec.diagrams) == set(trace.diagrams)
+        for name, reference in trace.diagrams.items():
+            diagram = vec.diagrams[name]
+            assert diagram.total_instances == reference.total_instances
+            assert diagram.total_goodpath == reference.total_goodpath
+            for mine, theirs in zip(diagram.bins, reference.bins):
+                assert mine.instances == theirs.instances
+                assert mine.goodpath_instances == theirs.goodpath_instances
+                assert mine.predicted_sum == theirs.predicted_sum
+        assert vec.rms_errors == trace.rms_errors
+        assert (vec.conditional_mispredict_rate
+                == trace.conditional_mispredict_rate)
+
+
 # ---------------------------------------------------------------------- #
 # fig10 / fig12 parity (the timing-estimate acceptance contract)
 # ---------------------------------------------------------------------- #
@@ -762,3 +954,70 @@ class TestSMTStudyParity:
         for pair, ratios in self.ratios(smt_parity_studies):
             for policy, ratio in ratios.items():
                 assert low <= ratio <= high, (pair, policy, ratio)
+
+
+# ---------------------------------------------------------------------- #
+# Optional-dependency degradation
+# ---------------------------------------------------------------------- #
+
+class TestNumpyOptionality:
+    """numpy is an optional extra: without it the scalar backends must be
+    untouched and trace-vec must degrade to an *unavailable* registry
+    entry with the install hint (never an ImportError or a bare
+    KeyError)."""
+
+    def test_import_without_numpy_keeps_scalar_backends(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        # A numpy package whose import fails shadows any real numpy when
+        # its directory leads PYTHONPATH.
+        stub = tmp_path / "numpy"
+        stub.mkdir()
+        (stub / "__init__.py").write_text(
+            "raise ImportError('numpy blocked for the degradation test')\n")
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        probe = (
+            "import repro.backends as B\n"
+            "assert B.backend_names() == ('cycle', 'trace'), "
+            "B.backend_names()\n"
+            "assert B.VecTraceBackend is None\n"
+            "reason = B.unavailable_backends()['trace-vec']\n"
+            "assert 'numpy' in reason and 'repro-paco[vec]' in reason, "
+            "reason\n"
+            "try:\n"
+            "    B.get_backend('trace-vec')\n"
+            "except B.BackendUnavailableError as error:\n"
+            "    message = str(error)\n"
+            "    assert 'numpy' in message, message\n"
+            "    assert 'trace-vec' in message, message\n"
+            "else:\n"
+            "    raise AssertionError('trace-vec resolved without numpy')\n"
+            "from repro.pipeline.config import MachineConfig\n"
+            "from repro.pathconf.threshold_count import "
+            "ThresholdAndCountPredictor\n"
+            "from repro.workloads.spec import BenchmarkSpec, MemorySpec\n"
+            "spec = BenchmarkSpec(name='t', branch_fraction=0.2,\n"
+            "                     num_static_conditionals=8,\n"
+            "                     hard_fraction=0.25, hard_taken_bias=0.7,\n"
+            "                     memory=MemorySpec(working_set_lines=64))\n"
+            "stats = B.get_backend('trace').run(\n"
+            "    B.Workload(spec=spec, seed=3), MachineConfig(),\n"
+            "    B.Instrumentation(\n"
+            "        path_confidence=ThresholdAndCountPredictor()),\n"
+            "    max_instructions=500)\n"
+            "assert stats.retired_instructions >= 500\n"
+            "print('DEGRADED-OK')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(tmp_path), src_dir]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        result = subprocess.run([sys.executable, "-c", probe], env=env,
+                                capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert "DEGRADED-OK" in result.stdout
